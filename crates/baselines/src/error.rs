@@ -1,0 +1,121 @@
+//! Typed errors for the baseline methods.
+
+use std::fmt;
+
+use ceps_graph::{GraphError, NodeId};
+use ceps_rwr::RwrError;
+
+/// Errors produced by `ceps-baselines`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// A query node id was outside the graph.
+    BadQueryNode {
+        /// The offending id.
+        node: NodeId,
+        /// Nodes in the graph.
+        node_count: usize,
+    },
+    /// The query set was empty (or a pairwise method got fewer than 2).
+    TooFewQueries {
+        /// Queries supplied.
+        got: usize,
+        /// Queries required.
+        need: usize,
+    },
+    /// Source and sink coincide in the delivered-current method.
+    SourceEqualsSink {
+        /// The coinciding node.
+        node: NodeId,
+    },
+    /// The voltage solve did not converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at stop.
+        residual: f64,
+    },
+    /// Query nodes lie in different connected components, so no connecting
+    /// subgraph exists.
+    Disconnected {
+        /// Two nodes witnessing the disconnection.
+        a: NodeId,
+        /// Second witness.
+        b: NodeId,
+    },
+    /// An underlying graph error.
+    Graph(GraphError),
+    /// An underlying RWR error.
+    Rwr(RwrError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::BadQueryNode { node, node_count } => {
+                write!(
+                    f,
+                    "query node {node} out of bounds for graph with {node_count} nodes"
+                )
+            }
+            BaselineError::TooFewQueries { got, need } => {
+                write!(f, "method needs at least {need} query nodes, got {got}")
+            }
+            BaselineError::SourceEqualsSink { node } => {
+                write!(f, "source and sink are both {node}")
+            }
+            BaselineError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "voltage solve stopped after {iterations} iterations at residual {residual}"
+                )
+            }
+            BaselineError::Disconnected { a, b } => {
+                write!(f, "query nodes {a} and {b} are in different components")
+            }
+            BaselineError::Graph(e) => write!(f, "graph error: {e}"),
+            BaselineError::Rwr(e) => write!(f, "rwr error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Graph(e) => Some(e),
+            BaselineError::Rwr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BaselineError {
+    fn from(e: GraphError) -> Self {
+        BaselineError::Graph(e)
+    }
+}
+
+impl From<RwrError> for BaselineError {
+    fn from(e: RwrError) -> Self {
+        BaselineError::Rwr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BaselineError::TooFewQueries { got: 1, need: 2 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = BaselineError::Disconnected {
+            a: NodeId(1),
+            b: NodeId(2),
+        };
+        assert!(e.to_string().contains("different components"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # ceps-baselines
+//!
+//! The comparison methods the CePS paper measures itself against or
+//! positions itself relative to:
+//!
+//! * [`delivered_current`] — the **connection subgraph** algorithm of
+//!   Faloutsos, McCurley and Tomkins (KDD'04), the paper's direct
+//!   predecessor and the other method in Fig. 2. It models the graph as a
+//!   resistor network (+1 V at one query, 0 V at the other, a grounded
+//!   *universal sink* to tax high-degree nodes), and extracts the paths
+//!   that deliver the most current per new display node. Crucially — and
+//!   this is what Fig. 2 demonstrates — the result depends on which query
+//!   is the source and which is the sink; CePS does not.
+//! * [`ppr`] — combining scores by summation, which is what personalized
+//!   PageRank does; the paper (footnote 1) observes this approximates an
+//!   `OR` query and cannot express `AND`.
+//! * [`shortest`] — the union of pairwise shortest paths (with cost
+//!   `1 / weight`), the naive connector the related-work section faults
+//!   for favoring high-degree nodes and single-faceted connections.
+//! * [`steiner`] — the classic shortest-path 2-approximation of the
+//!   Steiner tree, the minimal connector the paper contrasts CePS's
+//!   "set of inter-correlated paths" against.
+//!
+//! All baselines produce a [`ceps_graph::Subgraph`], so the evaluation
+//! metrics of `ceps-core::eval` apply to them unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delivered_current;
+mod error;
+pub mod linsys;
+pub mod ppr;
+pub mod shortest;
+pub mod steiner;
+
+pub use error::BaselineError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,202 @@
+//! Gauss–Seidel solver for electrical-network voltage systems.
+//!
+//! The delivered-current method interprets edge weights as conductances.
+//! With boundary conditions (source at +1 V, sink at 0 V) and an optional
+//! grounded *universal sink* of conductance `sink_factor · d_v` at every
+//! node, Kirchhoff's law at each free node `v` reads
+//!
+//! ```text
+//! V(v) = Σ_{u ∈ N(v)} C(u, v) · V(u) / (d_v + C_z(v))
+//! ```
+//!
+//! which Gauss–Seidel solves with guaranteed convergence (the system matrix
+//! is irreducibly diagonally dominant once `sink_factor > 0` or a boundary
+//! node is reachable).
+
+use ceps_graph::{CsrGraph, NodeId};
+
+use crate::{BaselineError, Result};
+
+/// Boundary condition: a node pinned to a fixed voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pin {
+    /// The pinned node.
+    pub node: NodeId,
+    /// Its fixed voltage.
+    pub voltage: f64,
+}
+
+/// Solves for node voltages.
+///
+/// * `pins` — fixed-voltage nodes (the +1 V source, the 0 V sink);
+/// * `sink_factor` — conductance of every node's edge to the grounded
+///   universal sink, as a multiple of its degree (`0.0` disables it);
+/// * `tol` / `max_iterations` — Gauss–Seidel stopping rule (max absolute
+///   voltage change per sweep).
+///
+/// # Errors
+/// [`BaselineError::NoConvergence`] if the sweep limit is hit first.
+pub fn solve_voltages(
+    graph: &CsrGraph,
+    pins: &[Pin],
+    sink_factor: f64,
+    tol: f64,
+    max_iterations: usize,
+) -> Result<Vec<f64>> {
+    let n = graph.node_count();
+    let mut v = vec![0f64; n];
+    let mut pinned = vec![false; n];
+    for p in pins {
+        if p.node.index() >= n {
+            return Err(BaselineError::BadQueryNode {
+                node: p.node,
+                node_count: n,
+            });
+        }
+        v[p.node.index()] = p.voltage;
+        pinned[p.node.index()] = true;
+    }
+
+    for it in 0..max_iterations {
+        let mut delta: f64 = 0.0;
+        for u in 0..n {
+            if pinned[u] {
+                continue;
+            }
+            let uid = NodeId::from_index(u);
+            let d = graph.degree(uid);
+            if d == 0.0 {
+                continue; // isolated: stays at 0
+            }
+            let mut num = 0.0;
+            for (w_node, w) in graph.neighbors(uid) {
+                num += w * v[w_node.index()];
+            }
+            let denom = d + sink_factor * d;
+            let nv = num / denom;
+            delta = delta.max((nv - v[u]).abs());
+            v[u] = nv;
+        }
+        if delta < tol {
+            return Ok(v);
+        }
+        if it + 1 == max_iterations {
+            return Err(BaselineError::NoConvergence {
+                iterations: max_iterations,
+                residual: delta,
+            });
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn voltage_divider_on_a_path() {
+        // 0 at 1 V, 2 at 0 V, equal resistors: middle node sits at 0.5 V.
+        let g = path3();
+        let pins = [
+            Pin {
+                node: NodeId(0),
+                voltage: 1.0,
+            },
+            Pin {
+                node: NodeId(2),
+                voltage: 0.0,
+            },
+        ];
+        let v = solve_voltages(&g, &pins, 0.0, 1e-12, 10_000).unwrap();
+        assert!((v[1] - 0.5).abs() < 1e-9, "v1 = {}", v[1]);
+    }
+
+    #[test]
+    fn universal_sink_pulls_voltages_down() {
+        let g = path3();
+        let pins = [
+            Pin {
+                node: NodeId(0),
+                voltage: 1.0,
+            },
+            Pin {
+                node: NodeId(2),
+                voltage: 0.0,
+            },
+        ];
+        let plain = solve_voltages(&g, &pins, 0.0, 1e-12, 10_000).unwrap();
+        let taxed = solve_voltages(&g, &pins, 1.0, 1e-12, 10_000).unwrap();
+        assert!(taxed[1] < plain[1]);
+    }
+
+    #[test]
+    fn voltages_respect_maximum_principle() {
+        // Diamond with asymmetric weights: all free voltages within [0, 1].
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [
+            (0, 1, 3.0),
+            (0, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 3, 2.0),
+            (1, 2, 0.5),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pins = [
+            Pin {
+                node: NodeId(0),
+                voltage: 1.0,
+            },
+            Pin {
+                node: NodeId(3),
+                voltage: 0.0,
+            },
+        ];
+        let v = solve_voltages(&g, &pins, 0.0, 1e-12, 10_000).unwrap();
+        for (i, &x) in v.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&x), "v[{i}] = {x}");
+        }
+        // Strongly connected to the source, node 1 should be hotter than 2.
+        assert!(v[1] > v[2]);
+    }
+
+    #[test]
+    fn bad_pin_is_rejected() {
+        let g = path3();
+        let pins = [Pin {
+            node: NodeId(9),
+            voltage: 1.0,
+        }];
+        assert!(matches!(
+            solve_voltages(&g, &pins, 0.0, 1e-9, 100),
+            Err(BaselineError::BadQueryNode { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_cap_reports_no_convergence() {
+        let g = path3();
+        let pins = [
+            Pin {
+                node: NodeId(0),
+                voltage: 1.0,
+            },
+            Pin {
+                node: NodeId(2),
+                voltage: 0.0,
+            },
+        ];
+        let res = solve_voltages(&g, &pins, 0.0, 1e-15, 1);
+        assert!(matches!(res, Err(BaselineError::NoConvergence { .. })));
+    }
+}

@@ -1,0 +1,125 @@
+//! Personalized-PageRank combination — the "approximate OR" baseline.
+//!
+//! Footnote 1 of the paper: personalized PageRank over a multi-node
+//! preference set scores node `j` by `Σ_i r(i, j)` — a sum, which behaves
+//! like a soft `OR`: one strongly-connected query dominates. The baseline
+//! returns the top-`b` nodes by that sum (no connectivity machinery), which
+//! is exactly what a retrieval system built directly on PPR would display.
+
+use ceps_graph::{normalize::Normalization, CsrGraph, NodeId, Subgraph, Transition};
+use ceps_rwr::{RwrConfig, RwrEngine};
+
+use crate::Result;
+
+/// Top-`budget` nodes by summed personalized-PageRank score, always
+/// including the query nodes.
+///
+/// # Errors
+/// Propagates RWR validation errors (bad `c`, empty/out-of-range queries).
+pub fn ppr_top_nodes(
+    graph: &CsrGraph,
+    queries: &[NodeId],
+    budget: usize,
+    rwr: RwrConfig,
+) -> Result<(Subgraph, Vec<f64>)> {
+    let t = Transition::new(graph, Normalization::ColumnStochastic);
+    let engine = RwrEngine::new(&t, rwr)?;
+    let scores = engine.solve_many(queries)?;
+
+    let n = graph.node_count();
+    let mut summed = vec![0f64; n];
+    for i in 0..scores.query_count() {
+        for (slot, v) in summed.iter_mut().zip(scores.row(i)) {
+            *slot += v;
+        }
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        summed[b as usize]
+            .total_cmp(&summed[a as usize])
+            .then(a.cmp(&b))
+    });
+
+    let mut sub = Subgraph::from_nodes(queries.iter().copied());
+    for &v in &order {
+        if sub.len() >= queries.len() + budget {
+            break;
+        }
+        sub.insert(NodeId(v));
+    }
+    Ok((sub, summed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    /// A hub strongly tied to query 0 and a bridge node between queries.
+    fn graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [
+            (0, 1, 5.0), // hub near query 0
+            (0, 2, 1.0),
+            (2, 3, 1.0), // 2 bridges towards query 3
+            (1, 0, 1.0),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn queries_always_included() {
+        let g = graph();
+        let (sub, _) = ppr_top_nodes(&g, &[NodeId(0), NodeId(3)], 1, RwrConfig::default()).unwrap();
+        assert!(sub.contains(NodeId(0)));
+        assert!(sub.contains(NodeId(3)));
+        assert!(sub.len() <= 3);
+    }
+
+    #[test]
+    fn sum_scores_match_row_sums() {
+        let g = graph();
+        let (_, summed) =
+            ppr_top_nodes(&g, &[NodeId(0), NodeId(3)], 2, RwrConfig::default()).unwrap();
+        // Each row sums to 1, so the summed vector totals Q = 2.
+        let total: f64 = summed.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn or_like_behavior_scores_one_sided_hubs_highly() {
+        // Node 1 touches only query 0, yet the summed ("OR"-ish) score still
+        // ranks it among the top non-query nodes — the behavior footnote 1
+        // contrasts with AND queries, where a one-sided hub scores ~0.
+        let g = graph();
+        let (sub, summed) =
+            ppr_top_nodes(&g, &[NodeId(0), NodeId(3)], 2, RwrConfig::default()).unwrap();
+        assert!(summed[1] > 0.0 && summed[2] > 0.0);
+        assert!(
+            sub.contains(NodeId(1)),
+            "one-sided hub excluded: {summed:?}"
+        );
+        assert!(sub.contains(NodeId(2)));
+        // Its AND score (product) would be tiny by comparison: node 1 has no
+        // tie to query 3's side beyond multi-hop leakage.
+        let t =
+            ceps_graph::Transition::new(&g, ceps_graph::normalize::Normalization::ColumnStochastic);
+        let m = ceps_rwr::RwrEngine::new(&t, RwrConfig::default())
+            .unwrap()
+            .solve_many(&[NodeId(0), NodeId(3)])
+            .unwrap();
+        let and_1 = m.score(0, NodeId(1)) * m.score(1, NodeId(1));
+        let or_1 = summed[1];
+        assert!(or_1 > 10.0 * and_1, "or {or_1} vs and {and_1}");
+    }
+
+    #[test]
+    fn propagates_bad_queries() {
+        let g = graph();
+        assert!(ppr_top_nodes(&g, &[], 2, RwrConfig::default()).is_err());
+        assert!(ppr_top_nodes(&g, &[NodeId(44)], 2, RwrConfig::default()).is_err());
+    }
+}

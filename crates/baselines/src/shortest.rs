@@ -1,0 +1,112 @@
+//! Shortest-path connector — the naive baseline of the related-work
+//! discussion.
+//!
+//! Connect every pair of query nodes by its cheapest path under cost
+//! `1 / weight` (strong ties are short) and return the union. The paper
+//! faults this family twice: a single path per pair "cannot capture the
+//! multiple faceted relationship between two nodes", and hop-cheap routes
+//! love high-degree nodes. The baseline exists so the benchmark harness can
+//! show CePS capturing more goodness at equal budget.
+
+use ceps_graph::{algo::dijkstra, CsrGraph, NodeId, Subgraph};
+
+use crate::{BaselineError, Result};
+
+/// Union of pairwise shortest paths between all query pairs.
+///
+/// # Errors
+/// [`BaselineError::TooFewQueries`] for fewer than 2 queries,
+/// [`BaselineError::BadQueryNode`] for out-of-range ids, and
+/// [`BaselineError::Disconnected`] naming the first unreachable pair.
+pub fn shortest_path_subgraph(graph: &CsrGraph, queries: &[NodeId]) -> Result<Subgraph> {
+    if queries.len() < 2 {
+        return Err(BaselineError::TooFewQueries {
+            got: queries.len(),
+            need: 2,
+        });
+    }
+    let n = graph.node_count();
+    for &q in queries {
+        if q.index() >= n {
+            return Err(BaselineError::BadQueryNode {
+                node: q,
+                node_count: n,
+            });
+        }
+    }
+
+    let mut sub = Subgraph::from_nodes(queries.iter().copied());
+    for (i, &a) in queries.iter().enumerate() {
+        let run = dijkstra(graph, a, |w| 1.0 / w);
+        for &b in &queries[i + 1..] {
+            let Some(path) = run.path_to(a, b) else {
+                return Err(BaselineError::Disconnected { a, b });
+            };
+            for v in path {
+                sub.insert(v);
+            }
+        }
+    }
+    Ok(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    /// Triangle of queries {0, 4, 8} connected through dedicated waypoints.
+    fn waypoint_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (1, 4), (4, 5), (5, 8), (8, 9), (9, 0)] {
+            b.add_edge(NodeId(x), NodeId(y), 2.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn connects_every_pair() {
+        let g = waypoint_graph();
+        let sub = shortest_path_subgraph(&g, &[NodeId(0), NodeId(4), NodeId(8)]).unwrap();
+        assert!(sub.is_connected(&g));
+        for v in [0u32, 1, 4, 5, 8, 9] {
+            assert!(sub.contains(NodeId(v)), "missing {v}");
+        }
+    }
+
+    #[test]
+    fn prefers_strong_ties() {
+        // 0-1-3 (weights 10) beats direct-ish 0-2-3 (weights 1).
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 10.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 10.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let sub = shortest_path_subgraph(&g, &[NodeId(0), NodeId(3)]).unwrap();
+        assert!(sub.contains(NodeId(1)));
+        assert!(!sub.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = waypoint_graph();
+        assert!(matches!(
+            shortest_path_subgraph(&g, &[NodeId(0)]),
+            Err(BaselineError::TooFewQueries { .. })
+        ));
+        assert!(shortest_path_subgraph(&g, &[NodeId(0), NodeId(77)]).is_err());
+    }
+
+    #[test]
+    fn reports_disconnection() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            shortest_path_subgraph(&g, &[NodeId(0), NodeId(3)]),
+            Err(BaselineError::Disconnected { .. })
+        ));
+    }
+}

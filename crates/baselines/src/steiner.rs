@@ -1,0 +1,160 @@
+//! Steiner-tree heuristic — the minimal connector baseline.
+//!
+//! The paper's related-work section positions CePS against Steiner trees:
+//! exact Steiner is NP-complete, trees suffer the high-degree problem, and a
+//! tree *must* span all terminals (no `K_softAND` relaxation). We implement
+//! the classic **shortest-path heuristic** (a 2-approximation for metric
+//! costs): grow a tree from one terminal, repeatedly attaching the nearest
+//! unconnected terminal along a cheapest path to the current tree. Edge
+//! cost is `1 / weight`, as in the shortest-path baseline.
+
+use ceps_graph::{algo::dijkstra, CsrGraph, NodeId, Subgraph};
+
+use crate::{BaselineError, Result};
+
+/// The tree's nodes plus the cost it paid.
+#[derive(Debug, Clone)]
+pub struct SteinerTree {
+    /// All nodes on the tree (terminals included).
+    pub subgraph: Subgraph,
+    /// Sum of `1 / weight` over the tree paths as attached.
+    pub cost: f64,
+}
+
+/// Shortest-path-heuristic Steiner tree over the `terminals`.
+///
+/// # Errors
+/// [`BaselineError::TooFewQueries`] for fewer than 2 terminals,
+/// [`BaselineError::BadQueryNode`] / [`BaselineError::Disconnected`] as
+/// applicable.
+pub fn steiner_tree(graph: &CsrGraph, terminals: &[NodeId]) -> Result<SteinerTree> {
+    if terminals.len() < 2 {
+        return Err(BaselineError::TooFewQueries {
+            got: terminals.len(),
+            need: 2,
+        });
+    }
+    let n = graph.node_count();
+    for &t in terminals {
+        if t.index() >= n {
+            return Err(BaselineError::BadQueryNode {
+                node: t,
+                node_count: n,
+            });
+        }
+    }
+
+    let mut tree = Subgraph::from_nodes([terminals[0]]);
+    let mut remaining: Vec<NodeId> = terminals[1..].to_vec();
+    let mut cost = 0.0;
+
+    while !remaining.is_empty() {
+        // Cheapest (terminal, attachment path) over all remaining terminals.
+        let mut best: Option<(usize, Vec<NodeId>, f64)> = None;
+        for (idx, &t) in remaining.iter().enumerate() {
+            if tree.contains(t) {
+                best = Some((idx, vec![t], 0.0));
+                break;
+            }
+            let run = dijkstra(graph, t, |w| 1.0 / w);
+            // Nearest node already on the tree.
+            let mut nearest: Option<(NodeId, f64)> = None;
+            for v in tree.nodes() {
+                let d = run.dist[v.index()];
+                if d.is_finite() {
+                    match nearest {
+                        Some((_, bd)) if bd <= d => {}
+                        _ => nearest = Some((v, d)),
+                    }
+                }
+            }
+            let Some((attach, d)) = nearest else {
+                return Err(BaselineError::Disconnected {
+                    a: terminals[0],
+                    b: t,
+                });
+            };
+            match best {
+                Some((_, _, bc)) if bc <= d => {}
+                _ => {
+                    let path = run.path_to(t, attach).expect("finite distance has a path");
+                    best = Some((idx, path, d));
+                }
+            }
+        }
+        let (idx, path, d) = best.expect("non-empty remaining set");
+        for v in path {
+            tree.insert(v);
+        }
+        cost += d;
+        remaining.swap_remove(idx);
+    }
+
+    Ok(SteinerTree {
+        subgraph: tree,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    /// Star: terminals 1, 2, 3 all attach through center 0.
+    fn star() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=3u32 {
+            b.add_edge(NodeId(0), NodeId(leaf), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn star_terminals_route_through_center() {
+        let g = star();
+        let t = steiner_tree(&g, &[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        assert!(t.subgraph.contains(NodeId(0)));
+        assert_eq!(t.subgraph.len(), 4);
+        assert!(t.subgraph.is_connected(&g));
+        // Path 1→0→2 costs 2, then 3 attaches at cost 1.
+        assert!((t.cost - 3.0).abs() < 1e-12, "cost {}", t.cost);
+    }
+
+    #[test]
+    fn tree_spans_all_terminals() {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (5, 3)] {
+            b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let terminals = [NodeId(0), NodeId(4), NodeId(5)];
+        let t = steiner_tree(&g, &terminals).unwrap();
+        for &q in &terminals {
+            assert!(t.subgraph.contains(q));
+        }
+        assert!(t.subgraph.is_connected(&g));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let g = star();
+        assert!(matches!(
+            steiner_tree(&g, &[NodeId(1)]),
+            Err(BaselineError::TooFewQueries { .. })
+        ));
+        assert!(steiner_tree(&g, &[NodeId(1), NodeId(9)]).is_err());
+    }
+
+    #[test]
+    fn disconnected_terminals_error() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            steiner_tree(&g, &[NodeId(0), NodeId(2)]),
+            Err(BaselineError::Disconnected { .. })
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! Microbenchmark: score combination (Eqs. 6–9).
+//!
+//! Validates the paper's complexity claim for `K_softAND`: the recursion
+//! (our Poisson-binomial DP) avoids the `O(2^Q)` enumeration — measurable
+//! directly by racing `at_least_k` against `at_least_k_bruteforce`.
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_graph::{normalize::Normalization, Transition};
+use ceps_rwr::combine::{at_least_k, at_least_k_bruteforce, combine_scores};
+use ceps_rwr::{RwrConfig, RwrEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine");
+
+    // DP vs brute force at growing Q (the paper's O(2^k) avoidance).
+    for q in [4usize, 8, 12, 16] {
+        let probs: Vec<f64> = (0..q)
+            .map(|i| (i as f64 + 1.0) / (q as f64 + 2.0))
+            .collect();
+        let k = q / 2;
+        group.bench_with_input(BenchmarkId::new("dp", q), &probs, |b, p| {
+            b.iter(|| black_box(at_least_k(p, k)));
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", q), &probs, |b, p| {
+            b.iter(|| black_box(at_least_k_bruteforce(p, k)));
+        });
+    }
+
+    // Whole-graph combination for a realistic score matrix.
+    let w = Workload::build(Scale::Small, 2);
+    let t = Transition::new(&w.data.graph, Normalization::DegreePenalized { alpha: 0.5 });
+    let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+    let queries = w.repository.sample(5, 1);
+    let scores = engine.solve_many(&queries).unwrap();
+    for k in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("combine_scores_q5", k), &scores, |b, s| {
+            b.iter(|| black_box(combine_scores(s, k).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combine);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbenchmark: the EXTRACT algorithm (Tables 3–4) in isolation —
+//! scores precomputed, extraction cost as a function of budget.
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_core::extract::{extract, ExtractParams, SharingRule};
+use ceps_graph::{normalize::Normalization, Transition};
+use ceps_rwr::{combine, RwrConfig, RwrEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_extract(c: &mut Criterion) {
+    let w = Workload::build(Scale::Small, 3);
+    let graph = &w.data.graph;
+    let t = Transition::new(graph, Normalization::DegreePenalized { alpha: 0.5 });
+    let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+    let queries = w.repository.sample(3, 7);
+    let scores = engine.solve_many(&queries).unwrap();
+    let combined = combine::combine_scores(&scores, 3).unwrap();
+
+    let mut group = c.benchmark_group("extract");
+    for budget in [10usize, 20, 40, 80] {
+        group.bench_with_input(BenchmarkId::new("and_q3", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                black_box(extract(ExtractParams {
+                    graph,
+                    scores: &scores,
+                    combined: &combined,
+                    k: 3,
+                    budget,
+                    max_path_len: budget.div_ceil(3).max(2),
+                    sharing: SharingRule::FreeSharedNodes,
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4 as a benchmark: the full pipeline (score → combine → EXTRACT)
+//! at the paper's parameter points, so the per-query online cost backing
+//! Fig. 4's sweeps is tracked over time.
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let w = Workload::build(Scale::Small, 5);
+    let graph = &w.data.graph;
+
+    let mut group = c.benchmark_group("fig4_pipeline");
+    group.sample_size(10);
+    for q in [2usize, 4] {
+        for budget in [20usize, 50] {
+            let queries = w.repository.sample(q, 9);
+            let cfg = CepsConfig::default()
+                .query_type(QueryType::And)
+                .budget(budget);
+            let engine = CepsEngine::new(graph, cfg).unwrap();
+            let id = format!("q{q}_b{budget}");
+            group.bench_with_input(BenchmarkId::new("and", id), &queries, |b, qs| {
+                b.iter(|| black_box(engine.run(qs).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 5 as a benchmark: the cost of the normalization step (Eq. 10)
+//! itself, and the pipeline at the α values the paper sweeps — the study's
+//! point is that the extra normalization is effectively free at query time
+//! (it happens once per graph) while changing result quality.
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+use ceps_graph::{normalize::Normalization, Transition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let w = Workload::build(Scale::Small, 6);
+    let graph = &w.data.graph;
+
+    let mut group = c.benchmark_group("fig5_normalization");
+    group.sample_size(10);
+
+    for alpha in [0.0f64, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("build_transition", format!("alpha{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| {
+                    black_box(Transition::new(
+                        graph,
+                        Normalization::DegreePenalized { alpha },
+                    ))
+                });
+            },
+        );
+
+        let queries = w.repository.sample(3, 2);
+        let cfg = CepsConfig::default()
+            .query_type(QueryType::And)
+            .budget(20)
+            .alpha(alpha);
+        let engine = CepsEngine::new(graph, cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_q3_b20", format!("alpha{alpha}")),
+            &queries,
+            |b, qs| {
+                b.iter(|| black_box(engine.run(qs).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 6 / the 6:1 headline as a benchmark: plain CePS vs Fast CePS
+//! with pre-partitioning, measured by Criterion on the same query sets.
+//! The ratio of the two medians is this build's answer to the paper's
+//! "about 6:1 speedup" claim (the exact factor depends on scale and `p`;
+//! EXPERIMENTS.md records the sweep).
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_core::{CepsConfig, CepsEngine, FastCeps, QueryType};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let w = Workload::build(Scale::Small, 8);
+    let graph = &w.data.graph;
+    let cfg = CepsConfig::default().query_type(QueryType::And).budget(20);
+    let queries = w.repository.sample(3, 4);
+
+    let mut group = c.benchmark_group("fig6_speedup");
+    group.sample_size(10);
+
+    let full = CepsEngine::new(graph, cfg).unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("full_graph", "q3_b20"),
+        &queries,
+        |b, qs| {
+            b.iter(|| black_box(full.run(qs).unwrap()));
+        },
+    );
+
+    for p in [4usize, 16] {
+        // Partitioning is the offline Step 0 — outside the measured loop.
+        let fast = FastCeps::new(graph, cfg, p, 13).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("fast_p{p}"), "q3_b20"),
+            &queries,
+            |b, qs| {
+                b.iter(|| black_box(fast.run(qs).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

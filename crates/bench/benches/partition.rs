@@ -1,0 +1,27 @@
+//! Microbenchmark: the multilevel partitioner — Fast CePS's one-time
+//! offline cost (Table 5, Step 0).
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_partition::{partition_graph, PartitionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    let w = Workload::build(Scale::Small, 4);
+    for k in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("small", k), &k, |b, &k| {
+            let cfg = PartitionConfig {
+                seed: 1,
+                ..PartitionConfig::with_parts(k)
+            };
+            b.iter(|| black_box(partition_graph(&w.data.graph, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmark: forward-push vs power-iteration RWR across thresholds —
+//! the algorithmic exploitation of the score skew Sec. 6 observes, compared
+//! with the paper's fixed-`m` iteration.
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_graph::{normalize::Normalization, Transition};
+use ceps_rwr::{push::forward_push, RwrConfig, RwrEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_vs_iterate");
+    group.sample_size(20);
+
+    for (label, scale) in [("small", Scale::Small), ("medium", Scale::Medium)] {
+        let w = Workload::build(scale, 7);
+        let t = Transition::new(&w.data.graph, Normalization::DegreePenalized { alpha: 0.5 });
+        let q = w.repository.sample(1, 0)[0];
+
+        group.bench_with_input(BenchmarkId::new("iterate_m50", label), &t, |b, t| {
+            let engine = RwrEngine::new(t, RwrConfig::default()).unwrap();
+            b.iter(|| black_box(engine.solve_single(q).unwrap()));
+        });
+        for eps_exp in [4i32, 6, 8] {
+            let eps = 10f64.powi(-eps_exp);
+            group.bench_with_input(
+                BenchmarkId::new(format!("push_1e-{eps_exp}"), label),
+                &t,
+                |b, t| {
+                    b.iter(|| black_box(forward_push(t, 0.5, q, eps).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push);
+criterion_main!(benches);

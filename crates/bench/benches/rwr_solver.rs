@@ -1,0 +1,56 @@
+//! Microbenchmark: the RWR power-iteration solver (Eq. 4) — the dominant
+//! cost of online CePS (Sec. 6 motivates Fast CePS entirely from it).
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_graph::{normalize::Normalization, NodeId, Transition};
+use ceps_rwr::{precomputed::PrecomputedRwr, RwrConfig, RwrEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_rwr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rwr_solver");
+    group.sample_size(20);
+
+    for (label, scale) in [("tiny", Scale::Tiny), ("small", Scale::Small)] {
+        let w = Workload::build(scale, 1);
+        let t = Transition::new(&w.data.graph, Normalization::DegreePenalized { alpha: 0.5 });
+        let q = w.repository.sample(1, 0)[0];
+
+        group.bench_with_input(BenchmarkId::new("single_source_m50", label), &t, |b, t| {
+            let engine = RwrEngine::new(t, RwrConfig::default()).unwrap();
+            b.iter(|| black_box(engine.solve_single(q).unwrap()));
+        });
+
+        let queries: Vec<NodeId> = w.repository.sample(4, 3);
+        group.bench_with_input(BenchmarkId::new("four_sources_seq", label), &t, |b, t| {
+            let engine = RwrEngine::new(t, RwrConfig::default()).unwrap();
+            b.iter(|| black_box(engine.solve_many(&queries).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("four_sources_par", label), &t, |b, t| {
+            let cfg = RwrConfig {
+                threads: 4,
+                ..Default::default()
+            };
+            let engine = RwrEngine::new(t, cfg).unwrap();
+            b.iter(|| black_box(engine.solve_many(&queries).unwrap()));
+        });
+    }
+
+    // The paper's Sec. 6 "obvious" speedup: precompute (1-c)(I-cW)^-1
+    // offline, then a query is a column read. Compare the online costs.
+    let w = Workload::build(Scale::Tiny, 2);
+    let t = Transition::new(&w.data.graph, Normalization::DegreePenalized { alpha: 0.5 });
+    let q = w.repository.sample(1, 5)[0];
+    let pre = PrecomputedRwr::new(&t, 0.5, 4096).unwrap();
+    group.bench_function("precomputed_query_tiny", |b| {
+        b.iter(|| black_box(pre.query(q).unwrap()));
+    });
+    group.bench_function("iterated_query_tiny", |b| {
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        b.iter(|| black_box(engine.solve_single(q).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rwr);
+criterion_main!(benches);

@@ -1,0 +1,316 @@
+//! Experiment driver: regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [fig4] [fig5] [fig6] [cases] [all]
+//!             [--scale tiny|small|medium|large|paper]
+//!             [--trials N] [--seed S] [--out DIR] [--quick]
+//! ```
+//!
+//! Prints each figure as an aligned table and writes CSV + JSON into the
+//! output directory (default `results/`). `--quick` shrinks the sweeps for
+//! smoke runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ceps_bench::figures::{
+    ablation, baselines, case_studies, fig4, fig5, fig6, injection, scaling,
+};
+use ceps_bench::report::{write_json, Table};
+use ceps_bench::workload::Workload;
+use ceps_bench::Scale;
+
+struct Options {
+    figures: Vec<String>,
+    scale: Scale,
+    trials: Option<usize>,
+    seed: u64,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        figures: Vec::new(),
+        scale: Scale::Small,
+        trials: None,
+        seed: 42,
+        out: PathBuf::from("results"),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "fig4" | "fig5" | "fig6" | "cases" | "inject" | "ablation" | "baselines"
+            | "scaling" | "all" => opts.figures.push(arg),
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+            }
+            "--trials" => {
+                let v = args.next().ok_or("--trials needs a value")?;
+                opts.trials = Some(v.parse().map_err(|_| format!("bad trial count {v:?}"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => opts.quick = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.figures.is_empty() {
+        opts.figures.push("all".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|all]... \
+                 [--scale tiny|small|medium|large|paper] [--trials N] [--seed S] \
+                 [--out DIR] [--quick]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wants =
+        |f: &str| opts.figures.iter().any(|x| x == f) || opts.figures.iter().any(|x| x == "all");
+
+    println!("# CePS experiment run");
+    println!(
+        "scale = {}, seed = {}, output = {}",
+        opts.scale,
+        opts.seed,
+        opts.out.display()
+    );
+    let t0 = Instant::now();
+    let workload = Workload::build(opts.scale, opts.seed);
+    println!(
+        "graph: {} nodes, {} edges (generated in {:.2?})\n",
+        workload.node_count(),
+        workload.edge_count(),
+        t0.elapsed()
+    );
+
+    let mut tables: Vec<Table> = Vec::new();
+
+    if wants("cases") {
+        let c2 = case_studies::fig2_connection_study(&workload, opts.seed);
+        print!("{}", c2.report);
+        println!();
+        let c1 = case_studies::fig1_softand_study(&workload, opts.seed);
+        print!("{}", c1.report);
+        println!();
+        let c3 = case_studies::fig3_and_study(&workload, opts.seed);
+        print!("{}", c3.report);
+        println!();
+    }
+
+    if wants("fig4") {
+        let mut params = fig4::Fig4Params {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.budgets = vec![10, 30, 60];
+            params.trials = params.trials.min(3);
+        }
+        let t = Instant::now();
+        let (a, b) = fig4::run(&workload, &params);
+        println!("{}", a.render());
+        println!("{}", b.render());
+        // Supplement: the same sweep without degree penalization, to
+        // separate the normalization's effect from EXTRACT's (the ERatio
+        // magnitudes depend strongly on alpha — see EXPERIMENTS.md).
+        let params0 = fig4::Fig4Params {
+            alpha: 0.0,
+            ..params
+        };
+        let (a0, b0) = fig4::run(&workload, &params0);
+        println!("{}", a0.render());
+        println!("{}", b0.render());
+        println!("(fig4 took {:.2?})\n", t.elapsed());
+        tables.push(a);
+        tables.push(b);
+        tables.push(a0);
+        tables.push(b0);
+    }
+
+    if wants("fig5") {
+        let mut params = fig5::Fig5Params {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.alphas = vec![0.0, 0.5, 1.0];
+            params.trials = params.trials.min(3);
+        }
+        let t = Instant::now();
+        let out = fig5::run(&workload, &params);
+        println!("{}", out.nratio_self.render());
+        println!("{}", out.eratio_self.render());
+        println!("{}", out.nratio_cross.render());
+        println!("{}", out.eratio_cross.render());
+        println!("(fig5 took {:.2?})\n", t.elapsed());
+        tables.push(out.nratio_self);
+        tables.push(out.eratio_self);
+        tables.push(out.nratio_cross);
+        tables.push(out.eratio_cross);
+    }
+
+    if wants("fig6") {
+        let mut params = fig6::Fig6Params {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.partition_counts = vec![1, 4, 16];
+            params.trials = params.trials.min(2);
+        }
+        let t = Instant::now();
+        let out = fig6::run(&workload, &params);
+        println!("{}", out.quality_vs_time.render());
+        println!("{}", out.time_vs_partitions.render());
+        println!("{}", out.headline.render());
+        println!("{}", out.offline.render());
+        println!("(fig6 took {:.2?})\n", t.elapsed());
+        tables.push(out.quality_vs_time);
+        tables.push(out.time_vs_partitions);
+        tables.push(out.headline);
+        tables.push(out.offline);
+    }
+
+    if wants("inject") {
+        let mut params = injection::InjectionParams {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.strengths = vec![1.0, 4.0];
+            params.trials = params.trials.min(3);
+        }
+        let t = Instant::now();
+        let out = injection::run(&workload, &params);
+        println!("{}", out.recall.render());
+        println!("{}", out.top1.render());
+        println!("(inject took {:.2?})\n", t.elapsed());
+        tables.push(out.recall);
+        tables.push(out.top1);
+    }
+
+    if wants("baselines") {
+        let mut params = baselines::BaselineParams {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.query_counts = vec![2];
+            params.trials = params.trials.min(3);
+        }
+        let t = Instant::now();
+        let table = baselines::run(&workload, &params);
+        println!("{}", table.render());
+        println!("(baselines took {:.2?})\n", t.elapsed());
+        tables.push(table);
+    }
+
+    if wants("ablation") {
+        let mut params = ablation::AblationParams {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.budgets = vec![10, 40];
+            params.trials = params.trials.min(3);
+        }
+        let t = Instant::now();
+        let table = ablation::run(&workload, &params);
+        println!("{}", table.render());
+        println!("(ablation took {:.2?})\n", t.elapsed());
+        tables.push(table);
+    }
+
+    if opts.figures.iter().any(|x| x == "scaling") {
+        // Scaling is opt-in (not part of "all"): it generates several
+        // graphs of its own, which dwarfs the other runners.
+        let mut params = scaling::ScalingParams {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        params.scales = vec![
+            ceps_bench::Scale::Tiny,
+            ceps_bench::Scale::Small,
+            ceps_bench::Scale::Medium,
+            ceps_bench::Scale::Large,
+        ];
+        if opts.scale == ceps_bench::Scale::Paper {
+            params.scales.push(ceps_bench::Scale::Paper);
+        }
+        if opts.quick {
+            params.scales = vec![ceps_bench::Scale::Tiny, ceps_bench::Scale::Small];
+            params.trials = 1;
+        }
+        let t = Instant::now();
+        let table = scaling::run(&params);
+        println!("{}", table.render());
+        println!("(scaling took {:.2?})\n", t.elapsed());
+        tables.push(table);
+    }
+
+    // Persist machine-readable outputs.
+    for t in &tables {
+        match t.write_csv(&opts.out) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("error writing CSV: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !tables.is_empty() {
+        let meta = serde_json::json!({
+            "scale": opts.scale.to_string(),
+            "seed": opts.seed,
+            "nodes": workload.node_count(),
+            "edges": workload.edge_count(),
+            "quick": opts.quick,
+        });
+        match write_json(&opts.out, "experiments", &meta, &tables) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("error writing JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("\ntotal {:.2?}", t0.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,286 @@
+//! Case studies — Figures 1, 2 and 3.
+//!
+//! The paper's first three figures are qualitative screenshots:
+//!
+//! * **Fig. 2**: a `Q = 2` connection subgraph where the delivered-current
+//!   baseline changes its answer when source and sink swap, while CePS
+//!   (an `AND` query over an unordered query *set*) cannot;
+//! * **Fig. 1**: four queries drawn from two communities — the `AND` query
+//!   finds cross-community bridges, the `2_softAND` query splits into two
+//!   dense per-community groups;
+//! * **Fig. 3**: three queries from three communities, whose `AND`
+//!   center-pieces are the well-connected researchers between them.
+//!
+//! The runners reproduce each study on the synthetic graph and return both
+//! a printable report (with author names, like the paper's figures) and
+//! structured facts the integration tests assert on.
+
+use ceps_baselines::delivered_current::{connection_subgraph, DeliveredCurrentConfig};
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+use ceps_graph::NodeId;
+
+use crate::workload::Workload;
+
+/// Structured outcome of the Fig. 2 study.
+#[derive(Debug, Clone)]
+pub struct ConnectionStudy {
+    /// The two query nodes.
+    pub queries: [NodeId; 2],
+    /// Delivered-current display, source = `queries[0]`.
+    pub dc_forward: Vec<NodeId>,
+    /// Delivered-current display, source = `queries[1]`.
+    pub dc_reverse: Vec<NodeId>,
+    /// CePS subgraph with queries in given order.
+    pub ceps_forward: Vec<NodeId>,
+    /// CePS subgraph with queries reversed.
+    pub ceps_reverse: Vec<NodeId>,
+    /// Human-readable report.
+    pub report: String,
+}
+
+/// Runs the Fig. 2 study: two hub queries from different communities,
+/// budget 4 (the paper's setting).
+pub fn fig2_connection_study(workload: &Workload, seed: u64) -> ConnectionStudy {
+    let graph = &workload.data.graph;
+    let qs = workload.repository.sample_across_communities(2, seed);
+    let (a, b) = (qs[0], qs[1]);
+
+    let dc_cfg = DeliveredCurrentConfig {
+        budget: 4,
+        ..Default::default()
+    };
+    let fwd = connection_subgraph(graph, a, b, &dc_cfg).expect("connected hubs");
+    let rev = connection_subgraph(graph, b, a, &dc_cfg).expect("connected hubs");
+
+    let ceps_cfg = CepsConfig::default().budget(4).query_type(QueryType::And);
+    let engine = CepsEngine::new(graph, ceps_cfg).expect("valid config");
+    let cf = engine.run(&[a, b]).expect("ceps run");
+    let cr = engine.run(&[b, a]).expect("ceps run");
+
+    let name = |v: NodeId| workload.data.labels.name(v);
+    let list = |nodes: &[NodeId]| {
+        nodes
+            .iter()
+            .map(|&v| name(v))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let dc_forward: Vec<NodeId> = fwd.subgraph.nodes().collect();
+    let dc_reverse: Vec<NodeId> = rev.subgraph.nodes().collect();
+    let ceps_forward: Vec<NodeId> = cf.subgraph.nodes().collect();
+    let ceps_reverse: Vec<NodeId> = cr.subgraph.nodes().collect();
+
+    let report = format!(
+        "Fig 2 — connection subgraph between {} and {} (budget 4)\n\
+         delivered current, {} as source: {}\n\
+         delivered current, {} as source: {}\n\
+         CePS AND (order-independent):    {}\n\
+         delivered-current order-sensitive: {}; CePS order-sensitive: {}\n",
+        name(a),
+        name(b),
+        name(a),
+        list(&dc_forward),
+        name(b),
+        list(&dc_reverse),
+        list(&ceps_forward),
+        dc_forward != dc_reverse,
+        ceps_forward != ceps_reverse,
+    );
+
+    ConnectionStudy {
+        queries: [a, b],
+        dc_forward,
+        dc_reverse,
+        ceps_forward,
+        ceps_reverse,
+        report,
+    }
+}
+
+/// Structured outcome of the Fig. 1 study.
+#[derive(Debug, Clone)]
+pub struct SoftAndStudy {
+    /// The four query nodes (two per community).
+    pub queries: Vec<NodeId>,
+    /// Connected components of the `AND` subgraph.
+    pub and_components: usize,
+    /// Connected components of the `2_softAND` subgraph.
+    pub softand_components: usize,
+    /// Non-query nodes of the AND subgraph.
+    pub and_nodes: Vec<NodeId>,
+    /// Non-query nodes of the softAND subgraph.
+    pub softand_nodes: Vec<NodeId>,
+    /// Human-readable report.
+    pub report: String,
+}
+
+/// Runs the Fig. 1 study: `Q = 4` (two hubs each from two communities),
+/// `AND` vs `2_softAND`, budget ~ 8.
+pub fn fig1_softand_study(workload: &Workload, seed: u64) -> SoftAndStudy {
+    let graph = &workload.data.graph;
+    let rep = &workload.repository;
+    // Two hubs from community 0, two from community 1 (mirrors the paper's
+    // DB-pair + ML-pair queries).
+    let queries = vec![
+        rep.group(0)[0],
+        rep.group(0)[1],
+        rep.group(1)[0],
+        rep.group(1)[1],
+    ];
+    let _ = seed;
+
+    let run = |qt: QueryType| {
+        let cfg = CepsConfig::default().budget(8).query_type(qt);
+        CepsEngine::new(graph, cfg)
+            .expect("valid config")
+            .run(&queries)
+            .expect("run")
+    };
+    let and_res = run(QueryType::And);
+    let soft_res = run(QueryType::SoftAnd(2));
+
+    let name = |v: NodeId| workload.data.labels.name(v);
+    let and_nodes: Vec<NodeId> = and_res
+        .subgraph
+        .nodes()
+        .filter(|v| !queries.contains(v))
+        .collect();
+    let softand_nodes: Vec<NodeId> = soft_res
+        .subgraph
+        .nodes()
+        .filter(|v| !queries.contains(v))
+        .collect();
+    let and_components = and_res.subgraph.component_count(graph);
+    let softand_components = soft_res.subgraph.component_count(graph);
+
+    let report = format!(
+        "Fig 1 — center-piece subgraph among {} (budget 8)\n\
+         AND query:      {} components, bridges: {}\n\
+         2_softAND query: {} components, members: {}\n",
+        queries
+            .iter()
+            .map(|&v| name(v))
+            .collect::<Vec<_>>()
+            .join(", "),
+        and_components,
+        and_nodes
+            .iter()
+            .map(|&v| name(v))
+            .collect::<Vec<_>>()
+            .join(", "),
+        softand_components,
+        softand_nodes
+            .iter()
+            .map(|&v| name(v))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    SoftAndStudy {
+        queries,
+        and_components,
+        softand_components,
+        and_nodes,
+        softand_nodes,
+        report,
+    }
+}
+
+/// Structured outcome of the Fig. 3 study.
+#[derive(Debug, Clone)]
+pub struct AndStudy {
+    /// The three query nodes, one per community.
+    pub queries: Vec<NodeId>,
+    /// The center-piece nodes, ranked by combined score.
+    pub center_pieces: Vec<NodeId>,
+    /// Whether the subgraph is connected.
+    pub connected: bool,
+    /// Human-readable report.
+    pub report: String,
+}
+
+/// Runs the Fig. 3 study: `Q = 3` hubs from three distinct communities,
+/// `AND` query, budget ~ 12.
+pub fn fig3_and_study(workload: &Workload, seed: u64) -> AndStudy {
+    let graph = &workload.data.graph;
+    let queries = workload.repository.sample_across_communities(3, seed);
+
+    let cfg = CepsConfig::default().budget(12).query_type(QueryType::And);
+    let res = CepsEngine::new(graph, cfg)
+        .expect("valid config")
+        .run(&queries)
+        .expect("run");
+
+    let mut center_pieces: Vec<NodeId> = res
+        .subgraph
+        .nodes()
+        .filter(|v| !queries.contains(v))
+        .collect();
+    center_pieces.sort_by(|&a, &b| {
+        res.combined[b.index()]
+            .total_cmp(&res.combined[a.index()])
+            .then(a.0.cmp(&b.0))
+    });
+    let connected = res.subgraph.is_connected(graph);
+
+    let name = |v: NodeId| workload.data.labels.name(v);
+    let report = format!(
+        "Fig 3 — AND center-piece among {} (budget 12)\n\
+         connected: {connected}\n\
+         center-pieces (by combined score): {}\n",
+        queries
+            .iter()
+            .map(|&v| name(v))
+            .collect::<Vec<_>>()
+            .join(", "),
+        center_pieces
+            .iter()
+            .map(|&v| name(v))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    AndStudy {
+        queries,
+        center_pieces,
+        connected,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    fn workload() -> Workload {
+        Workload::build(Scale::Tiny, 12)
+    }
+
+    #[test]
+    fn fig2_ceps_is_order_independent() {
+        let w = workload();
+        let study = fig2_connection_study(&w, 2);
+        assert_eq!(study.ceps_forward, study.ceps_reverse);
+        assert!(study.report.contains("CePS AND"));
+    }
+
+    #[test]
+    fn fig1_softand_never_fewer_components_than_and_budgeted_run() {
+        let w = workload();
+        let study = fig1_softand_study(&w, 0);
+        assert_eq!(study.queries.len(), 4);
+        assert!(study.softand_components >= 1);
+        assert!(study.and_components >= 1);
+        assert!(study.report.contains("2_softAND"));
+    }
+
+    #[test]
+    fn fig3_produces_ranked_center_pieces() {
+        let w = workload();
+        let study = fig3_and_study(&w, 1);
+        assert_eq!(study.queries.len(), 3);
+        assert!(!study.center_pieces.is_empty());
+        assert!(study.report.contains("center-pieces"));
+    }
+}

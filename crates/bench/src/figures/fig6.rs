@@ -1,0 +1,187 @@
+//! Figure 6 — the pre-partition speedup study (Sec. 7.4).
+//!
+//! The paper fixes `b = 20`, `AND` queries, and sweeps the number of
+//! partitions `p`, measuring
+//!
+//! * **Fig. 6(a)**: mean `RelRatio` (quality retained, Eq. 19) against the
+//!   mean response time, and
+//! * **Fig. 6(b)**: mean response time against `p`,
+//!
+//! with the headline that ~10% quality loss buys roughly a **6:1 speedup**.
+//! Response time here is the *online* cost: individual + combined score
+//! computation plus EXTRACT on the (possibly reduced) graph. The
+//! partitioning itself is the offline Step 0 and is reported separately.
+
+use std::time::Instant;
+
+use ceps_core::{eval, CepsConfig, CepsEngine, FastCeps, QueryType};
+use ceps_partition::{partition_graph, PartitionConfig};
+
+use crate::report::Table;
+use crate::workload::{stats, Workload};
+
+/// Parameters for the Fig. 6 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6Params {
+    /// Partition counts to sweep; `1` is the no-speedup baseline.
+    pub partition_counts: Vec<usize>,
+    /// Query counts (paper: 2..5).
+    pub query_counts: Vec<usize>,
+    /// Budget (paper: 20).
+    pub budget: usize,
+    /// Query draws per configuration.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Params {
+    fn default() -> Self {
+        Fig6Params {
+            partition_counts: vec![1, 2, 5, 10, 20, 40],
+            query_counts: vec![2, 3, 4, 5],
+            budget: 20,
+            trials: 5,
+            seed: 23,
+        }
+    }
+}
+
+/// Output of the Fig. 6 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6Output {
+    /// Fig. 6(a): per partition count, mean response time (ms) and mean
+    /// RelRatio, per query count.
+    pub quality_vs_time: Table,
+    /// Fig. 6(b): mean response time (ms) vs `p`, per query count.
+    pub time_vs_partitions: Table,
+    /// Headline table: speedup factor and RelRatio vs `p` (averaged over
+    /// query counts).
+    pub headline: Table,
+    /// Offline partitioning time per `p`, milliseconds.
+    pub offline: Table,
+}
+
+/// Runs the sweep.
+pub fn run(workload: &Workload, params: &Fig6Params) -> Fig6Output {
+    let graph = &workload.data.graph;
+    let cfg = CepsConfig::default()
+        .query_type(QueryType::And)
+        .budget(params.budget);
+
+    // Full-graph reference runs (p = 1 semantics), reused for RelRatio.
+    let full_engine = CepsEngine::new(graph, cfg).expect("valid config");
+
+    let mut col_time = vec!["partitions".to_string()];
+    let mut col_qt = vec!["partitions".to_string()];
+    for &q in &params.query_counts {
+        col_time.push(format!("Q={q} ms"));
+        col_qt.push(format!("Q={q} time_ms"));
+        col_qt.push(format!("Q={q} RelRatio"));
+    }
+    let mut time_table = Table::new("Fig 6(b): mean response time vs partitions (AND)", col_time);
+    let mut qt_table = Table::new(
+        "Fig 6(a): RelRatio and response time vs partitions (AND)",
+        col_qt,
+    );
+    let mut headline = Table::new(
+        "Headline: speedup and quality vs partitions (avg over Q)",
+        vec!["partitions".into(), "speedup".into(), "RelRatio".into()],
+    );
+    let mut offline = Table::new(
+        "Offline: partitioning time (one-time cost)",
+        vec!["partitions".into(), "ms".into()],
+    );
+
+    let mut base_time_per_q: Vec<f64> = Vec::new();
+
+    for &p in &params.partition_counts {
+        let t0 = Instant::now();
+        let partitioning = partition_graph(
+            graph,
+            &PartitionConfig {
+                seed: params.seed,
+                ..PartitionConfig::with_parts(p)
+            },
+        )
+        .expect("partitioner");
+        offline.push_row(vec![p as f64, t0.elapsed().as_secs_f64() * 1e3]);
+        let fast = FastCeps::with_partitioning(graph, cfg, partitioning);
+
+        let mut time_row = vec![p as f64];
+        let mut qt_row = vec![p as f64];
+        let mut speedups = Vec::new();
+        let mut rels = Vec::new();
+
+        for (qi, &q) in params.query_counts.iter().enumerate() {
+            let mut times = Vec::with_capacity(params.trials);
+            let mut ratios = Vec::with_capacity(params.trials);
+            for t in 0..params.trials {
+                let seed = params.seed ^ (q as u64) << 32 ^ t as u64;
+                let queries = workload.repository.sample(q, seed);
+
+                let t1 = Instant::now();
+                let fast_res = fast.run(&queries).expect("fast run");
+                times.push(t1.elapsed().as_secs_f64() * 1e3);
+
+                // Quality reference: the full-graph run with identical
+                // configuration (this is what NRatio's denominator and the
+                // subgraph H of Eq. 19's denominator come from).
+                let full_res = full_engine.run(&queries).expect("full run");
+                ratios.push(eval::rel_ratio(
+                    &full_res.combined,
+                    &fast_res.subgraph,
+                    &full_res.subgraph,
+                ));
+            }
+            let t_mean = stats(&times).mean;
+            let r_mean = stats(&ratios).mean;
+            time_row.push(t_mean);
+            qt_row.push(t_mean);
+            qt_row.push(r_mean);
+            if p == params.partition_counts[0] {
+                base_time_per_q.push(t_mean);
+            }
+            let base = base_time_per_q.get(qi).copied().unwrap_or(t_mean);
+            speedups.push(if t_mean > 0.0 { base / t_mean } else { 1.0 });
+            rels.push(r_mean);
+        }
+        time_table.push_row(time_row);
+        qt_table.push_row(qt_row);
+        headline.push_row(vec![p as f64, stats(&speedups).mean, stats(&rels).mean]);
+    }
+
+    Fig6Output {
+        quality_vs_time: qt_table,
+        time_vs_partitions: time_table,
+        headline,
+        offline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn rel_ratio_is_one_for_single_partition_and_bounded_otherwise() {
+        let workload = Workload::build(Scale::Tiny, 6);
+        let params = Fig6Params {
+            partition_counts: vec![1, 2],
+            query_counts: vec![2],
+            budget: 8,
+            trials: 2,
+            seed: 3,
+        };
+        let out = run(&workload, &params);
+        // p = 1: identical run, RelRatio exactly 1.
+        let p1_rel = out.quality_vs_time.rows[0][2];
+        assert!((p1_rel - 1.0).abs() < 1e-9, "p=1 RelRatio {p1_rel}");
+        // p = 2: bounded by [0, 1] up to EXTRACT tie noise.
+        let p2_rel = out.quality_vs_time.rows[1][2];
+        assert!((0.0..=1.05).contains(&p2_rel), "p=2 RelRatio {p2_rel}");
+        assert_eq!(out.headline.rows.len(), 2);
+        assert_eq!(out.offline.rows.len(), 2);
+    }
+}

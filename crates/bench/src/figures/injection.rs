@@ -1,0 +1,184 @@
+//! Injection evaluation — future-work item 2(1) of the paper:
+//!
+//! > "we inject the resulting center-piece which are well justified by the
+//! > users into the original graph and test if the proposed algorithm can
+//! > find them."
+//!
+//! The runner plants a synthetic center-piece into a generated graph —
+//! a new author who co-wrote `strength` papers with **every** query node —
+//! then asks CePS for the center-piece subgraph and records whether the
+//! planted node is (a) in the output and (b) the top-ranked non-query
+//! node. By construction the planted node is the ground-truth best `AND`
+//! answer, so recall should approach 1.0 once the budget admits any
+//! intermediate at all; the sweep shows how recall behaves as the planted
+//! tie weakens relative to the organic graph.
+
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+use ceps_graph::{CsrGraph, GraphBuilder, NodeId};
+
+use crate::report::Table;
+use crate::workload::Workload;
+
+/// Parameters for the injection sweep.
+#[derive(Debug, Clone)]
+pub struct InjectionParams {
+    /// Query counts to sweep.
+    pub query_counts: Vec<usize>,
+    /// Co-authorship weight between the planted node and each query.
+    pub strengths: Vec<f64>,
+    /// Budget for the retrieval run.
+    pub budget: usize,
+    /// Trials per configuration.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for InjectionParams {
+    fn default() -> Self {
+        InjectionParams {
+            query_counts: vec![2, 3, 4],
+            strengths: vec![0.5, 1.0, 2.0, 4.0],
+            budget: 10,
+            trials: 10,
+            seed: 99,
+        }
+    }
+}
+
+/// Clones `graph` with one extra node tied to every query with `strength`.
+/// Returns the new graph and the planted node's id.
+fn inject_center_piece(graph: &CsrGraph, queries: &[NodeId], strength: f64) -> (CsrGraph, NodeId) {
+    let planted = NodeId::from_index(graph.node_count());
+    let mut b = GraphBuilder::with_nodes(graph.node_count() + 1);
+    for (a, c, w) in graph.edges() {
+        b.add_edge(a, c, w).expect("copying valid edges");
+    }
+    for &q in queries {
+        b.add_edge(planted, q, strength)
+            .expect("valid injection edge");
+    }
+    (b.build().expect("non-empty"), planted)
+}
+
+/// Output of the injection sweep.
+#[derive(Debug, Clone)]
+pub struct InjectionOutput {
+    /// Recall@budget: fraction of trials where the planted node is in `H`.
+    pub recall: Table,
+    /// Fraction of trials where the planted node is the **top** non-query
+    /// node by combined score.
+    pub top1: Table,
+}
+
+/// Runs the sweep.
+pub fn run(workload: &Workload, params: &InjectionParams) -> InjectionOutput {
+    let mut columns = vec!["strength".to_string()];
+    for &q in &params.query_counts {
+        columns.push(format!("Q={q}"));
+    }
+    let mut recall = Table::new(
+        "Injection: recall of the planted center-piece vs tie strength (AND)",
+        columns.clone(),
+    );
+    let mut top1 = Table::new(
+        "Injection: planted node ranked top-1 vs tie strength (AND)",
+        columns,
+    );
+
+    for &strength in &params.strengths {
+        let mut recall_row = vec![strength];
+        let mut top1_row = vec![strength];
+        for &q in &params.query_counts {
+            let mut found = 0usize;
+            let mut first = 0usize;
+            for t in 0..params.trials {
+                let seed = params.seed ^ (q as u64) << 32 ^ t as u64;
+                let queries = workload.repository.sample(q, seed);
+                let (graph, planted) =
+                    inject_center_piece(&workload.data.graph, &queries, strength);
+
+                let cfg = CepsConfig::default()
+                    .query_type(QueryType::And)
+                    .budget(params.budget);
+                let engine = CepsEngine::new(&graph, cfg).expect("valid config");
+                let res = engine.run(&queries).expect("pipeline run");
+
+                if res.subgraph.contains(planted) {
+                    found += 1;
+                }
+                let best_non_query = res
+                    .subgraph
+                    .nodes()
+                    .filter(|v| !queries.contains(v))
+                    .max_by(|a, b| res.combined[a.index()].total_cmp(&res.combined[b.index()]));
+                if best_non_query == Some(planted) {
+                    first += 1;
+                }
+            }
+            recall_row.push(found as f64 / params.trials as f64);
+            top1_row.push(first as f64 / params.trials as f64);
+        }
+        recall.push_row(recall_row);
+        top1.push_row(top1_row);
+    }
+    InjectionOutput { recall, top1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn strongly_tied_planted_node_is_always_found() {
+        let workload = Workload::build(Scale::Tiny, 13);
+        let params = InjectionParams {
+            query_counts: vec![2],
+            strengths: vec![8.0],
+            budget: 8,
+            trials: 5,
+            seed: 2,
+        };
+        let out = run(&workload, &params);
+        // Direct weight-8 ties to every query make the planted node the
+        // unambiguous best AND answer.
+        assert_eq!(out.recall.rows[0][1], 1.0, "recall {:?}", out.recall.rows);
+        assert!(out.top1.rows[0][1] >= 0.8, "top1 {:?}", out.top1.rows);
+    }
+
+    #[test]
+    fn recall_is_monotone_ish_in_strength() {
+        let workload = Workload::build(Scale::Tiny, 14);
+        let params = InjectionParams {
+            query_counts: vec![2],
+            strengths: vec![0.25, 8.0],
+            budget: 8,
+            trials: 6,
+            seed: 5,
+        };
+        let out = run(&workload, &params);
+        let weak = out.recall.rows[0][1];
+        let strong = out.recall.rows[1][1];
+        assert!(
+            strong >= weak,
+            "recall fell with strength: {weak} -> {strong}"
+        );
+    }
+
+    #[test]
+    fn injection_preserves_the_rest_of_the_graph() {
+        let workload = Workload::build(Scale::Tiny, 15);
+        let g = &workload.data.graph;
+        let queries = workload.repository.sample(3, 0);
+        let (injected, planted) = inject_center_piece(g, &queries, 2.0);
+        assert_eq!(injected.node_count(), g.node_count() + 1);
+        assert_eq!(injected.edge_count(), g.edge_count() + 3);
+        for &q in &queries {
+            assert_eq!(injected.weight(planted, q), Some(2.0));
+        }
+        // An untouched edge keeps its weight.
+        let (a, b, w) = g.edges().next().unwrap();
+        assert_eq!(injected.weight(a, b), Some(w));
+    }
+}

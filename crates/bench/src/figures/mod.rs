@@ -1,0 +1,10 @@
+//! Figure runners — one per paper artifact.
+
+pub mod ablation;
+pub mod baselines;
+pub mod case_studies;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod injection;
+pub mod scaling;

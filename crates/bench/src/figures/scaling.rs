@@ -1,0 +1,122 @@
+//! Scaling study — the paper's absolute-time anchors.
+//!
+//! Sec. 7.4 reports that *without* pre-partitioning, a query on the
+//! ~315K-node DBLP graph takes 40–60 s, dominated by the individual-score
+//! computation. This runner measures, across generator scales, the costs
+//! of each pipeline stage so `EXPERIMENTS.md` can compare shapes (and, at
+//! `Scale::Paper`, absolute magnitudes) against those anchors:
+//!
+//! * graph generation (not part of the paper's timing — context only);
+//! * normalization (Eq. 10 + Eq. 5; one-time per graph);
+//! * the RWR solve per query count (the dominant online cost);
+//! * EXTRACT on top of precomputed scores.
+
+use std::time::Instant;
+
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+
+use crate::report::Table;
+use crate::workload::{stats, Workload};
+use crate::Scale;
+
+/// Parameters for the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingParams {
+    /// Scales to measure.
+    pub scales: Vec<Scale>,
+    /// Query counts to time.
+    pub query_counts: Vec<usize>,
+    /// Budget for the extraction stage.
+    pub budget: usize,
+    /// Timed repetitions per cell.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ScalingParams {
+    fn default() -> Self {
+        ScalingParams {
+            scales: vec![Scale::Tiny, Scale::Small, Scale::Medium],
+            query_counts: vec![2, 5],
+            budget: 20,
+            trials: 3,
+            seed: 31,
+        }
+    }
+}
+
+/// Runs the sweep. Column unit is milliseconds.
+pub fn run(params: &ScalingParams) -> Table {
+    let mut columns = vec![
+        "nodes".to_string(),
+        "edges".to_string(),
+        "normalize_ms".to_string(),
+    ];
+    for &q in &params.query_counts {
+        columns.push(format!("rwr_q{q}_ms"));
+        columns.push(format!("pipeline_q{q}_ms"));
+    }
+    let mut table = Table::new("Scaling: per-stage cost vs graph size (AND, b=20)", columns);
+
+    for &scale in &params.scales {
+        let workload = Workload::build(scale, params.seed);
+        let graph = &workload.data.graph;
+
+        let t0 = Instant::now();
+        let cfg = CepsConfig::default()
+            .query_type(QueryType::And)
+            .budget(params.budget);
+        let engine = CepsEngine::new(graph, cfg).expect("valid config");
+        let normalize_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut row = vec![
+            graph.node_count() as f64,
+            graph.edge_count() as f64,
+            normalize_ms,
+        ];
+        for &q in &params.query_counts {
+            let mut rwr_times = Vec::new();
+            let mut pipe_times = Vec::new();
+            for t in 0..params.trials {
+                let queries = workload.repository.sample(q, params.seed ^ t as u64);
+                let t1 = Instant::now();
+                let _scores = engine.individual_scores(&queries).expect("rwr");
+                rwr_times.push(t1.elapsed().as_secs_f64() * 1e3);
+                let t2 = Instant::now();
+                let _res = engine.run(&queries).expect("pipeline");
+                pipe_times.push(t2.elapsed().as_secs_f64() * 1e3);
+            }
+            row.push(stats(&rwr_times).mean);
+            row.push(stats(&pipe_times).mean);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rows_grow_with_scale() {
+        let params = ScalingParams {
+            scales: vec![Scale::Tiny, Scale::Small],
+            query_counts: vec![2],
+            budget: 8,
+            trials: 1,
+            seed: 1,
+        };
+        let table = run(&params);
+        assert_eq!(table.rows.len(), 2);
+        // Node counts ascend with scale.
+        assert!(table.rows[1][0] > table.rows[0][0]);
+        // All timings are non-negative and finite.
+        for row in &table.rows {
+            for &v in &row[2..] {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+}

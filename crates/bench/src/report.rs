@@ -1,0 +1,188 @@
+//! Table printing and machine-readable result files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A printable/serializable result table: one figure series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. `"Fig 4(a): mean NRatio vs budget"`).
+    pub title: String,
+    /// Column headers; first column is the x-axis.
+    pub columns: Vec<String>,
+    /// Rows of cells, aligned with `columns`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width disagrees with the header.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut cells: Vec<Vec<String>> = vec![self.columns.clone()];
+        for row in &self.rows {
+            cells.push(row.iter().map(|v| format_cell(*v)).collect());
+        }
+        let widths: Vec<usize> = (0..self.columns.len())
+            .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        for (i, row) in cells.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+            if i == 0 {
+                let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+                let _ = writeln!(out, "  {}", rule.join("  "));
+            }
+        }
+        out
+    }
+
+    /// Serializes as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV file into `dir`, deriving the file name from the
+    /// title (lowercase, non-alphanumerics collapsed to `_`).
+    ///
+    /// # Errors
+    /// I/O errors creating the directory or file.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let stem: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let stem = stem.trim_matches('_').replace("__", "_");
+        let path = dir.join(format!("{stem}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+fn format_cell(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 0.01 || v == 0.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Writes all tables plus run metadata as one JSON document.
+///
+/// # Errors
+/// I/O or serialization failures.
+pub fn write_json<M: Serialize>(
+    dir: &Path,
+    name: &str,
+    meta: &M,
+    tables: &[Table],
+) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    #[derive(Serialize)]
+    struct Doc<'a, M> {
+        meta: &'a M,
+        tables: &'a [Table],
+    }
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(&Doc { meta, tables })
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X: demo", vec!["b".into(), "Q=2".into()]);
+        t.push_row(vec![10.0, 0.95]);
+        t.push_row(vec![20.0, 0.999]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_and_includes_title() {
+        let s = sample().render();
+        assert!(s.contains("## Fig X: demo"));
+        assert!(s.contains("Q=2"));
+        assert!(s.contains("0.9500"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "b,Q=2");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn csv_file_name_derived_from_title() {
+        let dir = std::env::temp_dir().join("ceps_report_test");
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig_x"));
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_bundle_written() {
+        let dir = std::env::temp_dir().join("ceps_report_json_test");
+        let path = write_json(&dir, "demo", &serde_json::json!({"seed": 1}), &[sample()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"seed\": 1"));
+        assert!(text.contains("Fig X: demo"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec![1.0, 2.0]);
+    }
+}

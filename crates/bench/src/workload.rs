@@ -1,0 +1,86 @@
+//! Workload construction shared by the figure runners and benches.
+
+use ceps_datagen::{CoauthorGraph, QueryRepository};
+
+use crate::Scale;
+
+/// A generated graph plus its query repository — the paper's "Data Set" +
+/// "Source Queries" setup.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The co-authorship graph and metadata.
+    pub data: CoauthorGraph,
+    /// The 13/13/11/11 query repository.
+    pub repository: QueryRepository,
+}
+
+impl Workload {
+    /// Builds the workload for a scale and seed.
+    pub fn build(scale: Scale, seed: u64) -> Workload {
+        let data = scale.config().seed(seed).generate();
+        let repository = QueryRepository::from_graph(&data);
+        Workload { data, repository }
+    }
+
+    /// Node count of the generated graph.
+    pub fn node_count(&self) -> usize {
+        self.data.graph.node_count()
+    }
+
+    /// Edge count of the generated graph.
+    pub fn edge_count(&self) -> usize {
+        self.data.graph.edge_count()
+    }
+}
+
+/// Simple statistics over repeated trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Computes mean and population std of the samples (0.0/0.0 for empty).
+pub fn stats(samples: &[f64]) -> Stats {
+    let n = samples.len();
+    if n == 0 {
+        return Stats {
+            mean: 0.0,
+            std: 0.0,
+            n: 0,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    Stats {
+        mean,
+        std: var.sqrt(),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_with_repository() {
+        let w = Workload::build(Scale::Tiny, 3);
+        assert_eq!(w.node_count(), 100);
+        assert!(w.edge_count() > 0);
+        assert_eq!(w.repository.group_count(), 4);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        assert_eq!(stats(&[]).n, 0);
+    }
+}

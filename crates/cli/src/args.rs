@@ -1,0 +1,375 @@
+//! Argument parsing — hand-rolled to stay within the workspace's
+//! dependency policy (no clap).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use ceps_core::QueryType;
+
+use crate::CliError;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `ceps generate` — write a synthetic co-authorship graph.
+    Generate {
+        /// Scale preset name.
+        scale: String,
+        /// Generator seed.
+        seed: u64,
+        /// Edge-list output path.
+        out: PathBuf,
+        /// Optional labels output path.
+        labels_out: Option<PathBuf>,
+    },
+    /// `ceps stats` — print basic graph statistics.
+    Stats {
+        /// Edge-list input path.
+        graph: PathBuf,
+    },
+    /// `ceps query` — run a center-piece query.
+    Query {
+        /// Edge-list input path.
+        graph: PathBuf,
+        /// Optional labels file (one name per line, line i = node i).
+        labels: Option<PathBuf>,
+        /// Comma-separated query nodes (names if labels given, else ids).
+        queries: String,
+        /// Query type.
+        query_type: QueryType,
+        /// Budget `b`.
+        budget: usize,
+        /// Normalization exponent `α`.
+        alpha: f64,
+        /// Optional DOT output path.
+        dot: Option<PathBuf>,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// Forward-push threshold (None = power iteration).
+        push: Option<f64>,
+        /// RWR worker threads.
+        threads: usize,
+    },
+    /// `ceps partition` — k-way partition a graph.
+    Partition {
+        /// Edge-list input path.
+        graph: PathBuf,
+        /// Number of parts.
+        parts: usize,
+        /// Seed.
+        seed: u64,
+        /// Output path for `node part` lines.
+        out: PathBuf,
+    },
+    /// `ceps autok` — infer the softAND coefficient for a query set.
+    AutoK {
+        /// Edge-list input path.
+        graph: PathBuf,
+        /// Optional labels file.
+        labels: Option<PathBuf>,
+        /// Comma-separated query nodes.
+        queries: String,
+        /// Normalization exponent.
+        alpha: f64,
+    },
+    /// `ceps import` — convert tab-separated co-author pairs to the
+    /// edge-list + labels formats.
+    Import {
+        /// Co-author pairs input path.
+        pairs: PathBuf,
+        /// Edge-list output path.
+        out: PathBuf,
+        /// Labels output path.
+        labels_out: PathBuf,
+    },
+    /// `ceps help` / no args.
+    Help,
+}
+
+/// Usage text shown by `ceps help` and on argument errors.
+pub const USAGE: &str = "\
+ceps — center-piece subgraph discovery (Tong & Faloutsos)
+
+USAGE:
+  ceps generate --scale <tiny|small|medium|large> [--seed N] --out FILE [--labels-out FILE]
+  ceps stats    --graph FILE
+  ceps query    --graph FILE [--labels FILE] --queries \"a,b,...\"
+                [--type and|or|softand:K] [--budget N] [--alpha A]
+                [--dot FILE] [--json] [--push EPS] [--threads N]
+  ceps partition --graph FILE --parts K [--seed N] --out FILE
+  ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
+  ceps import   --pairs FILE --out FILE --labels-out FILE
+  ceps help
+";
+
+fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(CliError(format!("unexpected argument {key:?}")));
+        }
+        if key == "--json" {
+            flags.insert("json".to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError(format!("flag {key} needs a value")))?;
+        flags.insert(key[2..].to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_query_type(s: &str) -> Result<QueryType, CliError> {
+    match s {
+        "and" => Ok(QueryType::And),
+        "or" => Ok(QueryType::Or),
+        _ => {
+            if let Some(k) = s.strip_prefix("softand:") {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| CliError(format!("bad softand coefficient {k:?}")))?;
+                Ok(QueryType::SoftAnd(k))
+            } else {
+                Err(CliError(format!(
+                    "unknown query type {s:?} (and|or|softand:K)"
+                )))
+            }
+        }
+    }
+}
+
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("bad value for --{key}: {v:?}"))),
+    }
+}
+
+fn required(flags: &HashMap<String, String>, key: &str) -> Result<String, CliError> {
+    flags
+        .get(key)
+        .cloned()
+        .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let flags = take_flags(rest)?;
+            Ok(Command::Generate {
+                scale: flags
+                    .get("scale")
+                    .cloned()
+                    .unwrap_or_else(|| "small".into()),
+                seed: num(&flags, "seed", 0u64)?,
+                out: PathBuf::from(required(&flags, "out")?),
+                labels_out: flags.get("labels-out").map(PathBuf::from),
+            })
+        }
+        "stats" => {
+            let flags = take_flags(rest)?;
+            Ok(Command::Stats {
+                graph: PathBuf::from(required(&flags, "graph")?),
+            })
+        }
+        "query" => {
+            let flags = take_flags(rest)?;
+            Ok(Command::Query {
+                graph: PathBuf::from(required(&flags, "graph")?),
+                labels: flags.get("labels").map(PathBuf::from),
+                queries: required(&flags, "queries")?,
+                query_type: parse_query_type(
+                    flags.get("type").map(String::as_str).unwrap_or("and"),
+                )?,
+                budget: num(&flags, "budget", 20usize)?,
+                alpha: num(&flags, "alpha", 0.5f64)?,
+                dot: flags.get("dot").map(PathBuf::from),
+                json: flags.contains_key("json"),
+                push: flags
+                    .get("push")
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|_| CliError(format!("bad push threshold {v:?}")))
+                    })
+                    .transpose()?,
+                threads: num(&flags, "threads", 1usize)?,
+            })
+        }
+        "autok" => {
+            let flags = take_flags(rest)?;
+            Ok(Command::AutoK {
+                graph: PathBuf::from(required(&flags, "graph")?),
+                labels: flags.get("labels").map(PathBuf::from),
+                queries: required(&flags, "queries")?,
+                alpha: num(&flags, "alpha", 0.5f64)?,
+            })
+        }
+        "import" => {
+            let flags = take_flags(rest)?;
+            Ok(Command::Import {
+                pairs: PathBuf::from(required(&flags, "pairs")?),
+                out: PathBuf::from(required(&flags, "out")?),
+                labels_out: PathBuf::from(required(&flags, "labels-out")?),
+            })
+        }
+        "partition" => {
+            let flags = take_flags(rest)?;
+            Ok(Command::Partition {
+                graph: PathBuf::from(required(&flags, "graph")?),
+                parts: num(&flags, "parts", 0usize).and_then(|p| {
+                    if p == 0 {
+                        Err(CliError("missing or zero --parts".into()))
+                    } else {
+                        Ok(p)
+                    }
+                })?,
+                seed: num(&flags, "seed", 0u64)?,
+                out: PathBuf::from(required(&flags, "out")?),
+            })
+        }
+        other => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_defaults_and_overrides() {
+        let c = parse(&v(&["generate", "--out", "g.txt"])).unwrap();
+        match c {
+            Command::Generate {
+                scale,
+                seed,
+                out,
+                labels_out,
+            } => {
+                assert_eq!(scale, "small");
+                assert_eq!(seed, 0);
+                assert_eq!(out, PathBuf::from("g.txt"));
+                assert!(labels_out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&[
+            "generate",
+            "--scale",
+            "tiny",
+            "--seed",
+            "9",
+            "--out",
+            "g",
+            "--labels-out",
+            "l",
+        ]))
+        .unwrap();
+        assert!(matches!(c, Command::Generate { seed: 9, .. }));
+    }
+
+    #[test]
+    fn query_parses_types() {
+        let base = ["query", "--graph", "g", "--queries", "0,1"];
+        let c = parse(&v(&base)).unwrap();
+        assert!(matches!(
+            c,
+            Command::Query {
+                query_type: QueryType::And,
+                budget: 20,
+                ..
+            }
+        ));
+
+        let mut with_type = v(&base);
+        with_type.extend(v(&["--type", "softand:2", "--budget", "5", "--json"]));
+        let c = parse(&with_type).unwrap();
+        match c {
+            Command::Query {
+                query_type,
+                budget,
+                json,
+                ..
+            } => {
+                assert_eq!(query_type, QueryType::SoftAnd(2));
+                assert_eq!(budget, 5);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn autok_and_import_parse() {
+        let c = parse(&v(&["autok", "--graph", "g", "--queries", "a,b"])).unwrap();
+        assert!(matches!(c, Command::AutoK { .. }));
+        let c = parse(&v(&[
+            "import",
+            "--pairs",
+            "p.tsv",
+            "--out",
+            "g.txt",
+            "--labels-out",
+            "l.txt",
+        ]))
+        .unwrap();
+        assert!(matches!(c, Command::Import { .. }));
+        assert!(parse(&v(&["import", "--pairs", "p"])).is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&v(&["bogus"]))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(parse(&v(&["stats"])).unwrap_err().0.contains("--graph"));
+        assert!(parse(&v(&[
+            "query",
+            "--graph",
+            "g",
+            "--queries",
+            "a",
+            "--type",
+            "nand"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("unknown query type"));
+        assert!(parse(&v(&["partition", "--graph", "g", "--out", "o"]))
+            .unwrap_err()
+            .0
+            .contains("--parts"));
+        assert!(parse(&v(&["stats", "--graph"]))
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+    }
+}

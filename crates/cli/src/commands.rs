@@ -1,0 +1,559 @@
+//! Command implementations. Each returns the text it would print, so tests
+//! exercise the full path without capturing stdout.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::Path;
+
+use ceps_core::{eval, CepsConfig, CepsEngine, QueryType};
+use ceps_graph::{io as gio, CsrGraph, NodeId, NodeLabels};
+use ceps_partition::{partition_graph, PartitionConfig};
+
+use crate::{CliError, Command};
+
+/// Executes a parsed command, returning its stdout text.
+///
+/// # Errors
+/// Any I/O, parse or pipeline error, rendered as a [`CliError`].
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Generate {
+            scale,
+            seed,
+            out,
+            labels_out,
+        } => generate(&scale, seed, &out, labels_out.as_deref()),
+        Command::Stats { graph } => stats(&graph),
+        Command::Query {
+            graph,
+            labels,
+            queries,
+            query_type,
+            budget,
+            alpha,
+            dot,
+            json,
+            push,
+            threads,
+        } => query(
+            &graph,
+            labels.as_deref(),
+            &queries,
+            QueryOptions {
+                query_type,
+                budget,
+                alpha,
+                dot,
+                json,
+                push,
+                threads,
+            },
+        ),
+        Command::Partition {
+            graph,
+            parts,
+            seed,
+            out,
+        } => partition(&graph, parts, seed, &out),
+        Command::AutoK {
+            graph,
+            labels,
+            queries,
+            alpha,
+        } => autok(&graph, labels.as_deref(), &queries, alpha),
+        Command::Import {
+            pairs,
+            out,
+            labels_out,
+        } => import(&pairs, &out, &labels_out),
+    }
+}
+
+fn load_graph(path: &Path) -> Result<CsrGraph, CliError> {
+    let file = fs::File::open(path)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+    Ok(gio::read_edge_list(BufReader::new(file))?)
+}
+
+fn load_labels(path: &Path) -> Result<NodeLabels, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+    Ok(NodeLabels::from_names(text.lines().map(str::to_string)))
+}
+
+fn generate(
+    scale: &str,
+    seed: u64,
+    out: &Path,
+    labels_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let cfg = match scale {
+        "tiny" => ceps_datagen::CoauthorConfig::tiny(),
+        "small" => ceps_datagen::CoauthorConfig::small(),
+        "medium" => ceps_datagen::CoauthorConfig::medium(),
+        "large" => ceps_datagen::CoauthorConfig::large(),
+        other => return Err(CliError(format!("unknown scale {other:?}"))),
+    };
+    let data = cfg.seed(seed).generate();
+    let mut buf = Vec::new();
+    gio::write_edge_list(&data.graph, &mut buf)?;
+    fs::write(out, buf)?;
+    let mut msg = format!(
+        "wrote {} ({} nodes, {} edges, seed {seed})\n",
+        out.display(),
+        data.graph.node_count(),
+        data.graph.edge_count()
+    );
+    if let Some(lpath) = labels_out {
+        let names: Vec<String> = (0..data.graph.node_count())
+            .map(|i| data.labels.name(NodeId::from_index(i)))
+            .collect();
+        fs::write(lpath, names.join("\n") + "\n")?;
+        msg.push_str(&format!("wrote {}\n", lpath.display()));
+    }
+    Ok(msg)
+}
+
+fn stats(path: &Path) -> Result<String, CliError> {
+    let g = load_graph(path)?;
+    let comp = ceps_graph::algo::connected_components(&g);
+    let giant = comp.sizes().into_iter().max().unwrap_or(0);
+    let s = ceps_graph::stats::graph_stats(&g);
+    let mut out = format!(
+        "nodes: {}\nedges: {}\ntotal weight: {}\nmean degree: {:.2} (max {})\n\
+         mean weighted degree: {:.2} (max {})\ndegree gini: {:.3}\nclustering: {:.3}\n\
+         components: {} (largest {})\ndegree histogram (log buckets):\n",
+        s.nodes,
+        s.edges,
+        s.total_weight,
+        s.mean_degree,
+        s.max_degree,
+        s.mean_weighted_degree,
+        s.max_weighted_degree,
+        s.degree_gini,
+        s.clustering,
+        comp.count,
+        giant,
+    );
+    for (bucket, count) in ceps_graph::stats::log_degree_histogram(&g) {
+        out.push_str(&format!("  deg >= {bucket:>5}: {count}\n"));
+    }
+    Ok(out)
+}
+
+fn resolve_queries(
+    spec: &str,
+    labels: Option<&NodeLabels>,
+    graph: &CsrGraph,
+) -> Result<Vec<NodeId>, CliError> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let id = if let Some(labels) = labels {
+            labels
+                .id(part)
+                .or_else(|| part.parse::<u32>().ok().map(NodeId))
+                .ok_or_else(|| CliError(format!("unknown author {part:?}")))?
+        } else {
+            NodeId(part.parse::<u32>().map_err(|_| {
+                CliError(format!(
+                    "query {part:?} is not a node id (supply --labels for names)"
+                ))
+            })?)
+        };
+        graph.check_node(id)?;
+        out.push(id);
+    }
+    if out.is_empty() {
+        return Err(CliError("no query nodes supplied".into()));
+    }
+    Ok(out)
+}
+
+/// Options of the `query` subcommand, bundled to keep the signature sane.
+struct QueryOptions {
+    query_type: QueryType,
+    budget: usize,
+    alpha: f64,
+    dot: Option<std::path::PathBuf>,
+    json: bool,
+    push: Option<f64>,
+    threads: usize,
+}
+
+fn query(
+    graph_path: &Path,
+    labels_path: Option<&Path>,
+    queries: &str,
+    opts: QueryOptions,
+) -> Result<String, CliError> {
+    let QueryOptions {
+        query_type,
+        budget,
+        alpha,
+        dot,
+        json,
+        push,
+        threads,
+    } = opts;
+    let dot = dot.as_deref();
+    let graph = load_graph(graph_path)?;
+    let labels = labels_path.map(load_labels).transpose()?;
+    let query_nodes = resolve_queries(queries, labels.as_ref(), &graph)?;
+
+    let mut cfg = CepsConfig::default()
+        .budget(budget)
+        .query_type(query_type)
+        .alpha(alpha)
+        .threads(threads);
+    if let Some(epsilon) = push {
+        cfg = cfg.push_scores(epsilon);
+    }
+    let engine = CepsEngine::new(&graph, cfg)?;
+    let result = engine.run(&query_nodes)?;
+    let nratio = eval::node_ratio(&result.combined, &result.subgraph);
+
+    if let Some(dot_path) = dot {
+        let dot_text = ceps_viz::result_to_dot(
+            &graph,
+            &result,
+            &query_nodes,
+            labels.as_ref(),
+            &ceps_viz::DotStyle::default(),
+        );
+        fs::write(dot_path, dot_text)?;
+    }
+
+    let name = |v: NodeId| {
+        labels
+            .as_ref()
+            .map(|l| l.name(v))
+            .unwrap_or_else(|| v.to_string())
+    };
+
+    if json {
+        let members: Vec<_> = result
+            .subgraph
+            .nodes()
+            .map(|v| {
+                serde_json::json!({
+                    "id": v.0,
+                    "name": name(v),
+                    "score": result.combined[v.index()],
+                    "is_query": query_nodes.contains(&v),
+                })
+            })
+            .collect();
+        let paths: Vec<_> = result
+            .paths
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "source_index": p.source_index,
+                    "nodes": p.nodes.iter().map(|v| v.0).collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "query_type": query_type.to_string(),
+            "budget": budget,
+            "alpha": alpha,
+            "k": result.k,
+            "nratio": nratio,
+            "subgraph": members,
+            "paths": paths,
+        });
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).map_err(|e| CliError(format!("json error: {e}")))?
+        ));
+    }
+
+    let mut out = format!(
+        "{} query over {} nodes, budget {budget}, alpha {alpha}\n\
+         subgraph: {} nodes, NRatio {:.4}\n",
+        query_type,
+        graph.node_count(),
+        result.subgraph.len(),
+        nratio,
+    );
+    let mut members: Vec<NodeId> = result.subgraph.nodes().collect();
+    members.sort_by(|a, b| result.combined[b.index()].total_cmp(&result.combined[a.index()]));
+    for v in members {
+        let marker = if query_nodes.contains(&v) {
+            " (query)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  {:<24} {:.4e}{marker}\n",
+            name(v),
+            result.combined[v.index()]
+        ));
+    }
+    out.push_str("\nwhy (discovery order):\n");
+    out.push_str(&ceps_core::explain::render(&result, labels.as_ref()));
+    Ok(out)
+}
+
+fn autok(
+    graph_path: &Path,
+    labels_path: Option<&Path>,
+    queries: &str,
+    alpha: f64,
+) -> Result<String, CliError> {
+    let graph = load_graph(graph_path)?;
+    let labels = labels_path.map(load_labels).transpose()?;
+    let query_nodes = resolve_queries(queries, labels.as_ref(), &graph)?;
+
+    let cfg = CepsConfig::default().alpha(alpha);
+    let engine = CepsEngine::new(&graph, cfg)?;
+    let inference = ceps_core::infer_soft_and_k(&engine, &query_nodes)?;
+
+    let mut out = format!(
+        "inferred K_softAND coefficient: k = {} (of Q = {})\n",
+        inference.k,
+        query_nodes.len()
+    );
+    if !inference.mean_ranks.is_empty() {
+        out.push_str("mean held-out retrieval rank per candidate k' (lower = better):\n");
+        for (i, r) in inference.mean_ranks.iter().enumerate() {
+            out.push_str(&format!("  k' = {}: {r:.2}\n", i + 1));
+        }
+    }
+    out.push_str(&format!(
+        "suggested invocation: ceps query ... --type softand:{}\n",
+        inference.k
+    ));
+    Ok(out)
+}
+
+fn import(pairs: &Path, out: &Path, labels_out: &Path) -> Result<String, CliError> {
+    let file = fs::File::open(pairs)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", pairs.display())))?;
+    let data = ceps_datagen::read_coauthor_pairs(BufReader::new(file))?;
+    let mut buf = Vec::new();
+    gio::write_edge_list(&data.graph, &mut buf)?;
+    fs::write(out, buf)?;
+    let names: Vec<String> = (0..data.graph.node_count())
+        .map(|i| data.labels.name(NodeId::from_index(i)))
+        .collect();
+    fs::write(labels_out, names.join("\n") + "\n")?;
+    Ok(format!(
+        "imported {} authors, {} edges -> {} + {}\n",
+        data.graph.node_count(),
+        data.graph.edge_count(),
+        out.display(),
+        labels_out.display(),
+    ))
+}
+
+fn partition(graph_path: &Path, parts: usize, seed: u64, out: &Path) -> Result<String, CliError> {
+    let graph = load_graph(graph_path)?;
+    let cfg = PartitionConfig {
+        seed,
+        ..PartitionConfig::with_parts(parts)
+    };
+    let p = partition_graph(&graph, &cfg)?;
+    let mut text = String::new();
+    for v in graph.nodes() {
+        text.push_str(&format!("{} {}\n", v.0, p.part_of(v)));
+    }
+    fs::write(out, text)?;
+    Ok(format!(
+        "wrote {} ({} parts, edge cut {:.1}, balance {:.3})\n",
+        out.display(),
+        parts,
+        p.edge_cut(&graph),
+        p.balance(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ceps_cli_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn generated() -> (PathBuf, PathBuf) {
+        let g = tmp("g.txt");
+        let l = tmp("l.txt");
+        let msg = execute(Command::Generate {
+            scale: "tiny".into(),
+            seed: 3,
+            out: g.clone(),
+            labels_out: Some(l.clone()),
+        })
+        .unwrap();
+        assert!(msg.contains("100 nodes"));
+        (g, l)
+    }
+
+    #[test]
+    fn generate_then_stats() {
+        let (g, _) = generated();
+        let out = execute(Command::Stats { graph: g }).unwrap();
+        assert!(out.contains("nodes: 100"));
+        assert!(out.contains("components:"));
+    }
+
+    #[test]
+    fn query_by_name_and_by_id() {
+        let (g, l) = generated();
+        let labels = load_labels(&l).unwrap();
+        let name0 = labels.name(NodeId(0));
+        let name1 = labels.name(NodeId(30));
+        let out = execute(Command::Query {
+            graph: g.clone(),
+            labels: Some(l.clone()),
+            queries: format!("{name0},{name1}"),
+            query_type: QueryType::And,
+            budget: 5,
+            alpha: 0.5,
+            dot: None,
+            json: false,
+            push: None,
+            threads: 1,
+        })
+        .unwrap();
+        assert!(out.contains("AND query"));
+        assert!(out.contains("(query)"));
+
+        let out = execute(Command::Query {
+            graph: g,
+            labels: None,
+            queries: "0,30".into(),
+            query_type: QueryType::Or,
+            budget: 5,
+            alpha: 0.5,
+            dot: None,
+            json: false,
+            push: None,
+            threads: 1,
+        })
+        .unwrap();
+        assert!(out.contains("OR query"));
+    }
+
+    #[test]
+    fn query_json_and_dot_outputs() {
+        let (g, l) = generated();
+        let dot_path = tmp("out.dot");
+        let out = execute(Command::Query {
+            graph: g,
+            labels: Some(l),
+            queries: "0,30".into(),
+            query_type: QueryType::SoftAnd(1),
+            budget: 4,
+            alpha: 0.5,
+            dot: Some(dot_path.clone()),
+            json: true,
+            push: None,
+            threads: 1,
+        })
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(doc["query_type"], "1_softAND");
+        assert!(doc["subgraph"].as_array().unwrap().len() >= 2);
+        let dot = fs::read_to_string(dot_path).unwrap();
+        assert!(dot.starts_with("graph"));
+    }
+
+    #[test]
+    fn partition_writes_assignments() {
+        let (g, _) = generated();
+        let out_path = tmp("parts.txt");
+        let msg = execute(Command::Partition {
+            graph: g,
+            parts: 4,
+            seed: 1,
+            out: out_path.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("4 parts"));
+        let text = fs::read_to_string(out_path).unwrap();
+        assert_eq!(text.lines().count(), 100);
+    }
+
+    #[test]
+    fn unknown_author_is_a_clean_error() {
+        let (g, l) = generated();
+        let err = execute(Command::Query {
+            graph: g,
+            labels: Some(l),
+            queries: "Nobody Atall".into(),
+            query_type: QueryType::And,
+            budget: 5,
+            alpha: 0.5,
+            dot: None,
+            json: false,
+            push: None,
+            threads: 1,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown author"));
+    }
+
+    #[test]
+    fn autok_reports_k_and_ranks() {
+        let (g, l) = generated();
+        let out = execute(Command::AutoK {
+            graph: g,
+            labels: Some(l),
+            queries: "0,1,2".into(),
+            alpha: 0.5,
+        })
+        .unwrap();
+        assert!(out.contains("inferred K_softAND"));
+        assert!(out.contains("k' = 1"));
+        assert!(out.contains("softand:"));
+    }
+
+    #[test]
+    fn import_round_trips_through_query() {
+        let pairs = tmp("pairs.tsv");
+        fs::write(
+            &pairs,
+            "Ada Lovelace\tCharles Babbage\t3\nAda Lovelace\tLuigi Menabrea\n",
+        )
+        .unwrap();
+        let g = tmp("imported.txt");
+        let l = tmp("imported_labels.txt");
+        let msg = execute(Command::Import {
+            pairs,
+            out: g.clone(),
+            labels_out: l.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("3 authors"));
+        let out = execute(Command::Query {
+            graph: g,
+            labels: Some(l),
+            queries: "Charles Babbage,Luigi Menabrea".into(),
+            query_type: QueryType::And,
+            budget: 2,
+            alpha: 0.5,
+            dot: None,
+            json: false,
+            push: None,
+            threads: 1,
+        })
+        .unwrap();
+        assert!(out.contains("Ada Lovelace"), "center-piece missing: {out}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # ceps-cli
+//!
+//! The `ceps` command-line tool: center-piece subgraph queries over plain
+//! edge-list files. The binary in `src/main.rs` is a thin shell around this
+//! library so every command is unit-testable.
+//!
+//! ```text
+//! ceps generate --scale small --seed 7 --out graph.txt --labels-out names.txt
+//! ceps stats    --graph graph.txt
+//! ceps query    --graph graph.txt --labels names.txt \
+//!               --queries "Ada Abara,Chen Ivanova" --type and --budget 10
+//! ceps partition --graph graph.txt --parts 8 --out parts.txt
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+
+/// CLI-level errors: argument problems or propagated library errors, all
+/// rendered as user-facing strings by `main`.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError(s.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<ceps_graph::GraphError> for CliError {
+    fn from(e: ceps_graph::GraphError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<ceps_core::CepsError> for CliError {
+    fn from(e: ceps_core::CepsError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<ceps_partition::PartitionError> for CliError {
+    fn from(e: ceps_partition::PartitionError) -> Self {
+        CliError(e.to_string())
+    }
+}

@@ -1,0 +1,25 @@
+//! The `ceps` binary — see `ceps help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match ceps_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", ceps_cli::args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match ceps_cli::commands::execute(cmd) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

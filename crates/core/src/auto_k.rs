@@ -1,0 +1,191 @@
+//! Automatic `K_softAND` coefficient selection — future-work item 3 of the
+//! paper, implemented with the cross-validation approach the authors
+//! sketch:
+//!
+//! > "if the user does not provide the `K_softAND` coefficient, how can we
+//! > infer the 'optimal' k. One possible way to attack this problem is
+//! > through cross validation (by treating CePS as a retrieval tool)."
+//!
+//! The scheme here is **leave-one-out retrieval**: hold out each query
+//! `q_i` in turn, combine the remaining `Q − 1` individual score vectors
+//! under every candidate coefficient `k'`, and ask how well the combined
+//! score *retrieves* the held-out query (its rank among all nodes — rank 1
+//! is best). A coherent query set (all one community) retrieves held-out
+//! members best under strict combination (`k' = Q − 1`, i.e. `AND`); a
+//! query set split across communities retrieves them best under a looser
+//! `k'` that only demands closeness to the held-out query's own cluster.
+//! The inferred coefficient for the full set is the best `k' + 1` (the
+//! held-out query rejoins the set).
+
+use ceps_graph::NodeId;
+use ceps_rwr::{combine, ScoreMatrix};
+
+use crate::pipeline::CepsEngine;
+use crate::{CepsError, Result};
+
+/// Outcome of the inference: the chosen `k` plus the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KInference {
+    /// The inferred `K_softAND` coefficient for the full query set.
+    pub k: usize,
+    /// Mean held-out retrieval rank per candidate `k'` (for the reduced
+    /// `Q − 1`-query sets); `mean_ranks[k' - 1]` is the rank for `k'`.
+    /// Lower is better.
+    pub mean_ranks: Vec<f64>,
+}
+
+/// Rank of `target` under `scores` (1 = highest score). Ties count as
+/// better-ranked to stay conservative.
+fn rank_of(scores: &[f64], target: NodeId) -> f64 {
+    let s = scores[target.index()];
+    let better = scores.iter().filter(|&&x| x > s).count();
+    (better + 1) as f64
+}
+
+/// Infers a `K_softAND` coefficient for `queries` via leave-one-out
+/// retrieval over `engine`'s graph and configuration.
+///
+/// Returns `k = 1` immediately for a single query (no choice exists).
+///
+/// # Errors
+/// Query validation errors as in [`CepsEngine::run`].
+pub fn infer_soft_and_k(engine: &CepsEngine<'_>, queries: &[NodeId]) -> Result<KInference> {
+    if queries.is_empty() {
+        return Err(CepsError::NoQueries);
+    }
+    let q = queries.len();
+    if q == 1 {
+        return Ok(KInference {
+            k: 1,
+            mean_ranks: vec![],
+        });
+    }
+
+    // One RWR solve for the full set; leave-one-out reuses the rows.
+    let scores: ScoreMatrix = engine.individual_scores(queries)?;
+    let n = scores.node_count();
+
+    let mut mean_ranks = vec![0f64; q - 1];
+    for hold in 0..q {
+        // Rows of the reduced set.
+        let reduced: Vec<&[f64]> = (0..q)
+            .filter(|&i| i != hold)
+            .map(|i| scores.row(i))
+            .collect();
+        for k_prime in 1..q {
+            // Combined score of every node under k' over the reduced set.
+            let mut col = vec![0f64; q - 1];
+            let mut combined = vec![0f64; n];
+            for (j, slot) in combined.iter_mut().enumerate() {
+                for (c, row) in col.iter_mut().zip(&reduced) {
+                    *c = row[j];
+                }
+                *slot = combine::at_least_k(&col, k_prime);
+            }
+            // Remaining queries would trivially top the ranking; exclude
+            // them so the rank reflects retrieval among non-query nodes.
+            for (i, &other) in queries.iter().enumerate() {
+                if i != hold {
+                    combined[other.index()] = 0.0;
+                }
+            }
+            mean_ranks[k_prime - 1] += rank_of(&combined, queries[hold]) / q as f64;
+        }
+    }
+
+    // Best (lowest mean rank) k'; ties break toward the stricter k.
+    let mut best = 0usize;
+    for k_idx in 1..mean_ranks.len() {
+        if mean_ranks[k_idx] <= mean_ranks[best] {
+            best = k_idx;
+        }
+    }
+    Ok(KInference {
+        k: best + 2,
+        mean_ranks,
+    }) // k' = best + 1, full-set k = k' + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CepsConfig;
+    use ceps_graph::{CsrGraph, GraphBuilder};
+
+    /// Two 6-cliques joined by a single weak bridge. Edges among
+    /// `boosted` nodes get weight 9 (a tight collaboration core), the
+    /// rest weight 3 — the inference needs the query set to be mutually
+    /// tighter than the background, as real query sets are.
+    fn two_cliques(boosted: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    let (x, y) = (base + i, base + j);
+                    let w = if boosted.contains(&(x, y)) || boosted.contains(&(y, x)) {
+                        9.0
+                    } else {
+                        3.0
+                    };
+                    b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+                }
+            }
+        }
+        b.add_edge(NodeId(0), NodeId(6), 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_query_is_trivially_k1() {
+        let g = two_cliques(&[]);
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        let inf = infer_soft_and_k(&engine, &[NodeId(1)]).unwrap();
+        assert_eq!(inf.k, 1);
+    }
+
+    #[test]
+    fn coherent_queries_infer_and() {
+        // Three queries in the same clique: held-out members are retrieved
+        // best when the combination demands closeness to both others.
+        let g = two_cliques(&[(1, 2), (2, 3), (1, 3)]);
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        let inf = infer_soft_and_k(&engine, &[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        assert_eq!(inf.k, 3, "mean ranks {:?}", inf.mean_ranks);
+    }
+
+    #[test]
+    fn split_queries_infer_a_softer_k() {
+        // Two queries per clique: a held-out query is close to its one
+        // clique-mate but not to the two cross-clique queries, so strict
+        // AND over the remaining three ranks it poorly.
+        let g = two_cliques(&[(1, 2), (7, 8)]);
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        let inf = infer_soft_and_k(&engine, &[NodeId(1), NodeId(2), NodeId(7), NodeId(8)]).unwrap();
+        assert!(
+            inf.k < 4,
+            "expected softAND, got k = {} ({:?})",
+            inf.k,
+            inf.mean_ranks
+        );
+        assert_eq!(inf.k, 2, "mean ranks {:?}", inf.mean_ranks);
+    }
+
+    #[test]
+    fn empty_query_set_rejected() {
+        let g = two_cliques(&[]);
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        assert!(matches!(
+            infer_soft_and_k(&engine, &[]),
+            Err(CepsError::NoQueries)
+        ));
+    }
+
+    #[test]
+    fn mean_ranks_are_reported_per_candidate() {
+        let g = two_cliques(&[(1, 2), (2, 3), (1, 3)]);
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        let inf = infer_soft_and_k(&engine, &[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        assert_eq!(inf.mean_ranks.len(), 2);
+        assert!(inf.mean_ranks.iter().all(|&r| r >= 1.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Typed errors for the CePS pipeline.
+
+use std::fmt;
+
+use ceps_graph::{GraphError, NodeId};
+use ceps_partition::PartitionError;
+use ceps_rwr::RwrError;
+
+/// Errors produced by `ceps-core`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CepsError {
+    /// The query set was empty.
+    NoQueries,
+    /// A query node appeared twice; duplicate particles make the meeting
+    /// probabilities degenerate (`K_softAND` would double-count).
+    DuplicateQuery {
+        /// The repeated node.
+        node: NodeId,
+    },
+    /// The budget was zero — the problem asks for a non-trivial subgraph.
+    ZeroBudget,
+    /// A `K_softAND` coefficient was outside `1..=Q`.
+    BadSoftAndK {
+        /// The rejected coefficient.
+        k: usize,
+        /// Number of queries.
+        query_count: usize,
+    },
+    /// The degree-penalization exponent was not finite and non-negative.
+    BadAlpha {
+        /// The rejected exponent.
+        alpha: f64,
+    },
+    /// The forward-push threshold was not finite and positive.
+    BadPushEpsilon {
+        /// The rejected threshold.
+        epsilon: f64,
+    },
+    /// An error from the graph substrate.
+    Graph(GraphError),
+    /// An error from the RWR engine.
+    Rwr(RwrError),
+    /// An error from the partitioner (Fast CePS only).
+    Partition(PartitionError),
+}
+
+impl fmt::Display for CepsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CepsError::NoQueries => write!(f, "query set is empty"),
+            CepsError::DuplicateQuery { node } => {
+                write!(f, "query node {node} appears more than once")
+            }
+            CepsError::ZeroBudget => write!(f, "budget must be at least 1"),
+            CepsError::BadSoftAndK { k, query_count } => {
+                write!(
+                    f,
+                    "K_softAND coefficient k = {k} must lie in 1..={query_count}"
+                )
+            }
+            CepsError::BadAlpha { alpha } => {
+                write!(
+                    f,
+                    "normalization exponent alpha = {alpha} must be finite and >= 0"
+                )
+            }
+            CepsError::BadPushEpsilon { epsilon } => {
+                write!(
+                    f,
+                    "push threshold epsilon = {epsilon} must be finite and > 0"
+                )
+            }
+            CepsError::Graph(e) => write!(f, "graph error: {e}"),
+            CepsError::Rwr(e) => write!(f, "rwr error: {e}"),
+            CepsError::Partition(e) => write!(f, "partition error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CepsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CepsError::Graph(e) => Some(e),
+            CepsError::Rwr(e) => Some(e),
+            CepsError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CepsError {
+    fn from(e: GraphError) -> Self {
+        CepsError::Graph(e)
+    }
+}
+
+impl From<RwrError> for CepsError {
+    fn from(e: RwrError) -> Self {
+        CepsError::Rwr(e)
+    }
+}
+
+impl From<PartitionError> for CepsError {
+    fn from(e: PartitionError) -> Self {
+        CepsError::Partition(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(CepsError::NoQueries.to_string().contains("empty"));
+        assert!(CepsError::ZeroBudget.to_string().contains("budget"));
+        assert!(CepsError::DuplicateQuery { node: NodeId(3) }
+            .to_string()
+            .contains("3"));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_sources() {
+        use std::error::Error;
+        let e = CepsError::from(RwrError::NoQueries);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! Evaluation metrics (Sec. 7): `NRatio`, `ERatio`, `RelRatio`.
+
+use ceps_graph::{CsrGraph, Subgraph, Transition};
+use ceps_rwr::{edge_scores::EdgeScores, ScoreMatrix};
+
+use crate::Result;
+
+/// Eq. 13 — **Important Node Ratio**: the fraction of total combined node
+/// goodness captured by the subgraph,
+/// `Σ_{j ∈ H} r(Q, j) / Σ_{j ∈ W} r(Q, j)`.
+///
+/// Returns 0.0 when the graph-wide total is zero (no node has any closeness
+/// to the query set — e.g. an `AND` query across disconnected components).
+pub fn node_ratio(combined: &[f64], subgraph: &Subgraph) -> f64 {
+    let total: f64 = combined.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let captured: f64 = subgraph.nodes().map(|v| combined[v.index()]).sum();
+    captured / total
+}
+
+/// Eq. 14 — **Important Edge Ratio**: the fraction of total combined edge
+/// goodness captured by the subgraph's induced edges,
+/// `Σ_{(j,l) ∈ H} r(Q, (j,l)) / Σ_{(j,l) ∈ W} r(Q, (j,l))`.
+///
+/// `k` is the same softAND coefficient used for the node scores.
+///
+/// # Errors
+/// Propagates [`ceps_rwr::RwrError::BadSoftAndK`].
+pub fn edge_ratio(
+    graph: &CsrGraph,
+    transition: &Transition,
+    scores: &ScoreMatrix,
+    subgraph: &Subgraph,
+    k: usize,
+) -> Result<f64> {
+    let es = EdgeScores::new(scores, transition);
+    let total = es.total_combined(graph, k)?;
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let captured = es.sum_combined(subgraph.induced_edges(graph).map(|(a, b, _)| (a, b)), k)?;
+    Ok(captured / total)
+}
+
+/// Eq. 19 — **Relative Important Node Ratio**: quality retained by the
+/// pre-partition speedup, `NRatio(H_fast) / NRatio(H_full)`.
+///
+/// Both subgraphs must be measured against the *same* whole-graph combined
+/// scores (the denominators of the two NRatios then cancel, so this is
+/// simply the captured-goodness ratio). Returns 0.0 if the full run
+/// captured nothing.
+pub fn rel_ratio(combined_full: &[f64], fast: &Subgraph, full: &Subgraph) -> f64 {
+    let full_captured: f64 = full.nodes().map(|v| combined_full[v.index()]).sum();
+    if full_captured <= 0.0 {
+        return 0.0;
+    }
+    let fast_captured: f64 = fast.nodes().map(|v| combined_full[v.index()]).sum();
+    fast_captured / full_captured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::{normalize::Normalization, GraphBuilder, NodeId};
+    use ceps_rwr::{RwrConfig, RwrEngine};
+
+    fn setup() -> (CsrGraph, Transition, ScoreMatrix) {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)] {
+            b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let m = RwrEngine::new(&t, RwrConfig::default())
+            .unwrap()
+            .solve_many(&[NodeId(0), NodeId(2)])
+            .unwrap();
+        (g, t, m)
+    }
+
+    #[test]
+    fn node_ratio_is_one_for_whole_graph_zero_for_empty() {
+        let combined = vec![0.1, 0.2, 0.3, 0.4];
+        let all = Subgraph::from_nodes((0..4).map(NodeId));
+        assert!((node_ratio(&combined, &all) - 1.0).abs() < 1e-12);
+        assert_eq!(node_ratio(&combined, &Subgraph::new()), 0.0);
+        let half = Subgraph::from_nodes([NodeId(2), NodeId(3)]);
+        assert!((node_ratio(&combined, &half) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_ratio_handles_zero_total() {
+        let combined = vec![0.0; 4];
+        let sub = Subgraph::from_nodes([NodeId(0)]);
+        assert_eq!(node_ratio(&combined, &sub), 0.0);
+    }
+
+    #[test]
+    fn edge_ratio_full_graph_is_one() {
+        let (g, t, m) = setup();
+        let all = Subgraph::from_nodes(g.nodes());
+        let r = edge_ratio(&g, &t, &m, &all, 2).unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "ratio {r}");
+    }
+
+    #[test]
+    fn edge_ratio_monotone_in_subgraph() {
+        let (g, t, m) = setup();
+        let small = Subgraph::from_nodes([NodeId(0), NodeId(1)]);
+        let big = Subgraph::from_nodes([NodeId(0), NodeId(1), NodeId(3)]);
+        let rs = edge_ratio(&g, &t, &m, &small, 2).unwrap();
+        let rb = edge_ratio(&g, &t, &m, &big, 2).unwrap();
+        assert!(rb >= rs);
+        assert!((0.0..=1.0).contains(&rs));
+        assert!((0.0..=1.0).contains(&rb));
+    }
+
+    #[test]
+    fn rel_ratio_compares_captured_goodness() {
+        let combined = vec![0.4, 0.3, 0.2, 0.1];
+        let full = Subgraph::from_nodes([NodeId(0), NodeId(1)]); // 0.7
+        let fast = Subgraph::from_nodes([NodeId(0), NodeId(3)]); // 0.5
+        let r = rel_ratio(&combined, &fast, &full);
+        assert!((r - 0.5 / 0.7).abs() < 1e-12);
+        // Identical subgraphs → 1.0.
+        assert!((rel_ratio(&combined, &full, &full) - 1.0).abs() < 1e-12);
+        // Degenerate full run.
+        assert_eq!(rel_ratio(&[0.0; 4], &fast, &full), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Active-source selection (Sec. 5).
+//!
+//! For a destination node `pd`, source `q_i` is **active** iff
+//! `r(i, pd) ≥ r^(k)(i, pd)` — its individual score at `pd` is among the `k`
+//! largest over all sources. Footnote 2 of the paper notes the number of
+//! active sources is exactly `k` for every query type (`OR` ⇒ 1,
+//! `AND` ⇒ `Q`), so we return exactly the top `k`, breaking score ties by
+//! source index for determinism.
+
+/// Indices of the `k` active sources for one destination, given the
+/// destination's column of individual scores `r(·, pd)`.
+///
+/// The result is sorted by descending score (ties by ascending index).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ scores.len()` — the query type resolved `k`
+/// against `Q` long before this point.
+pub fn active_sources(scores: &[f64], k: usize) -> Vec<usize> {
+    assert!(
+        k >= 1 && k <= scores.len(),
+        "active source count k = {k} out of 1..={}",
+        scores.len()
+    );
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_takes_single_best() {
+        assert_eq!(active_sources(&[0.1, 0.7, 0.3], 1), vec![1]);
+    }
+
+    #[test]
+    fn and_takes_all_in_score_order() {
+        assert_eq!(active_sources(&[0.1, 0.7, 0.3], 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn soft_and_takes_top_k() {
+        assert_eq!(active_sources(&[0.1, 0.7, 0.3, 0.5], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        assert_eq!(active_sources(&[0.5, 0.5, 0.5], 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn k_zero_panics() {
+        let _ = active_sources(&[0.5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn k_too_large_panics() {
+        let _ = active_sources(&[0.5, 0.5], 3);
+    }
+}

@@ -1,0 +1,380 @@
+//! Single key path discovery — the dynamic program of Table 3.
+//!
+//! Given a source query `q_i` and a destination `pd`, find the *downhill*
+//! path (monotonically decreasing individual score `r(i, ·)`) from `q_i` to
+//! `pd` that maximizes **captured combined goodness per new node**:
+//! `C_s(i, pd) / s`, where `s` counts only nodes not already in the output
+//! subgraph `H`. Sharing nodes with `H` is free, which is how EXTRACT
+//! encourages its paths to overlap and stay within budget (Sec. 5).
+//!
+//! Mechanics, following the paper:
+//!
+//! * Only nodes with `r(i, u) ≥ r(i, pd)` participate ("all nodes with
+//!   smaller `r(i, j)` than `r(i, pd)` are ignored").
+//! * Nodes are processed in descending `r(i, ·)` order; an edge `u → v` is
+//!   *downhill* when `u` precedes `v` in that order. We break score ties by
+//!   ascending node id so the order is a strict total order — without this,
+//!   tied nodes would be mutually unreachable and the DP could miss paths
+//!   the paper's prose intends to allow.
+//! * `C_s(i, v) = max_{u →ᵢ v} C_{s'}(i, u) + r(Q, v)` with `s' = s` when
+//!   `v ∈ H` (it consumes no budget) and `s' = s − 1` otherwise.
+
+use ceps_graph::{CsrGraph, NodeId};
+
+/// How the path-length DP counts nodes that are already in the output
+/// subgraph `H` — an ablation switch for the paper's node-sharing design.
+///
+/// The paper's rule ([`SharingRule::FreeSharedNodes`]) is that a node
+/// already in `H` consumes no budget (`s' = s` in Table 3), which makes
+/// paths *prefer* to overlap and is the mechanism keeping the subgraph
+/// connected within budget. [`SharingRule::CountAllNodes`] disables that
+/// (every node on the path costs one unit), so the ablation benchmark can
+/// quantify what sharing buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingRule {
+    /// Nodes already in `H` are free (the paper's Table 3 rule).
+    #[default]
+    FreeSharedNodes,
+    /// Every path node costs one length unit, shared or not.
+    CountAllNodes,
+}
+
+/// Inputs to one path discovery.
+#[derive(Debug, Clone, Copy)]
+pub struct PathQuery<'a> {
+    /// The big graph `W`.
+    pub graph: &'a CsrGraph,
+    /// Individual scores `r(i, ·)` of the source being connected.
+    pub individual: &'a [f64],
+    /// Combined scores `r(Q, ·)` — the goodness being captured.
+    pub combined: &'a [f64],
+    /// Membership mask of the partially built output subgraph `H`.
+    pub in_subgraph: &'a [bool],
+    /// The source query node `q_i`.
+    pub source: NodeId,
+    /// The destination node `pd`.
+    pub dest: NodeId,
+    /// Maximum allowable path length `len` (new-node count).
+    pub max_new_nodes: usize,
+    /// Node-sharing ablation switch (the paper's rule by default).
+    pub sharing: SharingRule,
+}
+
+/// Strict total "downhill" order key: higher score first, ties by id.
+#[inline]
+fn key(individual: &[f64], v: u32) -> (f64, std::cmp::Reverse<u32>) {
+    (individual[v as usize], std::cmp::Reverse(v))
+}
+
+/// Discovers the key path, returning its nodes `source..=dest`, or `None`
+/// when no downhill path within the length bound exists (including the
+/// degenerate case `source == dest`).
+pub fn discover_key_path(q: PathQuery<'_>) -> Option<Vec<NodeId>> {
+    if q.source == q.dest {
+        return None;
+    }
+    let n = q.graph.node_count();
+    debug_assert_eq!(q.individual.len(), n);
+    debug_assert_eq!(q.combined.len(), n);
+    debug_assert_eq!(q.in_subgraph.len(), n);
+
+    let dest_key = key(q.individual, q.dest.0);
+    let src_key = key(q.individual, q.source.0);
+    if src_key < dest_key {
+        return None; // the source itself is "below" pd: no downhill path
+    }
+
+    // Candidate set: nodes between the source and pd in the downhill order.
+    let mut candidates: Vec<u32> = (0..n as u32)
+        .filter(|&v| {
+            let kv = key(q.individual, v);
+            kv >= dest_key && kv <= src_key
+        })
+        .collect();
+    candidates.sort_unstable_by(|&a, &b| {
+        key(q.individual, b)
+            .partial_cmp(&key(q.individual, a))
+            .expect("finite scores")
+    });
+    // Positions: candidates[0] == source, last == dest.
+    debug_assert_eq!(candidates.first(), Some(&q.source.0));
+    debug_assert_eq!(candidates.last(), Some(&q.dest.0));
+    let m = candidates.len();
+    let mut pos_of = vec![u32::MAX; n];
+    for (p, &v) in candidates.iter().enumerate() {
+        pos_of[v as usize] = p as u32;
+    }
+
+    let len = q.max_new_nodes;
+    let width = len + 1;
+    const NEG: f64 = f64::NEG_INFINITY;
+    // dp[p * width + s] = best captured goodness of a prefix path ending at
+    // candidate p using exactly s new nodes; parent stores (prev_pos, prev_s).
+    let mut dp = vec![NEG; m * width];
+    let mut parent = vec![(u32::MAX, u32::MAX); m * width];
+
+    let share_free = q.sharing == SharingRule::FreeSharedNodes;
+    let s0 = usize::from(!(share_free && q.in_subgraph[q.source.index()]));
+    if s0 > len {
+        return None;
+    }
+    dp[s0] = q.combined[q.source.index()]; // position 0 is the source
+
+    for p in 1..m {
+        let v = candidates[p];
+        let v_free = share_free && q.in_subgraph[v as usize];
+        let gain = q.combined[v as usize];
+        let s_min = usize::from(!v_free);
+        for (u, _w) in q.graph.neighbors(NodeId(v)) {
+            let up = pos_of[u.index()];
+            if up == u32::MAX || up as usize >= p {
+                continue; // not a candidate, or not downhill into v
+            }
+            let ub = up as usize * width;
+            for s in s_min..width {
+                let s_prev = if v_free { s } else { s - 1 };
+                let cand = dp[ub + s_prev];
+                if cand == NEG {
+                    continue;
+                }
+                let val = cand + gain;
+                if val > dp[p * width + s] {
+                    dp[p * width + s] = val;
+                    parent[p * width + s] = (up, s_prev as u32);
+                }
+            }
+        }
+    }
+
+    // Best s >= 1 by goodness-per-new-node at the destination.
+    let dest_pos = m - 1;
+    let mut best: Option<(usize, f64)> = None;
+    for s in 1..width {
+        let v = dp[dest_pos * width + s];
+        if v == NEG {
+            continue;
+        }
+        let ratio = v / s as f64;
+        match best {
+            Some((_, br)) if br >= ratio => {}
+            _ => best = Some((s, ratio)),
+        }
+    }
+    let (mut s, _) = best?;
+
+    // Backtrack.
+    let mut path = Vec::new();
+    let mut p = dest_pos;
+    loop {
+        path.push(NodeId(candidates[p]));
+        if p == 0 {
+            break;
+        }
+        let (pp, ps) = parent[p * width + s];
+        debug_assert_ne!(pp, u32::MAX, "broken parent chain");
+        p = pp as usize;
+        s = ps as usize;
+    }
+    path.reverse();
+    debug_assert_eq!(path.first(), Some(&q.source));
+    debug_assert_eq!(path.last(), Some(&q.dest));
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    /// Diamond: 0 − {1, 2} − 3 where node 1 outranks node 2 in combined
+    /// goodness; individual scores strictly decrease 0 > 1 > 2 > 3.
+    fn diamond() -> (CsrGraph, Vec<f64>, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let individual = vec![0.9, 0.5, 0.4, 0.2];
+        let combined = vec![0.8, 0.6, 0.1, 0.3];
+        (g, individual, combined)
+    }
+
+    #[test]
+    fn picks_the_higher_goodness_branch() {
+        let (g, ind, comb) = diamond();
+        let in_h = vec![false; 4];
+        let path = discover_key_path(PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(3),
+            max_new_nodes: 4,
+            sharing: SharingRule::default(),
+        })
+        .unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn shared_nodes_are_free_and_attract_the_path() {
+        // Make the low-goodness branch node 2 already part of H: the path
+        // through it captures 0.8 + 0.1 + 0.3 over s = 2 new nodes
+        // (0 and 3) = 0.6 per node, beating branch 1's
+        // (0.8 + 0.6 + 0.3) / 3 ≈ 0.567.
+        let (g, ind, comb) = diamond();
+        let mut in_h = vec![false; 4];
+        in_h[2] = true;
+        let path = discover_key_path(PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(3),
+            max_new_nodes: 4,
+            sharing: SharingRule::default(),
+        })
+        .unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn counting_shared_nodes_removes_the_sharing_incentive() {
+        // Same setup as above, but under the ablation rule the path through
+        // the already-present node 2 costs a full 3 new nodes, so the
+        // higher-goodness branch via node 1 wins again.
+        let (g, ind, comb) = diamond();
+        let mut in_h = vec![false; 4];
+        in_h[2] = true;
+        let path = discover_key_path(PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(3),
+            max_new_nodes: 4,
+            sharing: SharingRule::CountAllNodes,
+        })
+        .unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn respects_length_bound() {
+        // Path graph 0-1-2-3 requires 4 new nodes; bound of 3 forbids it.
+        let mut b = GraphBuilder::new();
+        for i in 0..3u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let ind = vec![0.9, 0.6, 0.4, 0.2];
+        let comb = vec![0.5; 4];
+        let in_h = vec![false; 4];
+        let q = PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(3),
+            max_new_nodes: 3,
+            sharing: SharingRule::default(),
+        };
+        assert!(discover_key_path(q).is_none());
+        let q4 = PathQuery {
+            max_new_nodes: 4,
+            ..q
+        };
+        assert_eq!(
+            discover_key_path(q4).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn uphill_destination_is_unreachable() {
+        let (g, mut ind, comb) = diamond();
+        ind[3] = 0.95; // pd now outranks the source
+        let in_h = vec![false; 4];
+        let q = PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(3),
+            max_new_nodes: 4,
+            sharing: SharingRule::default(),
+        };
+        assert!(discover_key_path(q).is_none());
+    }
+
+    #[test]
+    fn disconnected_destination_is_none() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let ind = vec![0.9, 0.5, 0.3, 0.1];
+        let comb = vec![0.5; 4];
+        let in_h = vec![false; 4];
+        let q = PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(3),
+            max_new_nodes: 4,
+            sharing: SharingRule::default(),
+        };
+        assert!(discover_key_path(q).is_none());
+    }
+
+    #[test]
+    fn source_equals_dest_is_none() {
+        let (g, ind, comb) = diamond();
+        let in_h = vec![false; 4];
+        let q = PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(0),
+            max_new_nodes: 4,
+            sharing: SharingRule::default(),
+        };
+        assert!(discover_key_path(q).is_none());
+    }
+
+    #[test]
+    fn tied_scores_still_reachable_via_id_tiebreak() {
+        // 0-1-2 path with a tie between nodes 1 and 2: the id tie-break
+        // orders 1 before 2, so 0 → 1 → 2 stays downhill.
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let ind = vec![0.9, 0.4, 0.4];
+        let comb = vec![0.5; 3];
+        let in_h = vec![false; 3];
+        let q = PathQuery {
+            graph: &g,
+            individual: &ind,
+            combined: &comb,
+            in_subgraph: &in_h,
+            source: NodeId(0),
+            dest: NodeId(2),
+            max_new_nodes: 3,
+            sharing: SharingRule::default(),
+        };
+        assert_eq!(
+            discover_key_path(q).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+}

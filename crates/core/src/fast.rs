@@ -1,0 +1,231 @@
+//! Fast CePS — the pre-partition speedup (Sec. 6, Table 5).
+//!
+//! Computing the individual scores means solving a linear system over the
+//! whole graph; on the paper's DBLP graph that took 40–60 s per query set.
+//! The fix exploits how *skewed* RWR scores are: most of a query's mass
+//! stays near it, so:
+//!
+//! * **Step 0** (offline, once): partition `W` into `p` pieces — here with
+//!   [`ceps_partition`], the paper used METIS;
+//! * **Step 1** (per query): take the union of the partitions containing
+//!   any query node as a smaller graph `nW`;
+//! * **Step 2**: run plain CePS on `nW` and translate the result back.
+//!
+//! Quality loss is measured by `RelRatio` (Eq. 19, [`crate::eval`]); the
+//! paper reports ~10% loss for a ~6:1 speedup.
+
+use ceps_graph::{CsrGraph, NodeId, Subgraph};
+use ceps_partition::{partition_graph, PartitionConfig, Partitioning};
+
+use crate::pipeline::{CepsEngine, CepsResult};
+use crate::{CepsConfig, CepsError, Result};
+
+/// A graph pre-partitioned for fast center-piece queries.
+///
+/// ```
+/// use ceps_core::{CepsConfig, FastCeps};
+/// use ceps_graph::{GraphBuilder, NodeId};
+///
+/// // Two triangles joined by a bridge.
+/// let mut b = GraphBuilder::new();
+/// for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)] {
+///     b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
+/// }
+/// let graph = b.build().unwrap();
+///
+/// // Step 0 (offline): partition once; then answer many query sets.
+/// let fast = FastCeps::new(&graph, CepsConfig::default().budget(2), 2, 0).unwrap();
+/// let result = fast.run(&[NodeId(0), NodeId(1)]).unwrap();
+/// assert!(result.subgraph.contains(NodeId(0)));
+/// assert!(result.reduced_node_count <= graph.node_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastCeps<'g> {
+    graph: &'g CsrGraph,
+    partitioning: Partitioning,
+    config: CepsConfig,
+}
+
+/// Result of a Fast CePS run.
+#[derive(Debug, Clone)]
+pub struct FastCepsResult {
+    /// The center-piece subgraph, in **original** graph ids.
+    pub subgraph: Subgraph,
+    /// Combined scores on the shrunken graph, scattered back to original
+    /// ids (nodes outside the kept partitions get 0.0).
+    pub combined: Vec<f64>,
+    /// How many nodes the shrunken graph `nW` had.
+    pub reduced_node_count: usize,
+    /// How many edges `nW` had.
+    pub reduced_edge_count: usize,
+    /// The inner result on `nW` (ids are `nW`-local; `back[new] = old`).
+    pub inner: CepsResult,
+    /// The `nW`→`W` id mapping.
+    pub back: Vec<NodeId>,
+}
+
+impl<'g> FastCeps<'g> {
+    /// Step 0: pre-partitions `graph` into `partitions` pieces (the one-time
+    /// offline cost of Table 5).
+    ///
+    /// # Errors
+    /// Partitioner validation errors, or CePS config shape errors.
+    pub fn new(
+        graph: &'g CsrGraph,
+        config: CepsConfig,
+        partitions: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let pcfg = PartitionConfig {
+            seed,
+            ..PartitionConfig::with_parts(partitions)
+        };
+        let partitioning = partition_graph(graph, &pcfg)?;
+        Ok(FastCeps {
+            graph,
+            partitioning,
+            config,
+        })
+    }
+
+    /// Builds from an existing partitioning (e.g. shared across configs).
+    pub fn with_partitioning(
+        graph: &'g CsrGraph,
+        config: CepsConfig,
+        partitioning: Partitioning,
+    ) -> Self {
+        FastCeps {
+            graph,
+            partitioning,
+            config,
+        }
+    }
+
+    /// The stored partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Steps 1–2: runs CePS on the union of the query-covering partitions.
+    ///
+    /// # Errors
+    /// Query validation errors as in [`CepsEngine::run`].
+    pub fn run(&self, queries: &[NodeId]) -> Result<FastCepsResult> {
+        if queries.is_empty() {
+            return Err(CepsError::NoQueries);
+        }
+        for &q in queries {
+            self.graph.check_node(q)?;
+        }
+
+        // Step 1: the covering subgraph, materialized with dense ids.
+        let cover = self.partitioning.covering_subgraph(queries);
+        let (reduced, back) = cover.into_graph(self.graph)?;
+
+        // Forward-map the queries into nW ids.
+        let mut fwd = vec![u32::MAX; self.graph.node_count()];
+        for (new, old) in back.iter().enumerate() {
+            fwd[old.index()] = new as u32;
+        }
+        let reduced_queries: Vec<NodeId> = queries.iter().map(|q| NodeId(fwd[q.index()])).collect();
+
+        // Step 2: plain CePS on nW.
+        let engine = CepsEngine::new(&reduced, self.config)?;
+        let inner = engine.run(&reduced_queries)?;
+
+        // Translate back to original ids.
+        let subgraph = Subgraph::from_nodes(inner.subgraph.nodes().map(|v| back[v.index()]));
+        let mut combined = vec![0f64; self.graph.node_count()];
+        for (new, &score) in inner.combined.iter().enumerate() {
+            combined[back[new].index()] = score;
+        }
+
+        Ok(FastCepsResult {
+            subgraph,
+            combined,
+            reduced_node_count: reduced.node_count(),
+            reduced_edge_count: reduced.edge_count(),
+            inner,
+            back,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    /// Four 6-cliques in a weak ring — clean partition structure.
+    fn clique_ring() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        let size = 6u32;
+        for k in 0..4u32 {
+            let base = k * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    b.add_edge(NodeId(base + i), NodeId(base + j), 3.0).unwrap();
+                }
+            }
+            let next = ((k + 1) % 4) * size;
+            b.add_edge(NodeId(base), NodeId(next + 1), 0.1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fast_run_covers_queries_and_shrinks_graph() {
+        let g = clique_ring();
+        let cfg = CepsConfig::default().budget(4);
+        let fast = FastCeps::new(&g, cfg, 4, 7).unwrap();
+        // Queries inside a single clique: nW should be about one part.
+        let res = fast.run(&[NodeId(0), NodeId(3)]).unwrap();
+        assert!(res.reduced_node_count < g.node_count());
+        assert!(res.subgraph.contains(NodeId(0)));
+        assert!(res.subgraph.contains(NodeId(3)));
+        // Scores for nodes outside the cover are zero.
+        let cover = fast
+            .partitioning()
+            .covering_subgraph(&[NodeId(0), NodeId(3)]);
+        for v in g.nodes() {
+            if !cover.contains(v) {
+                assert_eq!(res.combined[v.index()], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_in_different_parts_union_their_partitions() {
+        let g = clique_ring();
+        let cfg = CepsConfig::default().budget(4);
+        let fast = FastCeps::new(&g, cfg, 4, 7).unwrap();
+        let single = fast.run(&[NodeId(0)]).unwrap();
+        let double = fast.run(&[NodeId(0), NodeId(13)]).unwrap();
+        assert!(double.reduced_node_count >= single.reduced_node_count);
+        assert!(double.subgraph.contains(NodeId(13)));
+    }
+
+    #[test]
+    fn one_partition_equals_plain_ceps() {
+        let g = clique_ring();
+        let cfg = CepsConfig::default().budget(4);
+        let fast = FastCeps::new(&g, cfg, 1, 0).unwrap();
+        let fres = fast.run(&[NodeId(1), NodeId(8)]).unwrap();
+        let plain = CepsEngine::new(&g, cfg)
+            .unwrap()
+            .run(&[NodeId(1), NodeId(8)])
+            .unwrap();
+        let f_nodes: Vec<NodeId> = fres.subgraph.nodes().collect();
+        let p_nodes: Vec<NodeId> = plain.subgraph.nodes().collect();
+        assert_eq!(f_nodes, p_nodes);
+        assert_eq!(fres.reduced_node_count, g.node_count());
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_queries() {
+        let g = clique_ring();
+        let fast = FastCeps::new(&g, CepsConfig::default(), 2, 0).unwrap();
+        assert!(fast.run(&[]).is_err());
+        assert!(fast.run(&[NodeId(999)]).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! The end-to-end CePS pipeline (Table 1).
+
+use ceps_graph::{normalize::Normalization, CsrGraph, GraphError, NodeId, Subgraph, Transition};
+use ceps_rwr::{combine, RwrEngine, ScoreMatrix};
+
+use crate::config::{CombineMethod, ScoreMethod};
+use crate::extract::{extract, ExtractOutcome, ExtractParams, KeyPath, SharingRule};
+use crate::{CepsConfig, CepsError, Result};
+
+/// A ready-to-query CePS engine over one graph.
+///
+/// Construction performs the normalization (Eqs. 5/10) once; every
+/// [`run`](CepsEngine::run) reuses it. This mirrors how the paper's system
+/// is "operational": the graph is loaded and normalized up front, queries
+/// arrive online.
+#[derive(Debug, Clone)]
+pub struct CepsEngine<'g> {
+    graph: &'g CsrGraph,
+    transition: Transition,
+    config: CepsConfig,
+}
+
+/// Everything a CePS run produces.
+#[derive(Debug, Clone)]
+pub struct CepsResult {
+    /// The center-piece subgraph `H` (query nodes always included).
+    pub subgraph: Subgraph,
+    /// Individual scores `R` (one row per query) — kept because the
+    /// evaluation metrics and the `K_softAND` case studies re-read them.
+    pub scores: ScoreMatrix,
+    /// Combined scores `r(Q, ·)` under the configured query type.
+    pub combined: Vec<f64>,
+    /// The resolved number of active sources `k`.
+    pub k: usize,
+    /// Destination-node trace (Eq. 11 argmax order).
+    pub destinations: Vec<NodeId>,
+    /// The key paths that built `H`.
+    pub paths: Vec<KeyPath>,
+    /// Destinations added without a connecting path (see
+    /// [`crate::ExtractOutcome::orphan_destinations`]).
+    pub orphan_destinations: Vec<NodeId>,
+}
+
+impl CepsResult {
+    /// Total extracted goodness `CF(H) = Σ_{j ∈ H} r(Q, j)` (Sec. 5,
+    /// "EXTRACTED GOODNESS").
+    pub fn extracted_goodness(&self) -> f64 {
+        self.subgraph
+            .nodes()
+            .map(|v| self.combined[v.index()])
+            .sum()
+    }
+
+    /// The `b` highest combined-score nodes **ignoring** connectivity — the
+    /// unconstrained maximizer of Eq. 2 the paper contrasts EXTRACT with
+    /// ("the resulting subgraph H might be a collection of isolated
+    /// nodes").
+    pub fn top_scoring_nodes(&self, b: usize) -> Vec<NodeId> {
+        let mut order: Vec<u32> = (0..self.combined.len() as u32).collect();
+        order.sort_unstable_by(|&x, &y| {
+            self.combined[y as usize]
+                .total_cmp(&self.combined[x as usize])
+                .then(x.cmp(&y))
+        });
+        order.into_iter().take(b).map(NodeId).collect()
+    }
+}
+
+impl<'g> CepsEngine<'g> {
+    /// Builds an engine: validates the config shape and normalizes the
+    /// adjacency matrix.
+    ///
+    /// # Errors
+    /// [`CepsError::BadAlpha`] or RWR validation errors. (Query-dependent
+    /// checks happen in [`run`](CepsEngine::run).)
+    pub fn new(graph: &'g CsrGraph, config: CepsConfig) -> Result<Self> {
+        if graph.node_count() == 0 {
+            return Err(CepsError::Graph(GraphError::EmptyGraph));
+        }
+        if !(config.alpha.is_finite() && config.alpha >= 0.0) {
+            return Err(CepsError::BadAlpha {
+                alpha: config.alpha,
+            });
+        }
+        config.rwr.validate()?;
+        let normalization = if config.manifold_ranking {
+            Normalization::Symmetric
+        } else {
+            Normalization::DegreePenalized {
+                alpha: config.alpha,
+            }
+        };
+        let transition = Transition::new(graph, normalization);
+        Ok(CepsEngine {
+            graph,
+            transition,
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CepsConfig {
+        &self.config
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The normalized operator (needed by edge-score evaluation).
+    pub fn transition(&self) -> &Transition {
+        &self.transition
+    }
+
+    /// Runs the full pipeline (Table 1) for one query set.
+    ///
+    /// # Errors
+    /// Validation errors for the query set ([`CepsError::NoQueries`],
+    /// [`CepsError::DuplicateQuery`], [`CepsError::BadSoftAndK`], bad node
+    /// ids) and propagated solver errors.
+    pub fn run(&self, queries: &[NodeId]) -> Result<CepsResult> {
+        self.validate_queries(queries)?;
+        self.config.validate(queries.len())?;
+
+        // Step 1: individual score calculation (Eq. 4).
+        let scores = self.solve_scores(queries)?;
+
+        // Step 2: combining individual scores (Eqs. 6-9 or Eq. 21).
+        let k = self.config.query.soft_and_k(queries.len())?;
+        let combined = self.combine(&scores, k)?;
+
+        // Step 3: EXTRACT (Tables 3-4).
+        let len = self.config.effective_path_len(k);
+        let ExtractOutcome {
+            subgraph,
+            destinations,
+            paths,
+            orphan_destinations,
+        } = extract(ExtractParams {
+            graph: self.graph,
+            scores: &scores,
+            combined: &combined,
+            k,
+            budget: self.config.budget,
+            max_path_len: len,
+            sharing: SharingRule::FreeSharedNodes,
+        });
+
+        Ok(CepsResult {
+            subgraph,
+            scores,
+            combined,
+            k,
+            destinations,
+            paths,
+            orphan_destinations,
+        })
+    }
+
+    /// Step 1 only: the individual score matrix `R` for a query set,
+    /// without combination or extraction. Used by the automatic-`k`
+    /// inference, which tries many combinations over one solve.
+    ///
+    /// # Errors
+    /// Query validation and solver errors as in [`run`](CepsEngine::run).
+    pub fn individual_scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        self.validate_queries(queries)?;
+        self.config.rwr.validate()?;
+        self.solve_scores(queries)
+    }
+
+    /// Dispatches Step 1 to the configured solver.
+    fn solve_scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        match self.config.score_method {
+            ScoreMethod::Iterative => {
+                let engine = RwrEngine::new(&self.transition, self.config.rwr)?;
+                Ok(engine.solve_many(queries)?)
+            }
+            ScoreMethod::Push { epsilon } => {
+                let rows = queries
+                    .iter()
+                    .map(|&q| {
+                        ceps_rwr::push::forward_push(
+                            &self.transition,
+                            self.config.rwr.c,
+                            q,
+                            epsilon,
+                        )
+                        .map(|r| r.scores)
+                    })
+                    .collect::<ceps_rwr::Result<Vec<_>>>()?;
+                Ok(ScoreMatrix::new(queries.to_vec(), rows)?)
+            }
+        }
+    }
+
+    /// Steps 1–2 only: the combined score vector without extraction.
+    /// The evaluation metrics (Eq. 13) and Fast CePS's `RelRatio`
+    /// comparison need scores computed on the *whole* graph even when the
+    /// subgraph came from a partition.
+    ///
+    /// # Errors
+    /// As for [`run`](CepsEngine::run).
+    pub fn combined_scores(&self, queries: &[NodeId]) -> Result<(ScoreMatrix, Vec<f64>)> {
+        self.validate_queries(queries)?;
+        self.config.validate(queries.len())?;
+        let scores = self.solve_scores(queries)?;
+        let k = self.config.query.soft_and_k(queries.len())?;
+        let combined = self.combine(&scores, k)?;
+        Ok((scores, combined))
+    }
+
+    /// Dispatches Step 2 to the configured combinator.
+    fn combine(&self, scores: &ScoreMatrix, k: usize) -> Result<Vec<f64>> {
+        match self.config.combine_method {
+            CombineMethod::MeetingProbability => Ok(combine::combine_scores(scores, k)?),
+            CombineMethod::OrderStatistic => {
+                Ok(ceps_rwr::variants::combine_order_statistic(scores, k)?)
+            }
+        }
+    }
+
+    fn validate_queries(&self, queries: &[NodeId]) -> Result<()> {
+        if queries.is_empty() {
+            return Err(CepsError::NoQueries);
+        }
+        for (i, &q) in queries.iter().enumerate() {
+            self.graph.check_node(q)?;
+            if queries[..i].contains(&q) {
+                return Err(CepsError::DuplicateQuery { node: q });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryType;
+    use ceps_graph::GraphBuilder;
+
+    /// Two 4-cliques bridged through node 8 (the planted center-piece).
+    fn bridged_cliques() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(NodeId(base + i), NodeId(base + j), 2.0).unwrap();
+                }
+            }
+        }
+        b.add_edge(NodeId(0), NodeId(8), 3.0).unwrap();
+        b.add_edge(NodeId(4), NodeId(8), 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_the_planted_center_piece() {
+        let g = bridged_cliques();
+        let cfg = CepsConfig::default().budget(3);
+        let engine = CepsEngine::new(&g, cfg).unwrap();
+        let res = engine.run(&[NodeId(1), NodeId(5)]).unwrap();
+        assert!(
+            res.subgraph.contains(NodeId(8)),
+            "center-piece missed: {:?}",
+            res.subgraph
+        );
+        assert!(res.subgraph.is_connected(&g));
+        assert!(res.extracted_goodness() > 0.0);
+    }
+
+    #[test]
+    fn or_query_spreads_and_query_concentrates() {
+        let g = bridged_cliques();
+        let and_cfg = CepsConfig::default().budget(4).query_type(QueryType::And);
+        let or_cfg = CepsConfig::default().budget(4).query_type(QueryType::Or);
+        let queries = [NodeId(1), NodeId(5)];
+        let and_res = CepsEngine::new(&g, and_cfg).unwrap().run(&queries).unwrap();
+        let or_res = CepsEngine::new(&g, or_cfg).unwrap().run(&queries).unwrap();
+        assert_eq!(and_res.k, 2);
+        assert_eq!(or_res.k, 1);
+        // AND must include the unique bridge; OR is free to stay inside the
+        // cliques where single-query scores are highest.
+        assert!(and_res.subgraph.contains(NodeId(8)));
+        // OR scores dominate AND scores pointwise.
+        for j in 0..g.node_count() {
+            assert!(or_res.combined[j] >= and_res.combined[j] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn validates_query_sets() {
+        let g = bridged_cliques();
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        assert!(matches!(engine.run(&[]), Err(CepsError::NoQueries)));
+        assert!(matches!(
+            engine.run(&[NodeId(0), NodeId(0)]),
+            Err(CepsError::DuplicateQuery { .. })
+        ));
+        assert!(engine.run(&[NodeId(99)]).is_err());
+    }
+
+    #[test]
+    fn single_query_works_like_personalized_ranking() {
+        let g = bridged_cliques();
+        let engine = CepsEngine::new(&g, CepsConfig::default().budget(3)).unwrap();
+        let res = engine.run(&[NodeId(0)]).unwrap();
+        assert!(res.subgraph.contains(NodeId(0)));
+        assert!(res.subgraph.len() <= 1 + 3 + 20); // queries + budget + slack
+        assert!(res.subgraph.is_connected(&g));
+    }
+
+    #[test]
+    fn top_scoring_nodes_ranks_by_combined() {
+        let g = bridged_cliques();
+        let engine = CepsEngine::new(&g, CepsConfig::default().budget(2)).unwrap();
+        let res = engine.run(&[NodeId(1), NodeId(5)]).unwrap();
+        let top = res.top_scoring_nodes(3);
+        assert_eq!(top.len(), 3);
+        for w in top.windows(2) {
+            assert!(res.combined[w[0].index()] >= res.combined[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn combined_scores_match_run() {
+        let g = bridged_cliques();
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        let queries = [NodeId(1), NodeId(5)];
+        let (_, stand_alone) = engine.combined_scores(&queries).unwrap();
+        let res = engine.run(&queries).unwrap();
+        assert_eq!(stand_alone, res.combined);
+    }
+
+    #[test]
+    fn soft_and_interpolates_between_or_and_and() {
+        let g = bridged_cliques();
+        let queries = [NodeId(1), NodeId(5), NodeId(2)];
+        let mk = |qt| {
+            CepsEngine::new(&g, CepsConfig::default().budget(3).query_type(qt))
+                .unwrap()
+                .run(&queries)
+                .unwrap()
+        };
+        let or = mk(QueryType::Or);
+        let soft = mk(QueryType::SoftAnd(2));
+        let and = mk(QueryType::And);
+        for j in 0..g.node_count() {
+            assert!(soft.combined[j] <= or.combined[j] + 1e-12);
+            assert!(soft.combined[j] + 1e-12 >= and.combined[j]);
+        }
+    }
+}

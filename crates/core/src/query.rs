@@ -1,0 +1,104 @@
+//! Query types: `AND`, `OR` and the general `K_softAND` (Sec. 4.2).
+
+use crate::{CepsError, Result};
+
+/// How individual closeness scores combine across the query set.
+///
+/// The paper's key observation is that all three are one family
+/// (Sec. 4.2): `AND` is `Q_softAND` and `OR` is `1_softAND`. The enum keeps
+/// the user-facing names; [`QueryType::soft_and_k`] resolves each to its
+/// effective `k` for a given query count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// Nodes must be close to **all** `Q` queries (Eq. 6).
+    And,
+    /// Nodes must be close to **at least one** query (Eq. 7).
+    Or,
+    /// Nodes must be close to **at least `k`** of the queries (Eqs. 8–9).
+    SoftAnd(
+        /// The softAND coefficient `k`.
+        usize,
+    ),
+}
+
+impl QueryType {
+    /// The effective `K_softAND` coefficient for `query_count` queries.
+    ///
+    /// This is also the number of *active sources* per destination node in
+    /// EXTRACT (Sec. 5, footnote 2: "the number of active sources is
+    /// actually k for all query types").
+    ///
+    /// # Errors
+    /// [`CepsError::NoQueries`] for an empty query set;
+    /// [`CepsError::BadSoftAndK`] if a `SoftAnd(k)` is outside `1..=Q`.
+    pub fn soft_and_k(self, query_count: usize) -> Result<usize> {
+        if query_count == 0 {
+            return Err(CepsError::NoQueries);
+        }
+        match self {
+            QueryType::And => Ok(query_count),
+            QueryType::Or => Ok(1),
+            QueryType::SoftAnd(k) => {
+                if k == 0 || k > query_count {
+                    Err(CepsError::BadSoftAndK { k, query_count })
+                } else {
+                    Ok(k)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for QueryType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryType::And => write!(f, "AND"),
+            QueryType::Or => write!(f, "OR"),
+            QueryType::SoftAnd(k) => write!(f, "{k}_softAND"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_is_q_soft_and() {
+        assert_eq!(QueryType::And.soft_and_k(4).unwrap(), 4);
+        assert_eq!(QueryType::And.soft_and_k(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn or_is_one_soft_and() {
+        assert_eq!(QueryType::Or.soft_and_k(4).unwrap(), 1);
+    }
+
+    #[test]
+    fn soft_and_validates_k() {
+        assert_eq!(QueryType::SoftAnd(2).soft_and_k(4).unwrap(), 2);
+        assert!(matches!(
+            QueryType::SoftAnd(0).soft_and_k(4),
+            Err(CepsError::BadSoftAndK { .. })
+        ));
+        assert!(matches!(
+            QueryType::SoftAnd(5).soft_and_k(4),
+            Err(CepsError::BadSoftAndK { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_query_set_rejected() {
+        assert!(matches!(
+            QueryType::And.soft_and_k(0),
+            Err(CepsError::NoQueries)
+        ));
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(QueryType::And.to_string(), "AND");
+        assert_eq!(QueryType::Or.to_string(), "OR");
+        assert_eq!(QueryType::SoftAnd(2).to_string(), "2_softAND");
+    }
+}

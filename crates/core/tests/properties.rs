@@ -1,0 +1,134 @@
+//! Property tests for ceps-core: EXTRACT, the pipeline contract under both
+//! score methods, and the auto-k inference bounds.
+
+use ceps_core::{infer_soft_and_k, CepsConfig, CepsEngine, QueryType};
+use ceps_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Connected random graph: spanning path + chords.
+fn arb_graph() -> impl Strategy<Value = ceps_graph::CsrGraph> {
+    (4usize..=24).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n, 0.2f64..8.0), 0..3 * n);
+        (Just(n), chords).prop_map(|(n, chords)| {
+            let mut b = GraphBuilder::with_nodes(n);
+            for i in 0..n - 1 {
+                b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1.0)
+                    .unwrap();
+            }
+            for (a, c, w) in chords {
+                if a != c {
+                    b.add_edge(NodeId(a as u32), NodeId(c as u32), w).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Distinct query picks within the graph.
+fn queries_for(g: &ceps_graph::CsrGraph, picks: &[usize]) -> Vec<NodeId> {
+    let mut qs: Vec<NodeId> = picks
+        .iter()
+        .map(|&p| NodeId((p % g.node_count()) as u32))
+        .collect();
+    qs.sort_unstable();
+    qs.dedup();
+    qs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structural accounting of an AND run: fragmentation is bounded by
+    /// the orphan count (each path is connected and touches its source;
+    /// only orphan destinations can open new components), and with no
+    /// orphans the subgraph is fully connected.
+    #[test]
+    fn and_subgraph_fragmentation_bounded_by_orphans(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0usize..24, 2..4),
+        budget in 1usize..10,
+    ) {
+        let queries = queries_for(&g, &picks);
+        prop_assume!(queries.len() >= 2);
+        let cfg = CepsConfig::default().budget(budget).query_type(QueryType::And);
+        let res = CepsEngine::new(&g, cfg).unwrap().run(&queries).unwrap();
+        let components = res.subgraph.component_count(&g);
+        // Provable bound: H starts as ≤ Q query singletons; every key path
+        // attaches to its source (never increasing the count) and every
+        // orphan adds at most one component.
+        prop_assert!(
+            components <= queries.len() + res.orphan_destinations.len(),
+            "{components} components with {} queries and {} orphans",
+            queries.len(),
+            res.orphan_destinations.len()
+        );
+    }
+
+    /// Push scoring approximates iterative scoring: combined scores agree
+    /// within a small tolerance and the pipeline contract holds. (Exact
+    /// subgraph equality is NOT asserted — push perturbs exact score ties
+    /// on symmetric graphs, legitimately flipping tie-breaks.)
+    #[test]
+    fn push_and_iterative_scores_agree(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0usize..24, 2..4),
+    ) {
+        let queries = queries_for(&g, &picks);
+        prop_assume!(queries.len() >= 2);
+        let base = CepsConfig::default().budget(5);
+        // Iterate beyond m=50 so truncation error is far below the push
+        // threshold and both solvers approximate Eq. 12 well.
+        let mut tight = base;
+        tight.rwr.max_iterations = 200;
+        let it = CepsEngine::new(&g, tight).unwrap().run(&queries).unwrap();
+        let mut pushed_cfg = base.push_scores(1e-9);
+        pushed_cfg.rwr.max_iterations = 200;
+        let pu = CepsEngine::new(&g, pushed_cfg).unwrap().run(&queries).unwrap();
+        for j in 0..g.node_count() {
+            let d = (it.combined[j] - pu.combined[j]).abs();
+            prop_assert!(d < 1e-6, "node {j}: combined differs by {d}");
+        }
+        for &q in &queries {
+            prop_assert!(pu.subgraph.contains(q));
+        }
+    }
+
+    /// auto-k always returns a coefficient in 1..=Q with Q-1 rank entries.
+    #[test]
+    fn auto_k_bounds(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0usize..24, 1..5),
+    ) {
+        let queries = queries_for(&g, &picks);
+        let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+        let inf = infer_soft_and_k(&engine, &queries).unwrap();
+        prop_assert!(inf.k >= 1 && inf.k <= queries.len(), "k = {} of Q = {}", inf.k, queries.len());
+        if queries.len() > 1 {
+            prop_assert_eq!(inf.mean_ranks.len(), queries.len() - 1);
+            prop_assert!(inf.mean_ranks.iter().all(|&r| r >= 1.0));
+        }
+    }
+
+    /// Explanations account for every extracted path exactly once.
+    #[test]
+    fn explanations_partition_the_paths(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0usize..24, 2..4),
+        budget in 1usize..8,
+    ) {
+        let queries = queries_for(&g, &picks);
+        prop_assume!(queries.len() >= 2);
+        let cfg = CepsConfig::default().budget(budget);
+        let res = CepsEngine::new(&g, cfg).unwrap().run(&queries).unwrap();
+        let expl = ceps_core::explain::explain(&res);
+        let total: usize = expl.destinations.iter().map(|d| d.path_indices.len()).sum();
+        prop_assert_eq!(total, res.paths.len());
+        let mut seen = std::collections::HashSet::new();
+        for d in &expl.destinations {
+            for &pi in &d.path_indices {
+                prop_assert!(seen.insert(pi), "path {pi} explained twice");
+            }
+        }
+    }
+}

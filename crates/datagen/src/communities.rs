@@ -1,0 +1,385 @@
+//! The community-structured co-authorship generator.
+
+use ceps_graph::{CsrGraph, GraphBuilder, NodeId, NodeLabels};
+use rand::{Rng, SeedableRng};
+
+use crate::names::synthetic_name;
+
+/// Identifier of a research community.
+pub type CommunityId = u32;
+
+/// Configuration for the co-authorship generator.
+///
+/// The defaults describe four research communities (the paper's query
+/// repository draws from databases/mining, statistics/ML, IR and vision) of
+/// equal size. `papers_per_author` drives density: the paper's DBLP graph
+/// has ~1.8M weighted edges over ~315K authors, i.e. a mean weighted degree
+/// around 12, which the default team sizes and paper counts roughly match at
+/// any scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoauthorConfig {
+    /// Number of communities.
+    pub communities: usize,
+    /// Authors per community.
+    pub authors_per_community: usize,
+    /// Papers generated per community.
+    pub papers_per_community: usize,
+    /// Fraction of papers with authors drawn from **two** communities —
+    /// the cross-disciplinary collaborations the center-pieces of Figs. 1–3
+    /// live on.
+    pub cross_fraction: f64,
+    /// Minimum authors on a paper (≥ 2 so every paper produces edges).
+    pub min_team: usize,
+    /// Maximum authors on a paper.
+    pub max_team: usize,
+    /// Zipf exponent of author productivity: author rank `r` (0-based,
+    /// within its community) is sampled with weight `(r + 1)^(-exponent)`.
+    pub productivity_exponent: f64,
+    /// RNG seed; everything is deterministic given this.
+    pub seed: u64,
+}
+
+impl Default for CoauthorConfig {
+    fn default() -> Self {
+        CoauthorConfig {
+            communities: 4,
+            authors_per_community: 250,
+            papers_per_community: 750,
+            cross_fraction: 0.12,
+            min_team: 2,
+            max_team: 4,
+            productivity_exponent: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+impl CoauthorConfig {
+    /// A ~100-node graph for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        CoauthorConfig {
+            authors_per_community: 25,
+            papers_per_community: 80,
+            ..Default::default()
+        }
+    }
+
+    /// A ~1K-node graph — the default.
+    pub fn small() -> Self {
+        Self::default()
+    }
+
+    /// A ~10K-node graph for the evaluation sweeps.
+    pub fn medium() -> Self {
+        CoauthorConfig {
+            authors_per_community: 2_500,
+            papers_per_community: 9_000,
+            ..Default::default()
+        }
+    }
+
+    /// A ~80K-node graph for timing experiments.
+    pub fn large() -> Self {
+        CoauthorConfig {
+            authors_per_community: 20_000,
+            papers_per_community: 75_000,
+            ..Default::default()
+        }
+    }
+
+    /// DBLP scale (~315K authors) as in Sec. 7 — minutes to generate and
+    /// walk; used only by the headline timing benchmark.
+    pub fn paper_scale() -> Self {
+        CoauthorConfig {
+            authors_per_community: 78_750,
+            papers_per_community: 300_000,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total author count.
+    pub fn author_count(&self) -> usize {
+        self.communities * self.authors_per_community
+    }
+
+    /// Runs the generator.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (no communities, empty communities,
+    /// `min_team < 2`, `max_team < min_team`, or teams larger than a
+    /// community).
+    pub fn generate(&self) -> CoauthorGraph {
+        assert!(self.communities >= 1, "need at least one community");
+        assert!(
+            self.authors_per_community >= 2,
+            "communities need >= 2 authors"
+        );
+        assert!(
+            self.min_team >= 2,
+            "papers need >= 2 authors to create edges"
+        );
+        assert!(self.max_team >= self.min_team, "max_team < min_team");
+        assert!(
+            self.max_team <= self.authors_per_community,
+            "teams larger than a community"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.cross_fraction),
+            "cross_fraction must be a probability"
+        );
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let n = self.author_count();
+        let apc = self.authors_per_community;
+
+        // Zipf-ish productivity weights, shared shape across communities;
+        // cumulative for O(log n) weighted sampling.
+        let mut cum = Vec::with_capacity(apc);
+        let mut acc = 0.0;
+        for r in 0..apc {
+            acc += ((r + 1) as f64).powf(-self.productivity_exponent);
+            cum.push(acc);
+        }
+        let total_w = acc;
+
+        let mut builder = GraphBuilder::with_nodes(n);
+        let mut team: Vec<u32> = Vec::with_capacity(self.max_team);
+        let total_papers = self.communities * self.papers_per_community;
+        for _ in 0..total_papers {
+            let home = rng.gen_range(0..self.communities);
+            let away = if self.communities > 1 && rng.gen_bool(self.cross_fraction) {
+                // A cross-community paper borrows from one other community.
+                let mut other = rng.gen_range(0..self.communities - 1);
+                if other >= home {
+                    other += 1;
+                }
+                Some(other)
+            } else {
+                None
+            };
+            let size = rng.gen_range(self.min_team..=self.max_team);
+            team.clear();
+            let mut guard = 0;
+            while team.len() < size && guard < 200 {
+                guard += 1;
+                // Each slot comes from the away community with prob 0.5 when
+                // the paper is cross-community (at least one from each is
+                // enforced post-hoc by the guard loop's retries).
+                let c = match away {
+                    Some(a) if rng.gen_bool(0.5) => a,
+                    _ => home,
+                };
+                let u: f64 = rng.gen_range(0.0..total_w);
+                let rank = cum.partition_point(|&x| x < u).min(apc - 1);
+                let author = (c * apc + rank) as u32;
+                if !team.contains(&author) {
+                    team.push(author);
+                }
+            }
+            for i in 0..team.len() {
+                for j in (i + 1)..team.len() {
+                    builder
+                        .add_edge(NodeId(team[i]), NodeId(team[j]), 1.0)
+                        .expect("generator produces valid edges");
+                }
+            }
+        }
+
+        let graph = builder.build().expect("non-empty generated graph");
+        let labels = NodeLabels::from_names((0..n).map(synthetic_name));
+        let community_of: Vec<CommunityId> = (0..n).map(|a| (a / apc) as CommunityId).collect();
+        CoauthorGraph {
+            graph,
+            labels,
+            community_of,
+            config: self.clone(),
+        }
+    }
+}
+
+/// A generated co-authorship graph with its metadata.
+#[derive(Debug, Clone)]
+pub struct CoauthorGraph {
+    /// The weighted graph `W` (edge weight = co-authored paper count).
+    pub graph: CsrGraph,
+    /// Author names.
+    pub labels: NodeLabels,
+    /// Community of each author.
+    pub community_of: Vec<CommunityId>,
+    /// The configuration that produced this graph.
+    pub config: CoauthorConfig,
+}
+
+impl CoauthorGraph {
+    /// Consumes self, returning just the graph.
+    pub fn into_graph(self) -> CsrGraph {
+        self.graph
+    }
+
+    /// Community of node `v`.
+    pub fn community(&self, v: NodeId) -> CommunityId {
+        self.community_of[v.index()]
+    }
+
+    /// All members of community `c`.
+    pub fn community_members(&self, c: CommunityId) -> Vec<NodeId> {
+        self.community_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(v, _)| NodeId::from_index(v))
+            .collect()
+    }
+
+    /// The `count` highest-weighted-degree members of community `c` —
+    /// the "well-known researchers" a query repository wants.
+    pub fn community_hubs(&self, c: CommunityId, count: usize) -> Vec<NodeId> {
+        let mut members = self.community_members(c);
+        members.sort_by(|&a, &b| {
+            self.graph
+                .degree(b)
+                .total_cmp(&self.graph.degree(a))
+                .then(a.0.cmp(&b.0))
+        });
+        members.truncate(count);
+        members
+    }
+
+    /// Fraction of edge weight that crosses communities — a structural
+    /// sanity metric (low = strong community structure).
+    pub fn cross_community_weight_fraction(&self) -> f64 {
+        let mut cross = 0.0;
+        let mut total = 0.0;
+        for (a, b, w) in self.graph.edges() {
+            total += w;
+            if self.community_of[a.index()] != self.community_of[b.index()] {
+                cross += w;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            cross / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::algo::largest_component;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = CoauthorConfig::tiny().seed(5).generate();
+        let b = CoauthorConfig::tiny().seed(5).generate();
+        assert_eq!(a.graph, b.graph);
+        let c = CoauthorConfig::tiny().seed(6).generate();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn has_expected_shape() {
+        let g = CoauthorConfig::tiny().generate();
+        assert_eq!(g.graph.node_count(), 100);
+        assert!(
+            g.graph.edge_count() > 100,
+            "too sparse: {}",
+            g.graph.edge_count()
+        );
+        assert_eq!(g.community_of.len(), 100);
+        assert_eq!(g.community(NodeId(0)), 0);
+        assert_eq!(g.community(NodeId(99)), 3);
+    }
+
+    #[test]
+    fn communities_are_denser_inside_than_across() {
+        let g = CoauthorConfig::small().seed(1).generate();
+        let cross = g.cross_community_weight_fraction();
+        // cross_fraction = 0.12 of papers, and those only half-cross, so the
+        // cross weight share must sit well below 0.2.
+        assert!(cross < 0.2, "cross fraction {cross}");
+        assert!(cross > 0.0, "no bridges at all");
+    }
+
+    #[test]
+    fn productivity_is_skewed() {
+        let g = CoauthorConfig::small().seed(2).generate();
+        // Rank-0 authors should far out-degree rank-last authors.
+        let apc = g.config.authors_per_community as u32;
+        let top = g.graph.degree(NodeId(0));
+        let bottom = g.graph.degree(NodeId(apc - 1));
+        assert!(top > 3.0 * bottom, "top {top}, bottom {bottom}");
+    }
+
+    #[test]
+    fn giant_component_dominates() {
+        let g = CoauthorConfig::small().seed(3).generate();
+        let giant = largest_component(&g.graph);
+        assert!(
+            giant.len() * 10 >= g.graph.node_count() * 8,
+            "giant component only {} of {}",
+            giant.len(),
+            g.graph.node_count()
+        );
+    }
+
+    #[test]
+    fn hubs_are_high_degree_community_members() {
+        let g = CoauthorConfig::tiny().seed(4).generate();
+        let hubs = g.community_hubs(1, 5);
+        assert_eq!(hubs.len(), 5);
+        for &h in &hubs {
+            assert_eq!(g.community(h), 1);
+        }
+        // Hubs out-degree the community median.
+        let members = g.community_members(1);
+        let mut degs: Vec<f64> = members.iter().map(|&m| g.graph.degree(m)).collect();
+        degs.sort_by(f64::total_cmp);
+        let median = degs[degs.len() / 2];
+        assert!(g.graph.degree(hubs[0]) >= median);
+    }
+
+    #[test]
+    fn structural_profile_matches_coauthorship_networks() {
+        // The DESIGN.md substitution argument: skewed degrees (gini well
+        // above uniform) and high clustering (papers are cliques), the two
+        // signature properties of co-authorship graphs.
+        let g = CoauthorConfig::small().seed(8).generate();
+        let s = ceps_graph::stats::graph_stats(&g.graph);
+        assert!(
+            s.degree_gini > 0.25,
+            "degrees too uniform: gini {}",
+            s.degree_gini
+        );
+        assert!(
+            s.clustering > 0.1,
+            "no triadic closure: clustering {}",
+            s.clustering
+        );
+        assert!(s.mean_degree > 3.0, "graph too sparse: {}", s.mean_degree);
+    }
+
+    #[test]
+    fn labels_cover_all_nodes() {
+        let g = CoauthorConfig::tiny().generate();
+        assert_eq!(g.labels.len(), 100);
+        assert_eq!(g.labels.id(&g.labels.name(NodeId(42))), Some(NodeId(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 authors")]
+    fn rejects_single_author_papers() {
+        let cfg = CoauthorConfig {
+            min_team: 1,
+            ..CoauthorConfig::tiny()
+        };
+        let _ = cfg.generate();
+    }
+}

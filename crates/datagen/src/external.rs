@@ -1,0 +1,143 @@
+//! Loading real co-authorship data.
+//!
+//! The paper's DBLP snapshot is not redistributable, but anyone with a
+//! co-authorship export can run this library on it. The format here is the
+//! simplest one such exports reduce to: one co-author pair per line,
+//!
+//! ```text
+//! # comment lines allowed
+//! Rakesh Agrawal <tab> Jiawei Han <tab> 7
+//! Jiawei Han <tab> Philip S. Yu <tab> 31
+//! ```
+//!
+//! (fields separated by tabs — author names may contain spaces; the count
+//! is the number of co-authored papers and may be omitted, defaulting
+//! to 1). Authors are interned in first-appearance order; repeated pairs
+//! accumulate weight, matching the generator's semantics.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+
+use ceps_graph::{GraphBuilder, GraphError, NodeId, NodeLabels};
+
+use crate::communities::{CoauthorConfig, CoauthorGraph};
+
+/// Reads tab-separated co-author pairs into a [`CoauthorGraph`].
+///
+/// Community labels are unknown for external data, so every author is
+/// assigned community 0 (the repository helpers that need communities
+/// should not be used on external data; CePS itself never reads them).
+///
+/// # Errors
+/// [`GraphError::Parse`] with a line number for malformed lines, or any
+/// underlying I/O error.
+pub fn read_coauthor_pairs<R: BufRead>(input: R) -> Result<CoauthorGraph, GraphError> {
+    let mut labels = NodeLabels::new();
+    let mut index: HashMap<String, NodeId> = HashMap::new();
+    let mut builder = GraphBuilder::new();
+
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (a, b) = match (fields.next(), fields.next()) {
+            (Some(a), Some(b)) if !a.trim().is_empty() && !b.trim().is_empty() => {
+                (a.trim(), b.trim())
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected `author1<TAB>author2[<TAB>count]`, got {trimmed:?}"),
+                })
+            }
+        };
+        let weight: f64 = match fields.next() {
+            None => 1.0,
+            Some(w) => w.trim().parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid paper count {w:?}"),
+            })?,
+        };
+        if a == b {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("self-collaboration for {a:?}"),
+            });
+        }
+        let mut intern = |name: &str| -> NodeId {
+            *index
+                .entry(name.to_string())
+                .or_insert_with(|| labels.push(name))
+        };
+        let (na, nb) = (intern(a), intern(b));
+        builder.add_edge(na, nb, weight)?;
+    }
+
+    let graph = builder.build()?;
+    let n = graph.node_count();
+    Ok(CoauthorGraph {
+        graph,
+        labels,
+        community_of: vec![0; n],
+        config: CoauthorConfig {
+            communities: 1,
+            ..CoauthorConfig::default()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+# toy co-authorship export
+Rakesh Agrawal\tJiawei Han\t7
+Jiawei Han\tPhilip S. Yu\t31
+Rakesh Agrawal\tJiawei Han\t2
+Philip S. Yu\tCharu Aggarwal
+";
+
+    #[test]
+    fn parses_names_weights_and_merges_duplicates() {
+        let data = read_coauthor_pairs(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(data.graph.node_count(), 4);
+        assert_eq!(data.graph.edge_count(), 3);
+        let agrawal = data.labels.id("Rakesh Agrawal").unwrap();
+        let han = data.labels.id("Jiawei Han").unwrap();
+        assert_eq!(data.graph.weight(agrawal, han), Some(9.0)); // 7 + 2
+        let yu = data.labels.id("Philip S. Yu").unwrap();
+        let charu = data.labels.id("Charu Aggarwal").unwrap();
+        assert_eq!(data.graph.weight(yu, charu), Some(1.0)); // default count
+    }
+
+    #[test]
+    fn authors_interned_in_first_appearance_order() {
+        let data = read_coauthor_pairs(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(data.labels.name(NodeId(0)), "Rakesh Agrawal");
+        assert_eq!(data.labels.name(NodeId(1)), "Jiawei Han");
+    }
+
+    #[test]
+    fn malformed_lines_report_positions() {
+        let err = read_coauthor_pairs(Cursor::new("only one field\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_coauthor_pairs(Cursor::new("A\tB\tbanana\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_coauthor_pairs(Cursor::new("A\tA\t3\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn loaded_graph_runs_through_ceps() {
+        use ceps_graph::algo::largest_component;
+        let data = read_coauthor_pairs(Cursor::new(SAMPLE)).unwrap();
+        // The toy graph is one chain; CePS machinery accepts it as-is.
+        assert_eq!(largest_component(&data.graph).len(), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ceps-datagen
+//!
+//! Seeded synthetic **co-authorship graphs** standing in for the paper's
+//! DBLP snapshot (Sec. 7: ~315K authors, ~1.8M weighted edges, edge weight =
+//! number of co-authored papers).
+//!
+//! The generator reproduces the structural properties the paper's
+//! experiments actually depend on:
+//!
+//! * **research communities** — papers are mostly written inside one
+//!   community, occasionally across two, so communities are dense with
+//!   sparse bridges (what Figs. 1–3 visualize and what the pre-partition
+//!   speedup of Sec. 6 exploits);
+//! * **skewed productivity** — author paper counts follow a power law, so
+//!   degrees are heterogeneous (what the `α`-normalization study of
+//!   Sec. 7.3 is about);
+//! * **weighted multi-edges** — every paper adds one unit of weight to each
+//!   co-author pair, exactly the paper's edge-weight definition.
+//!
+//! Everything is deterministic given the seed. The query repository module
+//! mirrors the paper's setup of 13 + 13 + 11 + 11 hand-picked researchers
+//! from four sub-fields ([`QueryRepository`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod communities;
+pub mod external;
+mod names;
+mod repository;
+
+pub use communities::{CoauthorConfig, CoauthorGraph, CommunityId};
+pub use external::read_coauthor_pairs;
+pub use names::synthetic_name;
+pub use repository::QueryRepository;

@@ -1,0 +1,98 @@
+//! Breadth-first search primitives.
+
+use std::collections::VecDeque;
+
+use crate::{CsrGraph, NodeId};
+
+/// Visits nodes reachable from `start` in BFS order and returns them.
+pub fn bfs_order(graph: &CsrGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (u, _) in graph.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the set of nodes reachable from `start` as a boolean mask.
+pub fn bfs_reachable(graph: &CsrGraph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for (u, _) in graph.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    seen
+}
+
+/// Unweighted hop distances from `start`; unreachable nodes get `u32::MAX`.
+pub fn hop_distances(graph: &CsrGraph, start: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for (u, _) in graph.neighbors(v) {
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path 0-1-2 plus isolated pair 3-4.
+    fn two_components() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn order_starts_at_source_and_stays_in_component() {
+        let g = two_components();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn reachability_mask() {
+        let g = two_components();
+        let r = bfs_reachable(&g, NodeId(4));
+        assert_eq!(r, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn hop_distances_and_unreachable_sentinel() {
+        let g = two_components();
+        let d = hop_distances(&g, NodeId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], u32::MAX);
+    }
+}

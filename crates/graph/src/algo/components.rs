@@ -1,0 +1,125 @@
+//! Connected components.
+
+use crate::{CsrGraph, NodeId};
+
+/// A labelling of every node with its connected-component index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// `labels[v] = component index` in `0..count`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Component index of `v`.
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Whether `a` and `b` share a component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels[a.index()] == self.labels[b.index()]
+    }
+
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Labels connected components with an iterative DFS; `O(V + E)`.
+pub fn connected_components(graph: &CsrGraph) -> ComponentLabels {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = count;
+        stack.push(NodeId::from_index(start));
+        while let Some(v) = stack.pop() {
+            for (u, _) in graph.neighbors(v) {
+                if labels[u.index()] == u32::MAX {
+                    labels[u.index()] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// Nodes of the largest connected component (ties broken by lowest label).
+pub fn largest_component(graph: &CsrGraph) -> Vec<NodeId> {
+    let comp = connected_components(graph);
+    let sizes = comp.sizes();
+    let Some((best, _)) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+    else {
+        return Vec::new();
+    };
+    graph
+        .nodes()
+        .filter(|&v| comp.component_of(v) == best as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn labels_partition_the_nodes() {
+        // 0-1, 2-3-4, isolated 5.
+        let mut b = GraphBuilder::with_nodes(6);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.same_component(NodeId(0), NodeId(1)));
+        assert!(c.same_component(NodeId(2), NodeId(4)));
+        assert!(!c.same_component(NodeId(0), NodeId(2)));
+        assert!(!c.same_component(NodeId(5), NodeId(4)));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component_returns_biggest() {
+        let mut b = GraphBuilder::with_nodes(6);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let big = largest_component(&g);
+        assert_eq!(big, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn single_component_whole_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(largest_component(&g).len(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dijkstra shortest paths over *costs* derived from edge weights.
+//!
+//! The co-authorship weights are affinities (more papers = stronger tie), so
+//! the shortest-path baselines invert them: the cost of an edge of weight `w`
+//! is `1 / w`. This module keeps that policy with the caller — it takes a
+//! cost function — so tests can also run plain unit costs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{CsrGraph, NodeId};
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct PathCost {
+    /// `dist[v]` = minimal cost from the source, `f64::INFINITY` if
+    /// unreachable.
+    pub dist: Vec<f64>,
+    /// `parent[v]` = predecessor on a cheapest path, `u32::MAX` for the
+    /// source and unreachable nodes.
+    pub parent: Vec<u32>,
+}
+
+impl PathCost {
+    /// Reconstructs the node sequence from the source to `target`
+    /// (inclusive), or `None` if `target` is unreachable.
+    pub fn path_to(&self, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != source {
+            let p = self.parent[cur.index()];
+            if p == u32::MAX {
+                return None;
+            }
+            cur = NodeId(p);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Min-heap entry; `f64` costs ordered via total order on finite values.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; costs are finite by construction.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths with per-edge cost `cost(weight)`.
+///
+/// # Panics
+/// Panics (in debug builds) if `cost` returns a negative or non-finite value.
+pub fn dijkstra<F>(graph: &CsrGraph, source: NodeId, cost: F) -> PathCost
+where
+    F: Fn(f64) -> f64,
+{
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source.0,
+    });
+    while let Some(HeapEntry { cost: d, node }) = heap.pop() {
+        if d > dist[node as usize] {
+            continue; // stale entry
+        }
+        let v = NodeId(node);
+        for (u, w) in graph.neighbors(v) {
+            let c = cost(w);
+            debug_assert!(
+                c.is_finite() && c >= 0.0,
+                "edge cost must be finite and non-negative"
+            );
+            let nd = d + c;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                parent[u.index()] = node;
+                heap.push(HeapEntry {
+                    cost: nd,
+                    node: u.0,
+                });
+            }
+        }
+    }
+    PathCost { dist, parent }
+}
+
+/// Cheapest path between two nodes under `cost`, or `None` if disconnected.
+pub fn shortest_path<F>(
+    graph: &CsrGraph,
+    source: NodeId,
+    target: NodeId,
+    cost: F,
+) -> Option<(Vec<NodeId>, f64)>
+where
+    F: Fn(f64) -> f64,
+{
+    let run = dijkstra(graph, source, cost);
+    run.path_to(source, target)
+        .map(|p| (p, run.dist[target.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Square 0-1-2-3-0 with a heavy (cheap) diagonal path 0-4-2.
+    fn square_with_shortcut() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (a, bb, w) in [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 4, 10.0),
+            (4, 2, 10.0),
+        ] {
+            b.add_edge(NodeId(a), NodeId(bb), w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unit_costs_prefer_fewer_hops() {
+        let g = square_with_shortcut();
+        let (path, cost) = shortest_path(&g, NodeId(0), NodeId(2), |_| 1.0).unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn inverse_weight_costs_prefer_strong_ties() {
+        let g = square_with_shortcut();
+        // Via 4: cost 0.1 + 0.1 = 0.2 beats via 1: 1.0 + 1.0.
+        let (path, cost) = shortest_path(&g, NodeId(0), NodeId(2), |w| 1.0 / w).unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(4), NodeId(2)]);
+        assert!((cost - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(shortest_path(&g, NodeId(0), NodeId(2), |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = square_with_shortcut();
+        let run = dijkstra(&g, NodeId(0), |_| 1.0);
+        assert_eq!(run.path_to(NodeId(0), NodeId(0)), Some(vec![NodeId(0)]));
+        assert_eq!(run.dist[0], 0.0);
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_inequality_on_tree() {
+        let g = square_with_shortcut();
+        let run = dijkstra(&g, NodeId(0), |w| 1.0 / w);
+        for (a, b, w) in g.edges() {
+            let c = 1.0 / w;
+            assert!(run.dist[a.index()] <= run.dist[b.index()] + c + 1e-12);
+            assert!(run.dist[b.index()] <= run.dist[a.index()] + c + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Classic graph algorithms used by baselines, the partitioner and tests.
+
+mod bfs;
+mod components;
+mod dijkstra;
+
+pub use bfs::{bfs_order, bfs_reachable, hop_distances};
+pub use components::{connected_components, largest_component, ComponentLabels};
+pub use dijkstra::{dijkstra, shortest_path, PathCost};

@@ -1,0 +1,205 @@
+//! Incremental construction of [`CsrGraph`]s.
+
+use crate::{CsrGraph, GraphError, NodeId, Result};
+
+/// Accumulates weighted undirected edges and produces an immutable
+/// [`CsrGraph`].
+///
+/// The builder:
+///
+/// * validates weights (finite, `> 0`) and rejects self-loops;
+/// * **merges duplicate edges by summing their weights** — the natural
+///   semantics for a co-authorship graph where each paper contributes one
+///   unit of weight to every author pair (Sec. 7, "the edge weight is the
+///   number of co-authored papers");
+/// * grows the node count to cover the highest id it sees, so callers may
+///   either pre-declare the node count or let edges define it.
+///
+/// # Examples
+///
+/// ```
+/// use ceps_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+/// b.add_edge(NodeId(1), NodeId(0), 2.0).unwrap(); // merged: weight 3.0
+/// b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.weight(NodeId(0), NodeId(1)), Some(3.0));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    /// Each undirected edge stored once with endpoints ordered `lo <= hi`.
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder; the node count grows with the edges added.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that already knows it has `node_count` nodes
+    /// (ids `0..node_count`), allowing isolated nodes.
+    pub fn with_nodes(node_count: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `edges` undirected edges.
+    pub fn with_capacity(node_count: usize, edges: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes the builder currently covers.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of (not yet deduplicated) edge insertions so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensures ids `0..count` are valid even if no edge touches them.
+    pub fn ensure_nodes(&mut self, count: usize) {
+        self.node_count = self.node_count.max(count);
+    }
+
+    /// Adds an undirected edge `{a, b}` of weight `w`.
+    ///
+    /// Duplicate `{a, b}` insertions are merged by summing weights at
+    /// [`build`](Self::build) time.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidWeight`] if `w` is not finite and positive;
+    /// [`GraphError::SelfLoop`] if `a == b`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, w: f64) -> Result<()> {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(GraphError::InvalidWeight {
+                from: a,
+                to: b,
+                weight: w,
+            });
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.node_count = self.node_count.max(hi as usize + 1);
+        self.edges.push((lo, hi, w));
+        Ok(())
+    }
+
+    /// Bulk-adds edges; stops at the first invalid one.
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        for (a, b, w) in edges {
+            self.add_edge(a, b, w)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable CSR graph.
+    ///
+    /// Runs in `O(E log E + V)`: edges are sorted by endpoint pair, duplicates
+    /// merged, and both directed arcs laid out in CSR order.
+    ///
+    /// # Errors
+    /// [`GraphError::EmptyGraph`] if no node was ever declared.
+    pub fn build(mut self) -> Result<CsrGraph> {
+        if self.node_count == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        // Merge duplicate undirected edges by summing weights.
+        self.edges
+            .sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for (lo, hi, w) in self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == lo && last.1 == hi => last.2 += w,
+                _ => merged.push((lo, hi, w)),
+            }
+        }
+
+        Ok(CsrGraph::from_dedup_edges(self.node_count, &merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicates_in_either_orientation() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(2), NodeId(5), 1.5).unwrap();
+        b.add_edge(NodeId(5), NodeId(2), 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight(NodeId(2), NodeId(5)), Some(2.0));
+        assert_eq!(g.weight(NodeId(5), NodeId(2)), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = GraphBuilder::new();
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.add_edge(NodeId(0), NodeId(1), w),
+                Err(GraphError::InvalidWeight { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        assert!(matches!(
+            b.add_edge(NodeId(3), NodeId(3), 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_build_fails_but_isolated_nodes_allowed() {
+        assert!(matches!(
+            GraphBuilder::new().build(),
+            Err(GraphError::EmptyGraph)
+        ));
+        let g = GraphBuilder::with_nodes(4).build().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn edges_grow_node_count() {
+        let mut b = GraphBuilder::with_nodes(2);
+        b.add_edge(NodeId(0), NodeId(9), 1.0).unwrap();
+        assert_eq!(b.node_count(), 10);
+    }
+
+    #[test]
+    fn bulk_add_stops_on_error() {
+        let mut b = GraphBuilder::new();
+        let res = b.add_edges(vec![
+            (NodeId(0), NodeId(1), 1.0),
+            (NodeId(1), NodeId(1), 1.0), // self-loop
+            (NodeId(1), NodeId(2), 1.0),
+        ]);
+        assert!(res.is_err());
+        assert_eq!(b.pending_edges(), 1);
+    }
+}

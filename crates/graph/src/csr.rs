@@ -1,0 +1,308 @@
+//! The immutable compressed-sparse-row graph.
+
+use crate::{GraphError, NodeId, Result};
+
+/// An immutable edge-weighted undirected graph in compressed-sparse-row form.
+///
+/// Both directed arcs of every undirected edge are stored, so a node's
+/// neighborhood is one contiguous slice — the access pattern the RWR power
+/// iteration (Eq. 4) and the EXTRACT path DP (Table 3) hammer in their inner
+/// loops. Within a node's slice, neighbors are sorted by id, which makes
+/// `weight(a, b)` a binary search and keeps iteration deterministic.
+///
+/// Construct with [`crate::GraphBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` delimits node `v`'s arcs. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Arc targets, grouped by source, sorted within each group.
+    targets: Vec<u32>,
+    /// Arc weights, parallel to `targets`.
+    weights: Vec<f64>,
+    /// Weighted degree `d_v = Σ_u w(v, u)` (the row sums of `W`, Table 2).
+    degrees: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Builds from undirected edges that are already deduplicated and sorted
+    /// by `(lo, hi)` with `lo < hi`. Internal: use [`crate::GraphBuilder`].
+    pub(crate) fn from_dedup_edges(node_count: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let n = node_count;
+        let mut counts = vec![0u32; n + 1];
+        for &(a, b, _) in edges {
+            counts[a as usize + 1] += 1;
+            counts[b as usize + 1] += 1;
+        }
+        let mut offsets = counts;
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let arc_count = offsets[n] as usize;
+        let mut targets = vec![0u32; arc_count];
+        let mut weights = vec![0f64; arc_count];
+        let mut cursor = offsets.clone();
+        for &(a, b, w) in edges {
+            // Edges arrive sorted by (a, b); writing both arcs in this order
+            // leaves each node's slice sorted by target because for a fixed
+            // source the opposite endpoints appear in increasing order.
+            let ca = cursor[a as usize] as usize;
+            targets[ca] = b;
+            weights[ca] = w;
+            cursor[a as usize] += 1;
+            let cb = cursor[b as usize] as usize;
+            targets[cb] = a;
+            weights[cb] = w;
+            cursor[b as usize] += 1;
+        }
+        // The two-pass write above leaves each slice *almost* sorted (arcs to
+        // lower ids from the `b` role interleave with arcs to higher ids from
+        // the `a` role), so sort each slice explicitly. Slices are short
+        // (average degree), so this is cheap and unconditionally correct.
+        let mut degrees = vec![0f64; n];
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut pairs: Vec<(u32, f64)> = targets[s..e]
+                .iter()
+                .copied()
+                .zip(weights[s..e].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(t, _)| t);
+            let mut deg = 0.0;
+            for (i, (t, w)) in pairs.into_iter().enumerate() {
+                targets[s + i] = t;
+                weights[s + i] = w;
+                deg += w;
+            }
+            degrees[v] = deg;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+            degrees,
+        }
+    }
+
+    /// Number of nodes; valid ids are `0..node_count`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of stored arcs (twice the edge count).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Weighted degree `d_v` — the sum of `v`'s incident edge weights
+    /// (the diagonal of `D` in Table 2).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> f64 {
+        self.degrees[v.index()]
+    }
+
+    /// Unweighted degree (neighbor count).
+    #[inline]
+    pub fn neighbor_count(&self, v: NodeId) -> usize {
+        let v = v.index();
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Iterates `v`'s neighbors with edge weights, in increasing id order.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> NeighborIter<'_> {
+        let v = v.index();
+        let (s, e) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        NeighborIter {
+            targets: &self.targets[s..e],
+            weights: &self.weights[s..e],
+            pos: 0,
+        }
+    }
+
+    /// Raw neighbor-id slice for `v` (sorted ascending) — the zero-overhead
+    /// access the inner loops use.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> &[u32] {
+        let v = v.index();
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Raw weight slice parallel to [`neighbor_ids`](Self::neighbor_ids).
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> &[f64] {
+        let v = v.index();
+        &self.weights[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Weight of edge `{a, b}`, or `None` if absent. `O(log deg(a))`.
+    pub fn weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let ids = self.neighbor_ids(a);
+        ids.binary_search(&b.0)
+            .ok()
+            .map(|i| self.neighbor_weights(a)[i])
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbor_ids(a).binary_search(&b.0).is_ok()
+    }
+
+    /// Validates that `v` is a node of this graph.
+    pub fn check_node(&self, v: NodeId) -> Result<()> {
+        if v.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Iterates every undirected edge once as `(lo, hi, weight)` with
+    /// `lo < hi`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |v| {
+            self.neighbors(v)
+                .filter(move |&(u, _)| v.0 < u.0)
+                .map(move |(u, w)| (v, u, w))
+        })
+    }
+
+    /// Total edge weight `Σ_{lo<hi} w(lo, hi)`.
+    pub fn total_weight(&self) -> f64 {
+        self.degrees.iter().sum::<f64>() / 2.0
+    }
+
+    /// Maximum weighted degree, or 0 for an edgeless graph.
+    pub fn max_degree(&self) -> f64 {
+        self.degrees.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Iterator over `(neighbor, weight)` pairs of one node.
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    targets: &'a [u32],
+    weights: &'a [f64],
+    pos: usize,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (NodeId, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let i = self.pos;
+        if i < self.targets.len() {
+            self.pos += 1;
+            Some((NodeId(self.targets[i]), self.weights[i]))
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.targets.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// A 4-node path 0-1-2-3 with weights 1, 2, 3.
+    fn path4() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path4();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.arc_count(), 6);
+        assert_eq!(g.degree(NodeId(0)), 1.0);
+        assert_eq!(g.degree(NodeId(1)), 3.0);
+        assert_eq!(g.degree(NodeId(2)), 5.0);
+        assert_eq!(g.degree(NodeId(3)), 3.0);
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.max_degree(), 5.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_weighted() {
+        let g = path4();
+        let n1: Vec<_> = g.neighbors(NodeId(1)).collect();
+        assert_eq!(n1, vec![(NodeId(0), 1.0), (NodeId(2), 2.0)]);
+        assert_eq!(g.neighbor_ids(NodeId(2)), &[1, 3]);
+        assert_eq!(g.neighbor_weights(NodeId(2)), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn weight_lookup() {
+        let g = path4();
+        assert_eq!(g.weight(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(g.weight(NodeId(1), NodeId(0)), Some(1.0));
+        assert_eq!(g.weight(NodeId(0), NodeId(2)), None);
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn edges_enumerated_once_in_order() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1), 1.0),
+                (NodeId(1), NodeId(2), 2.0),
+                (NodeId(2), NodeId(3), 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = path4();
+        assert!(g.check_node(NodeId(3)).is_ok());
+        assert!(g.check_node(NodeId(4)).is_err());
+    }
+
+    #[test]
+    fn star_graph_neighbor_order() {
+        // Hub 5 connected to 0..5; ensures slices stay sorted when the hub's
+        // arcs are written from the "b" role.
+        let mut b = GraphBuilder::new();
+        for i in 0..5u32 {
+            b.add_edge(NodeId(i), NodeId(5), (i + 1) as f64).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor_ids(NodeId(5)), &[0, 1, 2, 3, 4]);
+        assert_eq!(g.neighbor_weights(NodeId(5)), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(g.degree(NodeId(5)), 15.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed errors for graph construction and manipulation.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by `ceps-graph`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside `0..node_count`.
+    NodeOutOfBounds {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge weight was not a finite, strictly positive number.
+    ///
+    /// The paper's weights are co-authored paper counts, always positive;
+    /// zero/negative/NaN weights would silently corrupt the stochastic
+    /// normalization (Eq. 5), so we reject them at build time.
+    InvalidWeight {
+        /// Edge endpoints as supplied.
+        from: NodeId,
+        /// Edge endpoints as supplied.
+        to: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A self-loop was supplied where the representation forbids it.
+    ///
+    /// Co-authorship graphs have no self-loops and a self-loop makes the
+    /// "downhill path" DP of EXTRACT degenerate, so the builder rejects them.
+    SelfLoop {
+        /// The node that pointed at itself.
+        node: NodeId,
+    },
+    /// The graph (or a requested subgraph) had no nodes.
+    EmptyGraph,
+    /// A parse error while reading the edge-list format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what was malformed.
+        message: String,
+    },
+    /// An underlying I/O error while reading or writing a graph.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {node_count} nodes"
+                )
+            }
+            GraphError::InvalidWeight { from, to, weight } => {
+                write!(f, "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and > 0")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId(9),
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = GraphError::InvalidWeight {
+            from: NodeId(0),
+            to: NodeId(1),
+            weight: -1.0,
+        };
+        assert!(e.to_string().contains("invalid weight"));
+        let e = GraphError::SelfLoop { node: NodeId(3) };
+        assert!(e.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

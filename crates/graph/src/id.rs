@@ -1,0 +1,88 @@
+//! Compact node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::CsrGraph`].
+///
+/// `NodeId` is a newtype over `u32`. The graphs in this workspace top out
+/// around the paper's DBLP scale (~315K nodes), so 32 bits leaves ample
+/// headroom while keeping the CSR target array, partition vectors and score
+/// index maps half the size they would be with `usize`.
+///
+/// Ids are dense: a graph with `n` nodes uses exactly the ids `0..n`, which is
+/// what lets score vectors be plain `Vec<f64>` indexed by id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize`, for indexing per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a vector index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 42, 1 << 20] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_bare_number_debug_is_tagged() {
+        assert_eq!(NodeId(7).to_string(), "7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn from_index_rejects_oversized() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: one edge per line, `src dst weight`, `#`-prefixed comment lines
+//! allowed, an optional header `nodes N` declaring isolated nodes. This is
+//! the interchange format the experiment harness uses to cache generated
+//! graphs between runs.
+
+use std::io::{BufRead, Write};
+
+use crate::{CsrGraph, GraphBuilder, GraphError, NodeId, Result};
+
+/// Writes `graph` in the edge-list format.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut out: W) -> Result<()> {
+    writeln!(out, "# ceps edge list v1")?;
+    writeln!(out, "nodes {}", graph.node_count())?;
+    for (a, b, w) in graph.edges() {
+        writeln!(out, "{} {} {}", a.0, b.0, w)?;
+    }
+    Ok(())
+}
+
+/// Reads a graph from the edge-list format.
+///
+/// # Errors
+/// [`GraphError::Parse`] with the offending line number on malformed input.
+pub fn read_edge_list<R: BufRead>(input: R) -> Result<CsrGraph> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("nodes ") {
+            let n: usize = rest.trim().parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid node count {rest:?}"),
+            })?;
+            builder.ensure_nodes(n);
+            continue;
+        }
+        let mut parts = trimmed.split_ascii_whitespace();
+        let (a, b, w) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(w), None) => (a, b, w),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected `src dst weight`, got {trimmed:?}"),
+                })
+            }
+        };
+        let parse_u32 = |s: &str| -> Result<u32> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid node id {s:?}"),
+            })
+        };
+        let weight: f64 = w.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid weight {w:?}"),
+        })?;
+        builder.add_edge(NodeId(parse_u32(a)?), NodeId(parse_u32(b)?), weight)?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> CsrGraph {
+        let mut b = GraphBuilder::with_nodes(5);
+        b.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# hello\n\nnodes 3\n0 1 1.5\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.weight(NodeId(0), NodeId(1)), Some(1.5));
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let text = "0 1 1.0\n0 2\n";
+        let err = read_edge_list(Cursor::new(text)).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_weight_reports_line() {
+        let text = "0 1 banana\n";
+        let err = read_edge_list(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn nodes_header_allows_isolated_nodes() {
+        let text = "nodes 10\n0 1 1\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.degree(NodeId(9)), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Human-readable node labels.
+//!
+//! The paper's case studies (Figs. 1–3) are read through author names —
+//! "Jiawei Han", "Raymond T. Ng" — so the synthetic generator attaches names
+//! to nodes and the examples print subgraphs with them. Labels are strictly
+//! presentational: no algorithm consults them.
+
+use std::collections::HashMap;
+
+use crate::NodeId;
+
+/// A bidirectional mapping between node ids and display names.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeLabels {
+    names: Vec<String>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    index: HashMap<String, u32>,
+}
+
+impl NodeLabels {
+    /// Empty label table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from names where `names[i]` labels node `i`.
+    ///
+    /// Later duplicates lose the reverse mapping (lookup returns the first).
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            index.entry(n.clone()).or_insert(i as u32);
+        }
+        NodeLabels { names, index }
+    }
+
+    /// Appends a label for the next node id; returns that id.
+    pub fn push(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId::from_index(self.names.len());
+        let name = name.into();
+        self.index.entry(name.clone()).or_insert(id.0);
+        self.names.push(name);
+        id
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no node is labelled.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of node `v`, or a synthesized `node-<id>` if unlabelled.
+    pub fn name(&self, v: NodeId) -> String {
+        self.names
+            .get(v.index())
+            .cloned()
+            .unwrap_or_else(|| format!("node-{}", v.0))
+    }
+
+    /// Looks up a node by exact name.
+    pub fn id(&self, name: &str) -> Option<NodeId> {
+        self.index.get(name).map(|&i| NodeId(i))
+    }
+
+    /// Iterates `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_lookup() {
+        let labels = NodeLabels::from_names(["ada", "grace", "edsger"]);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels.name(NodeId(1)), "grace");
+        assert_eq!(labels.id("edsger"), Some(NodeId(2)));
+        assert_eq!(labels.id("nobody"), None);
+    }
+
+    #[test]
+    fn unlabelled_nodes_get_fallback_names() {
+        let labels = NodeLabels::from_names(["only"]);
+        assert_eq!(labels.name(NodeId(7)), "node-7");
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_first() {
+        let labels = NodeLabels::from_names(["x", "x"]);
+        assert_eq!(labels.id("x"), Some(NodeId(0)));
+        assert_eq!(labels.name(NodeId(1)), "x");
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut labels = NodeLabels::new();
+        assert_eq!(labels.push("a"), NodeId(0));
+        assert_eq!(labels.push("b"), NodeId(1));
+        assert!(!labels.is_empty());
+        let all: Vec<_> = labels.iter().collect();
+        assert_eq!(all, vec![(NodeId(0), "a"), (NodeId(1), "b")]);
+    }
+}

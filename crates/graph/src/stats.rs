@@ -1,0 +1,204 @@
+//! Descriptive graph statistics.
+//!
+//! The substitution argument in DESIGN.md rests on the synthetic graphs
+//! matching DBLP's *structural* profile: skewed degrees, local clustering
+//! (papers are cliques), community structure. This module computes the
+//! numbers those claims are checked against — in `ceps-datagen`'s tests,
+//! the `ceps stats` CLI command and EXPERIMENTS.md.
+
+use crate::{CsrGraph, NodeId};
+
+/// Summary statistics of a weighted graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Total edge weight.
+    pub total_weight: f64,
+    /// Mean unweighted degree.
+    pub mean_degree: f64,
+    /// Maximum unweighted degree.
+    pub max_degree: usize,
+    /// Mean weighted degree.
+    pub mean_weighted_degree: f64,
+    /// Maximum weighted degree.
+    pub max_weighted_degree: f64,
+    /// Gini coefficient of the unweighted degree distribution
+    /// (0 = all equal, → 1 = extreme skew).
+    pub degree_gini: f64,
+    /// Global clustering coefficient (3 × triangles / wedges), unweighted.
+    pub clustering: f64,
+}
+
+/// Computes the full summary. Triangle counting is exact and runs in
+/// `O(Σ_v deg(v)²)` — fine up to the paper's scale for occasional reports,
+/// not for inner loops.
+pub fn graph_stats(graph: &CsrGraph) -> GraphStats {
+    let n = graph.node_count();
+    let degrees: Vec<usize> = graph.nodes().map(|v| graph.neighbor_count(v)).collect();
+    let wdegrees: Vec<f64> = graph.nodes().map(|v| graph.degree(v)).collect();
+
+    let mean_degree = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let mean_weighted_degree = wdegrees.iter().sum::<f64>() / n as f64;
+
+    let (triangles, wedges) = triangle_and_wedge_counts(graph);
+    let clustering = if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    };
+
+    GraphStats {
+        nodes: n,
+        edges: graph.edge_count(),
+        total_weight: graph.total_weight(),
+        mean_degree,
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_weighted_degree,
+        max_weighted_degree: graph.max_degree(),
+        degree_gini: gini(&degrees),
+        clustering,
+    }
+}
+
+/// Gini coefficient of a non-negative integer sample.
+pub fn gini(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let sum: f64 = sorted.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    // G = (2 Σ_i i·x_i) / (n Σ x) − (n + 1)/n with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+/// Exact triangle count plus wedge (open + closed 2-path) count.
+fn triangle_and_wedge_counts(graph: &CsrGraph) -> (u64, u64) {
+    let mut triangles = 0u64;
+    let mut wedges = 0u64;
+    for v in graph.nodes() {
+        let d = graph.neighbor_count(v) as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+        // Count triangles where v is the smallest id (each counted once).
+        let nv = graph.neighbor_ids(v);
+        for (i, &a) in nv.iter().enumerate() {
+            if a <= v.0 {
+                continue;
+            }
+            for &b in &nv[i + 1..] {
+                if b > a && graph.has_edge(NodeId(a), NodeId(b)) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    (triangles, wedges)
+}
+
+/// Degree histogram in logarithmic buckets `[2^i, 2^{i+1})` — the standard
+/// view for eyeballing a power law.
+pub fn log_degree_histogram(graph: &CsrGraph) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in graph.nodes() {
+        let d = graph.neighbor_count(v);
+        if d == 0 {
+            continue;
+        }
+        let b = usize::BITS as usize - 1 - d.leading_zeros() as usize;
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (1usize << i, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(NodeId(x), NodeId(y), 2.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_means() {
+        let s = graph_stats(&triangle_plus_pendant());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.total_weight, 8.0);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_weighted_degree, 6.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_pendant() {
+        // 1 triangle; wedges: deg 2,2,3,1 -> 1+1+3+0 = 5; C = 3/5.
+        let s = graph_stats(&triangle_plus_pendant());
+        assert!(
+            (s.clustering - 0.6).abs() < 1e-12,
+            "clustering {}",
+            s.clustering
+        );
+    }
+
+    #[test]
+    fn clique_clustering_is_one_path_is_zero() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(NodeId(i), NodeId(j), 1.0).unwrap();
+            }
+        }
+        assert!((graph_stats(&b.build().unwrap()).clustering - 1.0).abs() < 1e-12);
+
+        let mut b = GraphBuilder::new();
+        for i in 0..4u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        assert_eq!(graph_stats(&b.build().unwrap()).clustering, 0.0);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(
+            (gini(&[5, 5, 5, 5])).abs() < 1e-12,
+            "equal sample must be 0"
+        );
+        // One node holds everything: G -> (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-12, "gini {g}");
+        // Skewed beats uniform.
+        assert!(gini(&[1, 1, 1, 97]) > gini(&[20, 30, 25, 25]));
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_powers_of_two() {
+        // Degrees: 2, 2, 3, 1 -> bucket 1: one node (deg 1); bucket 2: three.
+        let h = log_degree_histogram(&triangle_plus_pendant());
+        assert_eq!(h, vec![(1, 1), (2, 3)]);
+    }
+}

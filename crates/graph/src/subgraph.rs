@@ -1,0 +1,255 @@
+//! Node-induced subgraphs.
+//!
+//! Two distinct needs share this module:
+//!
+//! * **EXTRACT's output** (Table 4) is "a small, unweighted, undirected
+//!   graph `H`" — a set of nodes of the big graph plus the edges induced
+//!   among them. [`Subgraph`] keeps the original ids so scores indexed by
+//!   the parent graph keep working, which is what the evaluation ratios
+//!   (Eqs. 13–14) need.
+//! * **Fast CePS** (Table 5) runs the whole pipeline on the union of the
+//!   partitions containing the query nodes; [`Subgraph::into_graph`]
+//!   materializes that union as a standalone [`CsrGraph`] with a dense
+//!   re-numbering and a mapping back to parent ids.
+
+use std::collections::BTreeSet;
+
+use crate::{CsrGraph, GraphBuilder, GraphError, NodeId, Result};
+
+/// A node-induced subgraph of a parent [`CsrGraph`], addressed by parent ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Subgraph {
+    /// Members in ascending id order (deterministic iteration).
+    nodes: BTreeSet<NodeId>,
+}
+
+impl Subgraph {
+    /// An empty subgraph.
+    pub fn new() -> Self {
+        Subgraph {
+            nodes: BTreeSet::new(),
+        }
+    }
+
+    /// A subgraph over the given nodes (duplicates collapse).
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        Subgraph {
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// Adds a node; returns whether it was new.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        self.nodes.insert(v)
+    }
+
+    /// Whether `v` is a member.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the subgraph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Extends with all of `other`'s nodes.
+    pub fn union_with(&mut self, other: &Subgraph) {
+        self.nodes.extend(other.nodes.iter().copied());
+    }
+
+    /// Edges of `parent` with **both** endpoints in the subgraph, each once
+    /// as `(lo, hi, weight)`.
+    pub fn induced_edges<'a>(
+        &'a self,
+        parent: &'a CsrGraph,
+    ) -> impl Iterator<Item = (NodeId, NodeId, f64)> + 'a {
+        self.nodes.iter().flat_map(move |&v| {
+            parent
+                .neighbors(v)
+                .filter(move |&(u, _)| v.0 < u.0 && self.contains(u))
+                .map(move |(u, w)| (v, u, w))
+        })
+    }
+
+    /// Number of induced edges.
+    pub fn induced_edge_count(&self, parent: &CsrGraph) -> usize {
+        self.induced_edges(parent).count()
+    }
+
+    /// Materializes the induced subgraph as a standalone graph.
+    ///
+    /// Returns the new graph plus `back`: `back[new_id] = parent_id`, the
+    /// mapping Fast CePS uses to translate results on the shrunken graph
+    /// back to the original.
+    ///
+    /// # Errors
+    /// [`GraphError::EmptyGraph`] if the subgraph has no nodes, or
+    /// [`GraphError::NodeOutOfBounds`] if a member id is not in `parent`.
+    pub fn into_graph(&self, parent: &CsrGraph) -> Result<(CsrGraph, Vec<NodeId>)> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        let back: Vec<NodeId> = self.nodes.iter().copied().collect();
+        for &v in &back {
+            parent.check_node(v)?;
+        }
+        // Dense forward map: parent id -> new id (u32::MAX = absent).
+        let mut fwd = vec![u32::MAX; parent.node_count()];
+        for (new, old) in back.iter().enumerate() {
+            fwd[old.index()] = new as u32;
+        }
+        let mut b = GraphBuilder::with_nodes(back.len());
+        for (lo, hi, w) in self.induced_edges(parent) {
+            b.add_edge(NodeId(fwd[lo.index()]), NodeId(fwd[hi.index()]), w)?;
+        }
+        Ok((b.build()?, back))
+    }
+
+    /// Whether the induced subgraph is connected when restricted to members
+    /// (an empty subgraph counts as connected).
+    pub fn is_connected(&self, parent: &CsrGraph) -> bool {
+        let Some(&start) = self.nodes.iter().next() else {
+            return true;
+        };
+        let mut seen = BTreeSet::new();
+        seen.insert(start);
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for (u, _) in parent.neighbors(v) {
+                if self.contains(u) && seen.insert(u) {
+                    stack.push(u);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+
+    /// Number of connected components among the members (0 for empty).
+    pub fn component_count(&self, parent: &CsrGraph) -> usize {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut components = 0;
+        for &start in &self.nodes {
+            if seen.contains(&start) {
+                continue;
+            }
+            components += 1;
+            seen.insert(start);
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for (u, _) in parent.neighbors(v) {
+                    if self.contains(u) && seen.insert(u) {
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+impl Default for Subgraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<NodeId> for Subgraph {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Subgraph::from_nodes(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3-4 path plus chord 1-3.
+    fn parent() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (a, bb, w) in [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (1, 3, 5.0),
+        ] {
+            b.add_edge(NodeId(a), NodeId(bb), w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn membership_and_iteration_order() {
+        let s = Subgraph::from_nodes([NodeId(3), NodeId(1), NodeId(3)]);
+        assert_eq!(s.len(), 2);
+        let order: Vec<_> = s.nodes().collect();
+        assert_eq!(order, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn induced_edges_require_both_endpoints() {
+        let g = parent();
+        let s = Subgraph::from_nodes([NodeId(1), NodeId(3), NodeId(4)]);
+        let edges: Vec<_> = s.induced_edges(&g).collect();
+        assert_eq!(
+            edges,
+            vec![(NodeId(1), NodeId(3), 5.0), (NodeId(3), NodeId(4), 1.0)]
+        );
+        assert_eq!(s.induced_edge_count(&g), 2);
+    }
+
+    #[test]
+    fn into_graph_renumbers_and_maps_back() {
+        let g = parent();
+        let s = Subgraph::from_nodes([NodeId(1), NodeId(3), NodeId(4)]);
+        let (sub, back) = s.into_graph(&g).unwrap();
+        assert_eq!(back, vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        // New id 0 = parent 1, new id 1 = parent 3: the chord weight rides along.
+        assert_eq!(sub.weight(NodeId(0), NodeId(1)), Some(5.0));
+    }
+
+    #[test]
+    fn into_graph_rejects_empty_and_foreign_nodes() {
+        let g = parent();
+        assert!(Subgraph::new().into_graph(&g).is_err());
+        let s = Subgraph::from_nodes([NodeId(99)]);
+        assert!(s.into_graph(&g).is_err());
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = parent();
+        let connected = Subgraph::from_nodes([NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(connected.is_connected(&g));
+        assert_eq!(connected.component_count(&g), 1);
+
+        let split = Subgraph::from_nodes([NodeId(0), NodeId(4)]);
+        assert!(!split.is_connected(&g));
+        assert_eq!(split.component_count(&g), 2);
+
+        assert!(Subgraph::new().is_connected(&g));
+        assert_eq!(Subgraph::new().component_count(&g), 0);
+    }
+
+    #[test]
+    fn union_merges_node_sets() {
+        let mut a = Subgraph::from_nodes([NodeId(0), NodeId(1)]);
+        let b = Subgraph::from_nodes([NodeId(1), NodeId(2)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+    }
+}

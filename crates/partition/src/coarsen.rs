@@ -1,0 +1,188 @@
+//! Graph contraction and the coarsening hierarchy.
+
+use ceps_graph::{CsrGraph, GraphBuilder, NodeId};
+
+use crate::matching::{heavy_edge_matching, Matching};
+
+/// One level of the coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The graph at this level.
+    pub graph: CsrGraph,
+    /// How many *original* nodes each node at this level represents.
+    pub node_weight: Vec<f64>,
+    /// Map from this level's nodes to the **coarser** level's nodes
+    /// (`None` for the coarsest level).
+    pub to_coarser: Option<Vec<u32>>,
+}
+
+/// The full hierarchy, finest level first.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Levels, `levels[0]` being the input graph.
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// The coarsest level.
+    pub fn coarsest(&self) -> &Level {
+        self.levels
+            .last()
+            .expect("hierarchy has at least one level")
+    }
+}
+
+/// Contracts `graph` along `matching`, merging node weights and summing
+/// parallel edge weights. Returns the coarse graph, its node weights, and
+/// the fine→coarse map.
+pub fn contract(
+    graph: &CsrGraph,
+    node_weight: &[f64],
+    matching: &Matching,
+) -> (CsrGraph, Vec<f64>, Vec<u32>) {
+    let n = graph.node_count();
+    let mut to_coarse = vec![u32::MAX; n];
+    let mut coarse_weight = Vec::new();
+    // Assign coarse ids: each matched pair (v < mate) and each single node
+    // becomes one coarse node, in ascending order of the smaller endpoint.
+    for v in 0..n {
+        if to_coarse[v] != u32::MAX {
+            continue;
+        }
+        let m = matching.mate[v] as usize;
+        let id = coarse_weight.len() as u32;
+        to_coarse[v] = id;
+        let mut w = node_weight[v];
+        if m != v {
+            to_coarse[m] = id;
+            w += node_weight[m];
+        }
+        coarse_weight.push(w);
+    }
+
+    let mut b = GraphBuilder::with_nodes(coarse_weight.len());
+    for (a, c, w) in graph.edges() {
+        let ca = to_coarse[a.index()];
+        let cc = to_coarse[c.index()];
+        if ca != cc {
+            // GraphBuilder sums duplicate insertions, which merges the
+            // parallel edges contraction creates.
+            b.add_edge(NodeId(ca), NodeId(cc), w)
+                .expect("valid contracted edge");
+        }
+    }
+    let coarse = b.build().expect("contracted graph is non-empty");
+    (coarse, coarse_weight, to_coarse)
+}
+
+/// Builds the full coarsening hierarchy.
+///
+/// Coarsening stops when the graph has at most `target_nodes` nodes or a
+/// round shrinks the graph by less than ~10% (matching stalled — typical for
+/// star-like graphs where one hub exhausts its neighbors).
+pub fn coarsen(graph: &CsrGraph, target_nodes: usize, seed: u64) -> Hierarchy {
+    let mut levels = vec![Level {
+        graph: graph.clone(),
+        node_weight: vec![1.0; graph.node_count()],
+        to_coarser: None,
+    }];
+
+    let mut round = 0u64;
+    loop {
+        let current = levels.last().expect("non-empty");
+        let n = current.graph.node_count();
+        if n <= target_nodes {
+            break;
+        }
+        let matching = heavy_edge_matching(&current.graph, seed.wrapping_add(round));
+        let (coarse, weight, map) = contract(&current.graph, &current.node_weight, &matching);
+        let shrunk = coarse.node_count();
+        if shrunk as f64 > n as f64 * 0.95 {
+            break; // stalled
+        }
+        levels.last_mut().expect("non-empty").to_coarser = Some(map);
+        levels.push(Level {
+            graph: coarse,
+            node_weight: weight,
+            to_coarser: None,
+        });
+        round += 1;
+    }
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    fn grid(side: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        let id = |r: u32, c: u32| NodeId(r * side + c);
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    b.add_edge(id(r, c), id(r, c + 1), 1.0).unwrap();
+                }
+                if r + 1 < side {
+                    b.add_edge(id(r, c), id(r + 1, c), 1.0).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contract_preserves_total_node_weight() {
+        let g = grid(4);
+        let w = vec![1.0; g.node_count()];
+        let m = heavy_edge_matching(&g, 3);
+        let (coarse, cw, map) = contract(&g, &w, &m);
+        assert_eq!(cw.iter().sum::<f64>(), 16.0);
+        assert!(coarse.node_count() < g.node_count());
+        assert!(map.iter().all(|&c| (c as usize) < coarse.node_count()));
+    }
+
+    #[test]
+    fn contract_preserves_cut_edge_weight() {
+        // Total edge weight = intra-pair (removed) + inter-pair (kept, merged).
+        let g = grid(3);
+        let w = vec![1.0; g.node_count()];
+        let m = heavy_edge_matching(&g, 11);
+        let (coarse, _, map) = contract(&g, &w, &m);
+        let kept: f64 = g
+            .edges()
+            .filter(|(a, b, _)| map[a.index()] != map[b.index()])
+            .map(|(_, _, w)| w)
+            .sum();
+        assert!((coarse.total_weight() - kept).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = grid(8); // 64 nodes
+        let h = coarsen(&g, 10, 5);
+        assert!(
+            h.coarsest().graph.node_count() <= 16,
+            "coarsest has {} nodes",
+            h.coarsest().graph.node_count()
+        );
+        assert!(h.levels.len() >= 3);
+        // Total node weight is invariant across levels.
+        for level in &h.levels {
+            assert_eq!(level.node_weight.iter().sum::<f64>(), 64.0);
+        }
+        // Every non-coarsest level has a projection map.
+        for level in &h.levels[..h.levels.len() - 1] {
+            assert!(level.to_coarser.is_some());
+        }
+        assert!(h.coarsest().to_coarser.is_none());
+    }
+
+    #[test]
+    fn already_small_graph_is_single_level() {
+        let g = grid(2);
+        let h = coarsen(&g, 10, 0);
+        assert_eq!(h.levels.len(), 1);
+    }
+}

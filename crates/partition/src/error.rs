@@ -1,0 +1,58 @@
+//! Typed errors for the partitioner.
+
+use std::fmt;
+
+/// Errors produced by `ceps-partition`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// Requested part count was 0 or exceeded the node count.
+    BadPartCount {
+        /// Requested `k`.
+        k: usize,
+        /// Nodes available.
+        node_count: usize,
+    },
+    /// The balance tolerance was not a finite value `>= 0`.
+    BadEpsilon {
+        /// The rejected tolerance.
+        epsilon: f64,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::BadPartCount { k, node_count } => {
+                write!(
+                    f,
+                    "part count k = {k} must lie in 1..={node_count} (node count)"
+                )
+            }
+            PartitionError::BadEpsilon { epsilon } => {
+                write!(
+                    f,
+                    "balance tolerance epsilon = {epsilon} must be finite and >= 0"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PartitionError::BadPartCount {
+            k: 0,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("1..=5"));
+        let e = PartitionError::BadEpsilon { epsilon: f64::NAN };
+        assert!(e.to_string().contains("epsilon"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ceps-partition
+//!
+//! A from-scratch **multilevel k-way graph partitioner** in the METIS
+//! family, built because the paper's *Fast CePS* (Sec. 6, Table 5) uses
+//! METIS to "pre-partition W into p pieces" offline; at query time only the
+//! partitions containing query nodes are kept.
+//!
+//! The classic multilevel scheme (Karypis–Kumar) has three phases, each its
+//! own module:
+//!
+//! 1. **Coarsening** ([`matching`], [`coarsen`]) — repeatedly contract a
+//!    heavy-edge matching, so the strongest ties collapse first and the
+//!    coarse graph preserves community structure;
+//! 2. **Initial partitioning** ([`initial`]) — greedy region growing from
+//!    spread-out seeds on the coarsest graph;
+//! 3. **Uncoarsening + refinement** ([`refine`]) — project the partition
+//!    back level by level, locally moving boundary nodes to reduce the edge
+//!    cut while keeping parts balanced (a greedy Kernighan–Lin/FM-style
+//!    pass).
+//!
+//! The driver is [`partition_graph`] / [`PartitionConfig`]; quality metrics
+//! live in [`quality`].
+//!
+//! What Fast CePS needs from the partitioner — and therefore what the tests
+//! pin down — is modest: a *complete* assignment (every node gets exactly one
+//! of `k` parts), rough balance, and a small edge cut so that most of a query
+//! node's random-walk mass stays inside its own part.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coarsen;
+mod error;
+pub mod initial;
+pub mod kway;
+pub mod matching;
+pub mod quality;
+pub mod refine;
+
+pub use error::PartitionError;
+pub use kway::{partition_graph, PartitionConfig, Partitioning};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PartitionError>;

@@ -1,0 +1,126 @@
+//! Heavy-edge matching — the coarsening heuristic of Karypis–Kumar.
+//!
+//! Visiting nodes in a seeded random order, each unmatched node pairs with
+//! its heaviest-edged unmatched neighbor. Contracting such a matching halves
+//! the node count (in the limit) while preferentially collapsing the
+//! strongest ties — exactly the edges a good partition would not cut.
+
+use ceps_graph::CsrGraph;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// A matching over graph nodes: `mate[v] = u` if `{v, u}` matched, or
+/// `mate[v] = v` if `v` stayed single.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// Partner of each node (itself if unmatched).
+    pub mate: Vec<u32>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn pair_count(&self) -> usize {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter(|&(v, &m)| (v as u32) < m)
+            .count()
+    }
+
+    /// Checks the involution invariant `mate[mate[v]] == v`.
+    pub fn is_valid(&self) -> bool {
+        self.mate
+            .iter()
+            .enumerate()
+            .all(|(v, &m)| (m as usize) < self.mate.len() && self.mate[m as usize] == v as u32)
+    }
+}
+
+/// Computes a heavy-edge matching with a deterministic seeded visit order.
+pub fn heavy_edge_matching(graph: &CsrGraph, seed: u64) -> Matching {
+    let n = graph.node_count();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    for &v in &order {
+        if matched[v as usize] {
+            continue;
+        }
+        let vid = ceps_graph::NodeId(v);
+        let mut best: Option<(u32, f64)> = None;
+        for (u, w) in graph.neighbors(vid) {
+            if !matched[u.index()] && u.0 != v {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u.0, w)),
+                }
+            }
+        }
+        if let Some((u, _)) = best {
+            matched[v as usize] = true;
+            matched[u as usize] = true;
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+        }
+    }
+    Matching { mate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::{GraphBuilder, NodeId};
+
+    fn weighted_path() -> CsrGraph {
+        // 0 -1- 1 -9- 2 -1- 3: the heavy edge 1-2 should almost always match.
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 9.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matching_is_a_valid_involution() {
+        let g = weighted_path();
+        for seed in 0..20 {
+            let m = heavy_edge_matching(&g, seed);
+            assert!(m.is_valid(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // Square 0-1-3-2-0 where every node's heaviest neighbor lies on
+        // edge 0-1 (weight 9) or 2-3 (weight 5): whatever the visit order,
+        // the matching must be exactly {0-1, 2-3}.
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 9.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 5.0).unwrap();
+        let g = b.build().unwrap();
+        for seed in 0..20 {
+            let m = heavy_edge_matching(&g, seed);
+            assert_eq!(m.mate, vec![1, 0, 3, 2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_stay_single() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let m = heavy_edge_matching(&g, 7);
+        assert_eq!(m.mate[2], 2);
+        assert_eq!(m.pair_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = weighted_path();
+        assert_eq!(heavy_edge_matching(&g, 42), heavy_edge_matching(&g, 42));
+    }
+}

@@ -1,0 +1,71 @@
+//! Partition quality metrics.
+
+use ceps_graph::CsrGraph;
+
+/// Total weight of edges whose endpoints lie in different parts.
+pub fn edge_cut(graph: &CsrGraph, assignment: &[u32]) -> f64 {
+    graph
+        .edges()
+        .filter(|(a, b, _)| assignment[a.index()] != assignment[b.index()])
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// Fraction of total edge weight that is cut, in `[0, 1]` (0 for an
+/// edgeless graph).
+pub fn cut_fraction(graph: &CsrGraph, assignment: &[u32]) -> f64 {
+    let total = graph.total_weight();
+    if total == 0.0 {
+        0.0
+    } else {
+        edge_cut(graph, assignment) / total
+    }
+}
+
+/// Node counts per part.
+pub fn part_sizes(assignment: &[u32], k: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; k];
+    for &p in assignment {
+        sizes[p as usize] += 1;
+    }
+    sizes
+}
+
+/// Balance factor: `max part size / ideal size` (1.0 = perfectly balanced).
+pub fn balance(assignment: &[u32], k: usize) -> f64 {
+    let sizes = part_sizes(assignment, k);
+    let ideal = assignment.len() as f64 / k as f64;
+    sizes.iter().copied().max().unwrap_or(0) as f64 / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::{GraphBuilder, NodeId};
+
+    fn square() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cut_counts_cross_part_weight() {
+        let g = square();
+        // Split {0,1} vs {2,3}: cuts edges 1-2 (2.0) and 3-0 (4.0).
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 6.0);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0.0);
+        assert!((cut_fraction(&g, &[0, 0, 1, 1]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizes_and_balance() {
+        let a = [0u32, 0, 0, 1];
+        assert_eq!(part_sizes(&a, 2), vec![3, 1]);
+        assert!((balance(&a, 2) - 1.5).abs() < 1e-12);
+        let even = [0u32, 1, 0, 1];
+        assert!((balance(&even, 2) - 1.0).abs() < 1e-12);
+    }
+}

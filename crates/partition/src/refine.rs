@@ -1,0 +1,158 @@
+//! Boundary refinement — a greedy Kernighan–Lin/FM-style pass.
+
+use ceps_graph::{CsrGraph, NodeId};
+
+/// One refinement sweep: for every boundary node, move it to the adjacent
+/// part with the largest positive cut-gain, subject to the balance
+/// constraint. Returns the total gain achieved.
+///
+/// `capacity` is the maximum allowed part weight; moves that would push the
+/// destination past it (or empty the source part entirely) are skipped.
+pub fn refine_pass(
+    graph: &CsrGraph,
+    node_weight: &[f64],
+    assignment: &mut [u32],
+    part_weight: &mut [f64],
+    capacity: f64,
+) -> f64 {
+    let k = part_weight.len();
+    let mut total_gain = 0.0;
+    let mut conn = vec![0f64; k]; // connection strength to each part
+
+    for v in 0..graph.node_count() {
+        let vid = NodeId::from_index(v);
+        let from = assignment[v] as usize;
+
+        conn.iter_mut().for_each(|c| *c = 0.0);
+        let mut boundary = false;
+        for (u, w) in graph.neighbors(vid) {
+            let p = assignment[u.index()] as usize;
+            conn[p] += w;
+            if p != from {
+                boundary = true;
+            }
+        }
+        if !boundary {
+            continue;
+        }
+
+        // Best destination by gain = conn[to] - conn[from].
+        let mut best: Option<(usize, f64)> = None;
+        for (to, &c) in conn.iter().enumerate() {
+            if to == from {
+                continue;
+            }
+            let gain = c - conn[from];
+            if gain > 0.0
+                && part_weight[to] + node_weight[v] <= capacity
+                && part_weight[from] - node_weight[v] > 0.0
+            {
+                match best {
+                    Some((_, bg)) if bg >= gain => {}
+                    _ => best = Some((to, gain)),
+                }
+            }
+        }
+        if let Some((to, gain)) = best {
+            assignment[v] = to as u32;
+            part_weight[from] -= node_weight[v];
+            part_weight[to] += node_weight[v];
+            total_gain += gain;
+        }
+    }
+    total_gain
+}
+
+/// Runs refinement passes until a pass yields no gain (or `max_passes`).
+pub fn refine(
+    graph: &CsrGraph,
+    node_weight: &[f64],
+    assignment: &mut [u32],
+    k: usize,
+    epsilon: f64,
+    max_passes: usize,
+) {
+    let total: f64 = node_weight.iter().sum();
+    let capacity = (1.0 + epsilon) * total / k as f64;
+    let mut part_weight = vec![0f64; k];
+    for (v, &p) in assignment.iter().enumerate() {
+        part_weight[p as usize] += node_weight[v];
+    }
+    for _ in 0..max_passes {
+        let gain = refine_pass(graph, node_weight, assignment, &mut part_weight, capacity);
+        if gain <= 0.0 {
+            break;
+        }
+    }
+}
+
+/// Projects a coarse-level assignment to the finer level via the fine→coarse
+/// map produced during contraction.
+pub fn project(coarse_assignment: &[u32], to_coarser: &[u32]) -> Vec<u32> {
+    to_coarser
+        .iter()
+        .map(|&c| coarse_assignment[c as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::edge_cut;
+    use ceps_graph::GraphBuilder;
+
+    /// Two triangles bridged by one edge; a deliberately bad assignment puts
+    /// one triangle node on the wrong side.
+    fn bridged_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(NodeId(x), NodeId(y), 2.0).unwrap();
+        }
+        b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn refinement_fixes_a_misassigned_node() {
+        let g = bridged_triangles();
+        let w = vec![1.0; 6];
+        let mut a = vec![0, 0, 1, 1, 1, 1]; // node 2 wrongly in part 1
+        let before = edge_cut(&g, &a);
+        refine(&g, &w, &mut a, 2, 0.5, 8);
+        let after = edge_cut(&g, &a);
+        assert!(after < before, "cut {before} -> {after}");
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn refinement_respects_capacity() {
+        let g = bridged_triangles();
+        let w = vec![1.0; 6];
+        // epsilon = 0: capacity is exactly 3 per part; the balanced optimum
+        // is reachable but nothing may overfill.
+        let mut a = vec![0, 0, 1, 1, 1, 1];
+        refine(&g, &w, &mut a, 2, 0.0, 8);
+        let counts = [
+            a.iter().filter(|&&p| p == 0).count(),
+            a.iter().filter(|&&p| p == 1).count(),
+        ];
+        assert!(counts.iter().all(|&c| c <= 3));
+    }
+
+    #[test]
+    fn optimal_assignment_is_a_fixed_point() {
+        let g = bridged_triangles();
+        let w = vec![1.0; 6];
+        let mut a = vec![0, 0, 0, 1, 1, 1];
+        let before = a.clone();
+        refine(&g, &w, &mut a, 2, 0.5, 8);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn projection_composes_maps() {
+        let coarse = vec![0u32, 1];
+        let map = vec![0u32, 0, 1, 1, 0];
+        assert_eq!(project(&coarse, &map), vec![0, 0, 1, 1, 0]);
+    }
+}

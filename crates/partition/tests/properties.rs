@@ -1,0 +1,90 @@
+//! Property-based tests for the multilevel partitioner.
+
+use ceps_graph::{GraphBuilder, NodeId};
+use ceps_partition::{partition_graph, PartitionConfig};
+use proptest::prelude::*;
+
+/// Random connected graph: spanning path + chords, 4..=40 nodes.
+fn arb_graph() -> impl Strategy<Value = ceps_graph::CsrGraph> {
+    (4usize..=40).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..3 * n);
+        (Just(n), chords).prop_map(|(n, chords)| {
+            let mut b = GraphBuilder::with_nodes(n);
+            for i in 0..n - 1 {
+                b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1.0)
+                    .unwrap();
+            }
+            for (a, c, w) in chords {
+                if a != c {
+                    b.add_edge(NodeId(a as u32), NodeId(c as u32), w).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every node is assigned to a part in range, for any k and seed.
+    #[test]
+    fn assignment_is_total_and_in_range(
+        g in arb_graph(),
+        k in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= g.node_count());
+        let cfg = PartitionConfig { seed, ..PartitionConfig::with_parts(k) };
+        let p = partition_graph(&g, &cfg).unwrap();
+        prop_assert_eq!(p.assignment().len(), g.node_count());
+        prop_assert!(p.assignment().iter().all(|&x| (x as usize) < k));
+    }
+
+    /// The covering subgraph always contains all query nodes and is closed
+    /// under "same part" membership.
+    #[test]
+    fn covering_subgraph_is_part_closed(
+        g in arb_graph(),
+        k in 2usize..6,
+        seed in 0u64..100,
+        picks in proptest::collection::vec(0usize..40, 1..4),
+    ) {
+        prop_assume!(k <= g.node_count());
+        let cfg = PartitionConfig { seed, ..PartitionConfig::with_parts(k) };
+        let p = partition_graph(&g, &cfg).unwrap();
+        let queries: Vec<NodeId> = picks
+            .iter()
+            .map(|&x| NodeId((x % g.node_count()) as u32))
+            .collect();
+        let cover = p.covering_subgraph(&queries);
+        for &q in &queries {
+            prop_assert!(cover.contains(q));
+        }
+        for v in g.nodes() {
+            if cover.contains(v) {
+                // Everything in v's part must also be covered.
+                let part = p.part_of(v);
+                for u in g.nodes() {
+                    if p.part_of(u) == part {
+                        prop_assert!(cover.contains(u));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cut weight never exceeds total weight, and k=1 cuts nothing.
+    #[test]
+    fn cut_is_bounded(g in arb_graph(), k in 1usize..6, seed in 0u64..50) {
+        prop_assume!(k <= g.node_count());
+        let cfg = PartitionConfig { seed, ..PartitionConfig::with_parts(k) };
+        let p = partition_graph(&g, &cfg).unwrap();
+        let cut = p.edge_cut(&g);
+        prop_assert!(cut >= 0.0);
+        prop_assert!(cut <= g.total_weight() + 1e-9);
+        if k == 1 {
+            prop_assert_eq!(cut, 0.0);
+        }
+    }
+}

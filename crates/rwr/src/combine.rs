@@ -1,0 +1,205 @@
+//! Combining individual scores into query-set scores (Sec. 4.2).
+//!
+//! Model the `Q` particles as independent; particle `i` is at node `j` with
+//! probability `r(i, j)`. Then:
+//!
+//! * **AND** (Eq. 6): all particles meet at `j` — `∏ᵢ r(i, j)`;
+//! * **OR** (Eq. 7): at least one is at `j` — `1 − ∏ᵢ (1 − r(i, j))`;
+//! * **K_softAND** (Eqs. 8–9): at least `k` of the `Q` are at `j`.
+//!
+//! The paper computes K_softAND with the recursion of Eq. 9 to avoid the
+//! `O(2^Q)` enumeration. [`at_least_k`] implements the same quantity as a
+//! Poisson-binomial tail: a DP over the particles maintaining
+//! `P(exactly t particles present)`, `O(Q²)` time and `O(Q)` space per node.
+//! `and` and `or` are the `k = Q` and `k = 1` specializations — identities
+//! the unit and property tests pin down.
+
+use crate::{Result, RwrError, ScoreMatrix};
+
+/// `P(at least k of the events with probabilities `probs` occur)`,
+/// events independent.
+///
+/// This is `r(Q, j, k)` of Eq. 8 when `probs` is the column `r(·, j)`.
+/// Returns 0.0 if `k > probs.len()`; 1.0 if `k == 0`.
+///
+/// ```
+/// use ceps_rwr::combine::{and, at_least_k, or};
+///
+/// let p = [0.5, 0.5, 0.5];
+/// assert!((at_least_k(&p, 3) - and(&p)).abs() < 1e-12);   // AND = Q_softAND
+/// assert!((at_least_k(&p, 1) - or(&p)).abs() < 1e-12);    // OR = 1_softAND
+/// assert!((at_least_k(&p, 2) - 0.5).abs() < 1e-12);       // majority of 3 coins
+/// ```
+pub fn at_least_k(probs: &[f64], k: usize) -> f64 {
+    let q = probs.len();
+    if k == 0 {
+        return 1.0;
+    }
+    if k > q {
+        return 0.0;
+    }
+    // dp[t] = P(exactly t of the particles seen so far are present).
+    // Only counts up to k matter: everything >= k can be pooled once
+    // reached, but keeping the full vector up to k keeps the code simple
+    // and Q is tiny (<= 5 in the paper's experiments).
+    let mut dp = vec![0f64; k + 1];
+    dp[0] = 1.0;
+    for &p in probs {
+        // Walk downwards so each particle is counted once.
+        let top = k.min(q);
+        for t in (1..=top).rev() {
+            dp[t] = dp[t] * (1.0 - p) + dp[t - 1] * p;
+        }
+        dp[0] *= 1.0 - p;
+    }
+    // dp[k] after pooling: because we capped the vector at k, state k
+    // absorbed "k or more" transitions? No — the cap loses mass. Compute
+    // instead with the complement: P(at least k) = 1 - P(at most k-1).
+    1.0 - dp[..k].iter().sum::<f64>()
+}
+
+/// Eq. 6 — `AND` score `∏ r(i, j)` for one node's column of probabilities.
+pub fn and(probs: &[f64]) -> f64 {
+    probs.iter().product()
+}
+
+/// Eq. 7 — `OR` score `1 − ∏ (1 − r(i, j))`.
+pub fn or(probs: &[f64]) -> f64 {
+    1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>()
+}
+
+/// Combined scores `r(Q, ·)` for every node, for "at least k of Q".
+///
+/// # Errors
+/// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ Q`.
+pub fn combine_scores(scores: &ScoreMatrix, k: usize) -> Result<Vec<f64>> {
+    let q = scores.query_count();
+    if k == 0 || k > q {
+        return Err(RwrError::BadSoftAndK { k, query_count: q });
+    }
+    let n = scores.node_count();
+    let mut out = Vec::with_capacity(n);
+    let mut col = vec![0f64; q];
+    for j in 0..n {
+        scores.column_into(ceps_graph::NodeId::from_index(j), &mut col);
+        let v = if k == q {
+            and(&col)
+        } else if k == 1 {
+            or(&col)
+        } else {
+            at_least_k(&col, k)
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Brute-force `P(at least k)` by enumerating all `2^Q` outcomes — the
+/// exponential computation Eq. 9 exists to avoid. Exposed for tests and
+/// benchmarks only.
+pub fn at_least_k_bruteforce(probs: &[f64], k: usize) -> f64 {
+    let q = probs.len();
+    assert!(q <= 20, "brute force limited to small Q");
+    let mut total = 0.0;
+    for mask in 0u32..(1 << q) {
+        if (mask.count_ones() as usize) < k {
+            continue;
+        }
+        let mut p = 1.0;
+        for (i, &pi) in probs.iter().enumerate() {
+            p *= if mask & (1 << i) != 0 { pi } else { 1.0 - pi };
+        }
+        total += p;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::NodeId;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn k_edge_cases() {
+        let p = [0.3, 0.5, 0.2];
+        assert_eq!(at_least_k(&p, 0), 1.0);
+        assert_eq!(at_least_k(&p, 4), 0.0);
+    }
+
+    #[test]
+    fn and_is_q_soft_and() {
+        let p = [0.3, 0.5, 0.2, 0.9];
+        assert!((at_least_k(&p, 4) - and(&p)).abs() < EPS);
+    }
+
+    #[test]
+    fn or_is_one_soft_and() {
+        let p = [0.3, 0.5, 0.2, 0.9];
+        assert!((at_least_k(&p, 1) - or(&p)).abs() < EPS);
+    }
+
+    #[test]
+    fn matches_bruteforce_for_all_k() {
+        let p = [0.13, 0.42, 0.9, 0.05, 0.66];
+        for k in 0..=6 {
+            let fast = at_least_k(&p, k);
+            let slow = at_least_k_bruteforce(&p, k);
+            assert!((fast - slow).abs() < EPS, "k={k}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_k() {
+        let p = [0.2, 0.7, 0.4, 0.55];
+        for k in 1..p.len() {
+            assert!(at_least_k(&p, k) >= at_least_k(&p, k + 1) - EPS);
+        }
+    }
+
+    #[test]
+    fn certain_and_impossible_events() {
+        assert!((at_least_k(&[1.0, 1.0, 0.0], 2) - 1.0).abs() < EPS);
+        assert!((at_least_k(&[1.0, 1.0, 0.0], 3)).abs() < EPS);
+        assert!((at_least_k(&[0.0, 0.0], 1)).abs() < EPS);
+    }
+
+    #[test]
+    fn combine_scores_validates_k_and_matches_pointwise() {
+        let m = ScoreMatrix::new(
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![
+                vec![0.5, 0.2, 0.3],
+                vec![0.1, 0.6, 0.3],
+                vec![0.25, 0.25, 0.5],
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            combine_scores(&m, 0),
+            Err(RwrError::BadSoftAndK { .. })
+        ));
+        assert!(matches!(
+            combine_scores(&m, 4),
+            Err(RwrError::BadSoftAndK { .. })
+        ));
+        let c2 = combine_scores(&m, 2).unwrap();
+        for j in 0..3 {
+            let col = m.column(NodeId(j as u32));
+            assert!((c2[j] - at_least_k_bruteforce(&col, 2)).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn and_column_identity_on_matrix() {
+        let m = ScoreMatrix::new(
+            vec![NodeId(0), NodeId(1)],
+            vec![vec![0.5, 0.5], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let c = combine_scores(&m, 2).unwrap();
+        assert!((c[0] - 0.2).abs() < EPS);
+        assert!((c[1] - 0.3).abs() < EPS);
+    }
+}

@@ -1,0 +1,202 @@
+//! Edge goodness scores (Eqs. 15–18).
+//!
+//! The `ERatio` evaluation metric (Eq. 14) needs, for every edge `(j, l)`,
+//! the probability that the edge is "traversed simultaneously" by all (or at
+//! least `k`) of the `Q` particles. The paper builds it in two steps:
+//!
+//! * Per query (Eq. 15):
+//!   `r(i, (j, l)) = ½ · (r(i, j) · W̃[l, j] + r(i, l) · W̃[j, l])` —
+//!   the stationary flow of particle `i` across the edge, averaged over the
+//!   two directions.
+//! * Combination across queries (Eqs. 16–18): exactly the node-score
+//!   combinators applied to the per-query edge scores.
+
+use ceps_graph::{CsrGraph, NodeId, Transition};
+
+use crate::combine::{and, at_least_k, or};
+use crate::{Result, RwrError, ScoreMatrix};
+
+/// Computes per-edge goodness scores for a fixed score matrix and operator.
+///
+/// Borrows both: the engine of a CePS run already owns them.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeScores<'a> {
+    scores: &'a ScoreMatrix,
+    transition: &'a Transition,
+}
+
+impl<'a> EdgeScores<'a> {
+    /// Creates the scorer.
+    ///
+    /// # Panics
+    /// Panics if the matrix and operator disagree on the node count.
+    pub fn new(scores: &'a ScoreMatrix, transition: &'a Transition) -> Self {
+        assert_eq!(
+            scores.node_count(),
+            transition.node_count(),
+            "score matrix and transition must cover the same graph"
+        );
+        EdgeScores { scores, transition }
+    }
+
+    /// Eq. 15 — goodness of edge `(j, l)` wrt the `i`-th query.
+    ///
+    /// Returns 0.0 if `(j, l)` is not an edge of the underlying operator.
+    pub fn individual(&self, i: usize, j: NodeId, l: NodeId) -> f64 {
+        let w_lj = self.transition.coeff(l, j).unwrap_or(0.0);
+        let w_jl = self.transition.coeff(j, l).unwrap_or(0.0);
+        0.5 * (self.scores.score(i, j) * w_lj + self.scores.score(i, l) * w_jl)
+    }
+
+    /// Per-query scores of edge `(j, l)` gathered into a buffer of length `Q`.
+    pub fn individual_all(&self, j: NodeId, l: NodeId, buf: &mut Vec<f64>) {
+        buf.clear();
+        let w_lj = self.transition.coeff(l, j).unwrap_or(0.0);
+        let w_jl = self.transition.coeff(j, l).unwrap_or(0.0);
+        for i in 0..self.scores.query_count() {
+            buf.push(0.5 * (self.scores.score(i, j) * w_lj + self.scores.score(i, l) * w_jl));
+        }
+    }
+
+    /// Eqs. 16–18 — combined goodness `r(Q, (j, l), k)` of one edge.
+    ///
+    /// # Errors
+    /// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ Q`.
+    pub fn combined(&self, k: usize, j: NodeId, l: NodeId) -> Result<f64> {
+        let q = self.scores.query_count();
+        if k == 0 || k > q {
+            return Err(RwrError::BadSoftAndK { k, query_count: q });
+        }
+        let mut buf = Vec::with_capacity(q);
+        self.individual_all(j, l, &mut buf);
+        Ok(Self::combine_buf(&buf, k, q))
+    }
+
+    #[inline]
+    fn combine_buf(buf: &[f64], k: usize, q: usize) -> f64 {
+        if k == q {
+            and(buf)
+        } else if k == 1 {
+            or(buf)
+        } else {
+            at_least_k(buf, k)
+        }
+    }
+
+    /// Sum of `r(Q, (j, l), k)` over **all** edges of `graph` — the
+    /// denominator of `ERatio` (Eq. 14).
+    ///
+    /// # Errors
+    /// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ Q`.
+    pub fn total_combined(&self, graph: &CsrGraph, k: usize) -> Result<f64> {
+        let q = self.scores.query_count();
+        if k == 0 || k > q {
+            return Err(RwrError::BadSoftAndK { k, query_count: q });
+        }
+        let mut buf = Vec::with_capacity(q);
+        let mut total = 0.0;
+        for (j, l, _) in graph.edges() {
+            self.individual_all(j, l, &mut buf);
+            total += Self::combine_buf(&buf, k, q);
+        }
+        Ok(total)
+    }
+
+    /// Sum of `r(Q, (j, l), k)` over a caller-supplied edge list — the
+    /// numerator of `ERatio` for an extracted subgraph.
+    ///
+    /// # Errors
+    /// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ Q`.
+    pub fn sum_combined<I>(&self, edges: I, k: usize) -> Result<f64>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let q = self.scores.query_count();
+        if k == 0 || k > q {
+            return Err(RwrError::BadSoftAndK { k, query_count: q });
+        }
+        let mut buf = Vec::with_capacity(q);
+        let mut total = 0.0;
+        for (j, l) in edges {
+            self.individual_all(j, l, &mut buf);
+            total += Self::combine_buf(&buf, k, q);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RwrConfig, RwrEngine};
+    use ceps_graph::{normalize::Normalization, GraphBuilder};
+
+    fn setup() -> (CsrGraph, Transition) {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 1.0), (2, 3, 1.0)] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        (g, t)
+    }
+
+    #[test]
+    fn individual_matches_hand_computation() {
+        let (_, t) = setup();
+        let m = ScoreMatrix::new(vec![NodeId(0)], vec![vec![0.4, 0.3, 0.2, 0.1]]).unwrap();
+        let es = EdgeScores::new(&m, &t);
+        // Edge (0, 1): W̃[1,0] = w(0,1)/d_0 = 1/2; W̃[0,1] = 1/3.
+        let want = 0.5 * (0.4 * 0.5 + 0.3 * (1.0 / 3.0));
+        assert!((es.individual(0, NodeId(0), NodeId(1)) - want).abs() < 1e-12);
+        // Symmetric in argument order by construction.
+        assert!(
+            (es.individual(0, NodeId(0), NodeId(1)) - es.individual(0, NodeId(1), NodeId(0))).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn non_edges_score_zero() {
+        let (_, t) = setup();
+        let m = ScoreMatrix::new(vec![NodeId(0)], vec![vec![0.4, 0.3, 0.2, 0.1]]).unwrap();
+        let es = EdgeScores::new(&m, &t);
+        assert_eq!(es.individual(0, NodeId(0), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn combined_specializations_agree() {
+        let (g, t) = setup();
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        let m = engine.solve_many(&[NodeId(0), NodeId(3)]).unwrap();
+        let es = EdgeScores::new(&m, &t);
+        for (j, l, _) in g.edges() {
+            let p0 = es.individual(0, j, l);
+            let p1 = es.individual(1, j, l);
+            let and2 = es.combined(2, j, l).unwrap();
+            let or1 = es.combined(1, j, l).unwrap();
+            assert!((and2 - p0 * p1).abs() < 1e-12);
+            assert!((or1 - (1.0 - (1.0 - p0) * (1.0 - p1))).abs() < 1e-12);
+        }
+        assert!(es.combined(0, NodeId(0), NodeId(1)).is_err());
+        assert!(es.combined(3, NodeId(0), NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn totals_decompose_over_edges() {
+        let (g, t) = setup();
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        let m = engine.solve_many(&[NodeId(0), NodeId(3)]).unwrap();
+        let es = EdgeScores::new(&m, &t);
+        let total = es.total_combined(&g, 2).unwrap();
+        let manual: f64 = g
+            .edges()
+            .map(|(j, l, _)| es.combined(2, j, l).unwrap())
+            .sum();
+        assert!((total - manual).abs() < 1e-12);
+        let partial = es
+            .sum_combined(vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))], 2)
+            .unwrap();
+        assert!(partial <= total + 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed errors for the RWR engine.
+
+use std::fmt;
+
+use ceps_graph::{GraphError, NodeId};
+
+/// Errors produced by `ceps-rwr`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RwrError {
+    /// The restart parameter `c` was outside the open interval `(0, 1)`.
+    ///
+    /// `c = 0` degenerates to "never walk" and `c = 1` to "never restart",
+    /// both of which break the contraction argument behind Eq. 12.
+    InvalidRestart {
+        /// The rejected value.
+        c: f64,
+    },
+    /// A query node id was outside the graph.
+    BadQueryNode {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// The query set was empty.
+    NoQueries,
+    /// A `K_softAND` coefficient `k` was outside `1..=Q`.
+    BadSoftAndK {
+        /// The rejected coefficient.
+        k: usize,
+        /// Number of queries.
+        query_count: usize,
+    },
+    /// The graph exceeds the size cap of a dense precomputed operator
+    /// (the "heavy burden when N is big" of Sec. 6).
+    GraphTooLarge {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// The configured cap.
+        max_nodes: usize,
+    },
+    /// An underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for RwrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwrError::InvalidRestart { c } => {
+                write!(
+                    f,
+                    "restart coefficient c = {c} must lie strictly between 0 and 1"
+                )
+            }
+            RwrError::BadQueryNode { node, node_count } => {
+                write!(
+                    f,
+                    "query node {node} out of bounds for graph with {node_count} nodes"
+                )
+            }
+            RwrError::NoQueries => write!(f, "query set is empty"),
+            RwrError::BadSoftAndK { k, query_count } => {
+                write!(
+                    f,
+                    "K_softAND coefficient k = {k} must lie in 1..={query_count}"
+                )
+            }
+            RwrError::GraphTooLarge { nodes, max_nodes } => {
+                write!(
+                    f,
+                    "graph with {nodes} nodes exceeds the dense-precompute cap of {max_nodes}"
+                )
+            }
+            RwrError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RwrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RwrError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for RwrError {
+    fn from(e: GraphError) -> Self {
+        RwrError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_bad_value() {
+        assert!(RwrError::InvalidRestart { c: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(RwrError::BadSoftAndK {
+            k: 9,
+            query_count: 3
+        }
+        .to_string()
+        .contains("1..=3"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Dense closed-form solver for Eq. 12 — the test oracle.
+//!
+//! `R^T = (1 − c)(I − c W̃)⁻¹ E` solved by Gaussian elimination with partial
+//! pivoting. This is `O(N³)` and meant for graphs of at most a few thousand
+//! nodes: its job is to certify the power-iteration solver in unit and
+//! property tests, and to quantify the truncation error of `m = 50`
+//! iterations (the paper's setting) in the benchmark harness.
+
+use ceps_graph::{NodeId, Transition};
+
+use crate::{Result, RwrError, ScoreMatrix};
+
+/// Solves `(I − c·M) x = (1 − c) e_q` exactly for each query.
+///
+/// # Errors
+/// [`RwrError::InvalidRestart`] unless `0 < c < 1`; [`RwrError::NoQueries`]
+/// or [`RwrError::BadQueryNode`] for bad query sets.
+///
+/// # Panics
+/// Panics if the system is numerically singular, which cannot happen for a
+/// (sub)stochastic `M` and `0 < c < 1`.
+pub fn solve_exact(transition: &Transition, c: f64, queries: &[NodeId]) -> Result<ScoreMatrix> {
+    if !(c > 0.0 && c < 1.0) {
+        return Err(RwrError::InvalidRestart { c });
+    }
+    if queries.is_empty() {
+        return Err(RwrError::NoQueries);
+    }
+    let n = transition.node_count();
+    for &q in queries {
+        if q.index() >= n {
+            return Err(RwrError::BadQueryNode {
+                node: q,
+                node_count: n,
+            });
+        }
+    }
+
+    // A = I − c·M, dense row-major.
+    let dense = transition.to_dense();
+    let mut a = vec![0f64; n * n];
+    for (i, row) in dense.iter().enumerate() {
+        for (j, &m) in row.iter().enumerate() {
+            a[i * n + j] = if i == j { 1.0 - c * m } else { -c * m };
+        }
+    }
+
+    let lu = LuFactors::factor(a, n);
+    let rows = queries
+        .iter()
+        .map(|&q| {
+            let mut b = vec![0f64; n];
+            b[q.index()] = 1.0 - c;
+            lu.solve_in_place(&mut b);
+            b
+        })
+        .collect();
+    ScoreMatrix::new(queries.to_vec(), rows)
+}
+
+/// LU factorization with partial pivoting, reused across right-hand sides.
+#[derive(Debug)]
+pub(crate) struct LuFactors {
+    lu: Vec<f64>,
+    pivots: Vec<usize>,
+    n: usize,
+}
+
+impl LuFactors {
+    pub(crate) fn factor(mut a: Vec<f64>, n: usize) -> Self {
+        let mut pivots = vec![0usize; n];
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut p = k;
+            let mut best = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            assert!(best > 0.0, "singular system in exact RWR solve");
+            pivots[k] = p;
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let factor = a[i * n + k] / pivot;
+                a[i * n + k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        a[i * n + j] -= factor * a[k * n + j];
+                    }
+                }
+            }
+        }
+        LuFactors { lu: a, pivots, n }
+    }
+
+    pub(crate) fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.n;
+        // Apply row swaps.
+        for k in 0..n {
+            let p = self.pivots[k];
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+        // Forward substitution (L has implicit unit diagonal).
+        for i in 1..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * b[j];
+            }
+            b[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * b[j];
+            }
+            b[i] = s / self.lu[i * n + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RwrConfig, RwrEngine};
+    use ceps_graph::{normalize::Normalization, GraphBuilder};
+
+    fn small_graph() -> Transition {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 3.0),
+            (4, 0, 1.0),
+            (1, 3, 0.5),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        let g = b.build().unwrap();
+        Transition::new(&g, Normalization::DegreePenalized { alpha: 0.5 })
+    }
+
+    #[test]
+    fn exact_solution_satisfies_fixed_point() {
+        let t = small_graph();
+        let c = 0.5;
+        let m = solve_exact(&t, c, &[NodeId(0)]).unwrap();
+        let r = m.row(0);
+        let mut mx = vec![0f64; r.len()];
+        t.apply(r, &mut mx);
+        for j in 0..r.len() {
+            let rhs = c * mx[j] + if j == 0 { 1.0 - c } else { 0.0 };
+            assert!((r[j] - rhs).abs() < 1e-12, "fixed point violated at {j}");
+        }
+    }
+
+    #[test]
+    fn exact_distribution_is_probability() {
+        let t = small_graph();
+        let m = solve_exact(&t, 0.5, &[NodeId(2)]).unwrap();
+        let r = m.row(0);
+        assert!(r.iter().all(|&v| v >= -1e-15));
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10, "sum {sum}");
+    }
+
+    #[test]
+    fn power_iteration_converges_to_exact() {
+        let t = small_graph();
+        let exact = solve_exact(&t, 0.5, &[NodeId(1)]).unwrap();
+        let cfg = RwrConfig {
+            max_iterations: 200,
+            ..Default::default()
+        };
+        let approx = RwrEngine::new(&t, cfg)
+            .unwrap()
+            .solve_many(&[NodeId(1)])
+            .unwrap();
+        for j in 0..exact.node_count() {
+            let d = (exact.row(0)[j] - approx.row(0)[j]).abs();
+            assert!(d < 1e-10, "node {j}: diff {d}");
+        }
+    }
+
+    #[test]
+    fn fifty_iterations_is_close_like_the_paper_says() {
+        // Sec. 7 fixes m = 50; on a small graph the truncation error at
+        // c = 0.5 is bounded by roughly c^m and should be negligible.
+        let t = small_graph();
+        let exact = solve_exact(&t, 0.5, &[NodeId(0)]).unwrap();
+        let approx = RwrEngine::new(&t, RwrConfig::default())
+            .unwrap()
+            .solve_many(&[NodeId(0)])
+            .unwrap();
+        let l1: f64 = (0..exact.node_count())
+            .map(|j| (exact.row(0)[j] - approx.row(0)[j]).abs())
+            .sum();
+        assert!(l1 < 1e-12, "L1 truncation error {l1}");
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let t = small_graph();
+        assert!(solve_exact(&t, 0.0, &[NodeId(0)]).is_err());
+        assert!(solve_exact(&t, 0.5, &[]).is_err());
+        assert!(solve_exact(&t, 0.5, &[NodeId(99)]).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Precomputed-inverse RWR — the paper's "obvious" speedup (Sec. 6).
+//!
+//! > "An obvious way to speed up CePS is to pre-compute and store the
+//! > matrix `A = (I − c W̃)⁻¹`, then `R^T = (1 − c) A E` can be computed
+//! > on-line nearly real-time. However, in this way, we have to store the
+//! > whole `N × N` matrix A, which is a heavy burden when N is big."
+//!
+//! [`PrecomputedRwr`] implements exactly that trade-off: an `O(N³)` offline
+//! factorization + inversion, `8·N²` bytes of storage, and then each query
+//! is a single **column read** — `r(i, ·) = (1 − c) · A[·, q_i]`, `O(N)`
+//! with no iteration at all. The constructor refuses graphs above a size
+//! cap precisely because of the memory burden the paper calls out; Fast
+//! CePS (graph pre-partitioning) is the scalable alternative.
+
+use ceps_graph::{NodeId, Transition};
+
+use crate::exact::LuFactors;
+use crate::{Result, RwrError, ScoreMatrix};
+
+/// A dense precomputed `(1 − c)(I − c W̃)⁻¹`, stored column-major so a
+/// query is one contiguous copy.
+#[derive(Debug, Clone)]
+pub struct PrecomputedRwr {
+    /// Column-major `n × n`: `a[q * n + j] = r(q, j)`.
+    columns: Vec<f64>,
+    n: usize,
+    c: f64,
+}
+
+impl PrecomputedRwr {
+    /// Default node-count cap (2¹² nodes ⇒ 128 MiB of f64).
+    pub const DEFAULT_MAX_NODES: usize = 4096;
+
+    /// Precomputes the full solution operator. `max_nodes` guards the
+    /// `O(N²)` memory / `O(N³)` time; pass
+    /// [`Self::DEFAULT_MAX_NODES`] unless you know better.
+    ///
+    /// # Errors
+    /// [`RwrError::InvalidRestart`] for `c` outside `(0, 1)`, or
+    /// [`RwrError::GraphTooLarge`] above the cap.
+    pub fn new(transition: &Transition, c: f64, max_nodes: usize) -> Result<Self> {
+        if !(c > 0.0 && c < 1.0) {
+            return Err(RwrError::InvalidRestart { c });
+        }
+        let n = transition.node_count();
+        if n > max_nodes {
+            return Err(RwrError::GraphTooLarge {
+                nodes: n,
+                max_nodes,
+            });
+        }
+
+        // Factor I - cM once, then back-substitute one unit vector per
+        // column. (Explicit inversion via LU; the solves dominate.)
+        let dense = transition.to_dense();
+        let mut a = vec![0f64; n * n];
+        for (i, row) in dense.iter().enumerate() {
+            for (j, &m) in row.iter().enumerate() {
+                a[i * n + j] = if i == j { 1.0 - c * m } else { -c * m };
+            }
+        }
+        let lu = LuFactors::factor(a, n);
+
+        let mut columns = vec![0f64; n * n];
+        let mut rhs = vec![0f64; n];
+        for q in 0..n {
+            rhs.iter_mut().for_each(|x| *x = 0.0);
+            rhs[q] = 1.0 - c;
+            lu.solve_in_place(&mut rhs);
+            columns[q * n..(q + 1) * n].copy_from_slice(&rhs);
+        }
+        Ok(PrecomputedRwr { columns, n, c })
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The restart coefficient the operator was built for.
+    pub fn restart(&self) -> f64 {
+        self.c
+    }
+
+    /// Bytes of storage the dense operator occupies — the "heavy burden"
+    /// the paper warns about; exposed so callers can report it.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.len() * std::mem::size_of::<f64>()
+    }
+
+    /// The full stationary distribution for one query: a column copy,
+    /// `O(N)`.
+    ///
+    /// # Errors
+    /// [`RwrError::BadQueryNode`] for an out-of-range query.
+    pub fn query(&self, q: NodeId) -> Result<Vec<f64>> {
+        if q.index() >= self.n {
+            return Err(RwrError::BadQueryNode {
+                node: q,
+                node_count: self.n,
+            });
+        }
+        Ok(self.columns[q.index() * self.n..(q.index() + 1) * self.n].to_vec())
+    }
+
+    /// Score matrix for a whole query set.
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] / [`RwrError::BadQueryNode`].
+    pub fn query_many(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        if queries.is_empty() {
+            return Err(RwrError::NoQueries);
+        }
+        let rows = queries
+            .iter()
+            .map(|&q| self.query(q))
+            .collect::<Result<Vec<_>>>()?;
+        ScoreMatrix::new(queries.to_vec(), rows)
+    }
+
+    /// Single entry `r(q, j)` without copying the column.
+    pub fn score(&self, q: NodeId, j: NodeId) -> f64 {
+        self.columns[q.index() * self.n + j.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use ceps_graph::{normalize::Normalization, GraphBuilder};
+
+    fn transition() -> Transition {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.5),
+            (3, 0, 1.0),
+            (0, 2, 0.5),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        let g = b.build().unwrap();
+        Transition::new(&g, Normalization::DegreePenalized { alpha: 0.5 })
+    }
+
+    #[test]
+    fn matches_the_exact_solver_for_every_query() {
+        let t = transition();
+        let pre = PrecomputedRwr::new(&t, 0.5, 100).unwrap();
+        for q in 0..4u32 {
+            let exact = solve_exact(&t, 0.5, &[NodeId(q)]).unwrap();
+            let col = pre.query(NodeId(q)).unwrap();
+            for j in 0..4 {
+                assert!((exact.row(0)[j] - col[j]).abs() < 1e-12, "q={q} j={j}");
+                assert!((pre.score(NodeId(q), NodeId(j as u32)) - col[j]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn query_many_builds_a_score_matrix() {
+        let t = transition();
+        let pre = PrecomputedRwr::new(&t, 0.5, 100).unwrap();
+        let m = pre.query_many(&[NodeId(0), NodeId(3)]).unwrap();
+        assert_eq!(m.query_count(), 2);
+        let sums = m.row_sums();
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn enforces_the_memory_cap() {
+        let t = transition();
+        let err = PrecomputedRwr::new(&t, 0.5, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            RwrError::GraphTooLarge {
+                nodes: 4,
+                max_nodes: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let t = transition();
+        assert!(PrecomputedRwr::new(&t, 0.0, 100).is_err());
+        let pre = PrecomputedRwr::new(&t, 0.5, 100).unwrap();
+        assert!(pre.query(NodeId(77)).is_err());
+        assert!(pre.query_many(&[]).is_err());
+        assert_eq!(pre.memory_bytes(), 4 * 4 * 8);
+        assert_eq!(pre.restart(), 0.5);
+        assert_eq!(pre.node_count(), 4);
+    }
+}

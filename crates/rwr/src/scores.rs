@@ -1,0 +1,160 @@
+//! The `Q × N` score matrix `R = [r(i, j)]`.
+
+use ceps_graph::NodeId;
+
+use crate::{Result, RwrError};
+
+/// Individual closeness scores for a set of query nodes: row `i` holds
+/// `r(i, ·)`, the RWR stationary distribution of query `q_i` (Eq. 3/4).
+///
+/// This is the matrix `R` of Table 2. Rows are dense `Vec<f64>` because the
+/// downstream consumers (score combination, EXTRACT's per-source node
+/// ordering) touch every entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreMatrix {
+    sources: Vec<NodeId>,
+    /// `rows[i][j] = r(i, j)`; every row has length `node_count`.
+    rows: Vec<Vec<f64>>,
+    node_count: usize,
+}
+
+impl ScoreMatrix {
+    /// Assembles a matrix from per-source rows.
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] if `sources` is empty.
+    ///
+    /// # Panics
+    /// Panics if row lengths disagree or don't match `sources`.
+    pub fn new(sources: Vec<NodeId>, rows: Vec<Vec<f64>>) -> Result<Self> {
+        if sources.is_empty() {
+            return Err(RwrError::NoQueries);
+        }
+        assert_eq!(sources.len(), rows.len(), "one row per source required");
+        let node_count = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == node_count),
+            "all rows must have equal length"
+        );
+        Ok(ScoreMatrix {
+            sources,
+            rows,
+            node_count,
+        })
+    }
+
+    /// Number of query nodes `Q`.
+    #[inline]
+    pub fn query_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of nodes `N`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The query nodes, in row order.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// `r(i, j)` — closeness of node `j` wrt the `i`-th query.
+    #[inline]
+    pub fn score(&self, i: usize, j: NodeId) -> f64 {
+        self.rows[i][j.index()]
+    }
+
+    /// Full row `r(i, ·)`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Column `r(·, j)` gathered into a small buffer (length `Q`).
+    pub fn column(&self, j: NodeId) -> Vec<f64> {
+        self.rows.iter().map(|r| r[j.index()]).collect()
+    }
+
+    /// Gathers column `j` into `buf` without allocating (`buf.len() == Q`).
+    pub fn column_into(&self, j: NodeId, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.query_count());
+        for (slot, row) in buf.iter_mut().zip(&self.rows) {
+            *slot = row[j.index()];
+        }
+    }
+
+    /// Nodes sorted by descending `r(i, ·)` — the order the EXTRACT path DP
+    /// processes nodes in (Sec. 5: "we arrange the nodes in descending order
+    /// of r(i, j)"). Ties break by ascending id for determinism.
+    pub fn descending_order(&self, i: usize) -> Vec<NodeId> {
+        let row = &self.rows[i];
+        let mut order: Vec<u32> = (0..self.node_count as u32).collect();
+        order
+            .sort_unstable_by(|&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b)));
+        order.into_iter().map(NodeId).collect()
+    }
+
+    /// Row sums — 1.0 for exact stationary distributions over connected
+    /// graphs; tests use this to check solver fidelity.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScoreMatrix {
+        ScoreMatrix::new(
+            vec![NodeId(0), NodeId(3)],
+            vec![vec![0.5, 0.3, 0.1, 0.1], vec![0.1, 0.2, 0.3, 0.4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.query_count(), 2);
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.score(0, NodeId(1)), 0.3);
+        assert_eq!(m.column(NodeId(2)), vec![0.1, 0.3]);
+        let mut buf = [0.0; 2];
+        m.column_into(NodeId(3), &mut buf);
+        assert_eq!(buf, [0.1, 0.4]);
+    }
+
+    #[test]
+    fn descending_order_breaks_ties_by_id() {
+        let m = sample();
+        let order = m.descending_order(0);
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let order = m.descending_order(1);
+        assert_eq!(order, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn empty_sources_rejected() {
+        assert!(matches!(
+            ScoreMatrix::new(vec![], vec![]),
+            Err(RwrError::NoQueries)
+        ));
+    }
+
+    #[test]
+    fn row_sums_reported() {
+        let m = sample();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_panic() {
+        let _ = ScoreMatrix::new(vec![NodeId(0), NodeId(1)], vec![vec![1.0], vec![0.5, 0.5]]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Power-iteration RWR solver (Eq. 4).
+
+use ceps_graph::{NodeId, Transition};
+
+use crate::{Result, RwrError, ScoreMatrix};
+
+/// Tuning knobs for the RWR solver.
+///
+/// Defaults follow the paper's experimental setup (Sec. 7, "Parameter
+/// Setting"): restart coefficient `c = 0.5` and `m = 50` iterations, at which
+/// point the authors "do not observe performance improvement with more
+/// iteration steps".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwrConfig {
+    /// Probability of continuing the walk (the `c` multiplying `W̃` in
+    /// Eq. 4); `1 − c` is the fly-out/restart probability.
+    pub c: f64,
+    /// Maximum number of power iterations (`m` in Table 2).
+    pub max_iterations: usize,
+    /// Optional early-exit: stop once the L1 change between successive
+    /// iterates drops below this. `None` always runs `max_iterations`.
+    pub tolerance: Option<f64>,
+    /// Number of worker threads for multi-source solves. 1 = sequential.
+    pub threads: usize,
+}
+
+impl Default for RwrConfig {
+    fn default() -> Self {
+        RwrConfig {
+            c: 0.5,
+            max_iterations: 50,
+            tolerance: None,
+            threads: 1,
+        }
+    }
+}
+
+impl RwrConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`RwrError::InvalidRestart`] unless `0 < c < 1`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.c > 0.0 && self.c < 1.0) {
+            return Err(RwrError::InvalidRestart { c: self.c });
+        }
+        Ok(())
+    }
+}
+
+/// Convergence diagnostics from a single-source solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// L1 difference between the final two iterates.
+    pub final_delta: f64,
+}
+
+/// Solves Eq. 4 over a fixed normalized operator.
+///
+/// Borrows the [`Transition`]; one engine serves any number of queries, which
+/// is how the pipeline amortizes normalization across the repeated solves of
+/// the evaluation sweeps.
+#[derive(Debug, Clone)]
+pub struct RwrEngine<'t> {
+    transition: &'t Transition,
+    config: RwrConfig,
+}
+
+impl<'t> RwrEngine<'t> {
+    /// Creates an engine over `transition` with `config`.
+    ///
+    /// # Errors
+    /// Propagates [`RwrConfig::validate`].
+    pub fn new(transition: &'t Transition, config: RwrConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(RwrEngine { transition, config })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RwrConfig {
+        &self.config
+    }
+
+    /// The operator the engine walks.
+    pub fn transition(&self) -> &Transition {
+        self.transition
+    }
+
+    fn check_node(&self, q: NodeId) -> Result<()> {
+        if q.index() >= self.transition.node_count() {
+            return Err(RwrError::BadQueryNode {
+                node: q,
+                node_count: self.transition.node_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Stationary distribution `r(i, ·)` for a single query node.
+    pub fn solve_single(&self, q: NodeId) -> Result<(Vec<f64>, SolveStats)> {
+        self.check_node(q)?;
+        let n = self.transition.node_count();
+        let c = self.config.c;
+        let restart = 1.0 - c;
+
+        let mut x = vec![0f64; n];
+        x[q.index()] = 1.0;
+        let mut next = vec![0f64; n];
+        let mut stats = SolveStats {
+            iterations: 0,
+            final_delta: f64::INFINITY,
+        };
+
+        for it in 0..self.config.max_iterations {
+            self.transition.apply(&x, &mut next);
+            let mut delta = 0.0;
+            for (i, slot) in next.iter_mut().enumerate() {
+                let v = c * *slot + if i == q.index() { restart } else { 0.0 };
+                delta += (v - x[i]).abs();
+                *slot = v;
+            }
+            std::mem::swap(&mut x, &mut next);
+            stats.iterations = it + 1;
+            stats.final_delta = delta;
+            if let Some(tol) = self.config.tolerance {
+                if delta < tol {
+                    break;
+                }
+            }
+        }
+        Ok((x, stats))
+    }
+
+    /// Stationary distributions for every query node, as the `R` matrix.
+    ///
+    /// With `config.threads > 1` the (independent) per-source solves run on
+    /// scoped worker threads.
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] on an empty slice or
+    /// [`RwrError::BadQueryNode`] for an out-of-range query.
+    pub fn solve_many(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        if queries.is_empty() {
+            return Err(RwrError::NoQueries);
+        }
+        for &q in queries {
+            self.check_node(q)?;
+        }
+
+        let rows: Vec<Vec<f64>> = if self.config.threads <= 1 || queries.len() == 1 {
+            let mut rows = Vec::with_capacity(queries.len());
+            for &q in queries {
+                rows.push(self.solve_single(q)?.0);
+            }
+            rows
+        } else {
+            self.solve_parallel(queries)?
+        };
+        ScoreMatrix::new(queries.to_vec(), rows)
+    }
+
+    fn solve_parallel(&self, queries: &[NodeId]) -> Result<Vec<Vec<f64>>> {
+        let workers = self.config.threads.min(queries.len());
+        let mut rows: Vec<Option<Vec<f64>>> = vec![None; queries.len()];
+        let indexed: Vec<(usize, NodeId)> = queries.iter().copied().enumerate().collect();
+        let chunk = indexed.len().div_ceil(workers);
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for part in indexed.chunks(chunk) {
+                handles.push(scope.spawn(move |_| -> Result<Vec<(usize, Vec<f64>)>> {
+                    part.iter()
+                        .map(|&(i, q)| Ok((i, self.solve_single(q)?.0)))
+                        .collect()
+                }));
+            }
+            for h in handles {
+                for (i, row) in h.join().expect("rwr worker panicked")? {
+                    rows[i] = Some(row);
+                }
+            }
+            Ok::<(), RwrError>(())
+        })
+        .expect("rwr scope panicked")?;
+
+        Ok(rows
+            .into_iter()
+            .map(|r| r.expect("all rows filled"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::{normalize::Normalization, GraphBuilder};
+
+    fn line_graph(n: u32) -> Transition {
+        let mut b = GraphBuilder::new();
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        Transition::new(&g, Normalization::ColumnStochastic)
+    }
+
+    #[test]
+    fn rejects_bad_restart() {
+        let t = line_graph(3);
+        for c in [0.0, 1.0, -0.5, 2.0] {
+            let cfg = RwrConfig {
+                c,
+                ..Default::default()
+            };
+            assert!(RwrEngine::new(&t, cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_query_node_and_empty_set() {
+        let t = line_graph(3);
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        assert!(matches!(
+            engine.solve_single(NodeId(5)),
+            Err(RwrError::BadQueryNode { .. })
+        ));
+        assert!(matches!(engine.solve_many(&[]), Err(RwrError::NoQueries)));
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_peaks_at_source() {
+        let t = line_graph(6);
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        let (r, stats) = engine.solve_single(NodeId(2)).unwrap();
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        let argmax = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 2);
+        assert_eq!(stats.iterations, 50);
+    }
+
+    #[test]
+    fn score_decays_with_distance_on_a_path() {
+        let t = line_graph(8);
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        let (r, _) = engine.solve_single(NodeId(0)).unwrap();
+        for j in 0..7 {
+            assert!(
+                r[j] > r[j + 1],
+                "r[{j}]={} <= r[{}]={}",
+                r[j],
+                j + 1,
+                r[j + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let t = line_graph(6);
+        let cfg = RwrConfig {
+            tolerance: Some(1e-3),
+            max_iterations: 500,
+            ..Default::default()
+        };
+        let engine = RwrEngine::new(&t, cfg).unwrap();
+        let (_, stats) = engine.solve_single(NodeId(0)).unwrap();
+        assert!(stats.iterations < 500);
+        assert!(stats.final_delta < 1e-3);
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential() {
+        let t = line_graph(12);
+        let queries = [NodeId(0), NodeId(3), NodeId(7), NodeId(11)];
+        let seq = RwrEngine::new(&t, RwrConfig::default())
+            .unwrap()
+            .solve_many(&queries)
+            .unwrap();
+        let par_cfg = RwrConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        let par = RwrEngine::new(&t, par_cfg)
+            .unwrap()
+            .solve_many(&queries)
+            .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn symmetric_normalization_gives_symmetric_scores() {
+        // Appendix Variant 1: with S = D^{-1/2} W D^{-1/2}, r(i, j) = r(j, i).
+        let mut b = GraphBuilder::new();
+        for (a, bb, w) in [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 0.5), (2, 3, 1.5)] {
+            b.add_edge(NodeId(a), NodeId(bb), w).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = Transition::new(&g, Normalization::Symmetric);
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        let m = engine
+            .solve_many(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = m.score(i, NodeId(j as u32));
+                let b = m.score(j, NodeId(i as u32));
+                assert!((a - b).abs() < 1e-9, "r({i},{j})={a} vs r({j},{i})={b}");
+            }
+        }
+    }
+}

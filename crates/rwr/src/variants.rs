@@ -1,0 +1,143 @@
+//! Appendix variants of the goodness score.
+//!
+//! * **Variant 1 — manifold ranking** (Eq. 20): run the same iteration over
+//!   the symmetric operator `S = D^{-1/2} W D^{-1/2}` instead of `W̃`. The
+//!   scores stop being probabilities (rows no longer sum to 1) but become
+//!   symmetric: `r(i, j) = r(j, i)`. This module only provides the
+//!   convenience wrapper; the operator itself is
+//!   [`ceps_graph::normalize::Normalization::Symmetric`].
+//! * **Variant 2 — order statistics** (Eq. 21): combine individual scores by
+//!   the `k`-th largest value instead of meeting probabilities —
+//!   `min` for `AND`, `max` for `OR`.
+
+use ceps_graph::{normalize::Normalization, CsrGraph, NodeId, Transition};
+
+use crate::{Result, RwrConfig, RwrEngine, RwrError, ScoreMatrix};
+
+/// Variant 1: individual scores by manifold ranking (Eq. 20).
+///
+/// Builds the symmetric operator and runs the standard iteration. The caller
+/// keeps the returned matrix exactly like an RWR one; only its
+/// interpretation changes (symmetric affinity, not a stationary
+/// distribution).
+///
+/// # Errors
+/// Propagates solver validation errors.
+pub fn manifold_ranking_scores(
+    graph: &CsrGraph,
+    config: RwrConfig,
+    queries: &[NodeId],
+) -> Result<ScoreMatrix> {
+    let s = Transition::new(graph, Normalization::Symmetric);
+    let engine = RwrEngine::new(&s, config)?;
+    engine.solve_many(queries)
+}
+
+/// Variant 2: the `k`-th order statistic of one node's column of individual
+/// scores (Eq. 21): `k = Q` is `min` ("AND"), `k = 1` is `max` ("OR").
+///
+/// `probs` is `r(·, j)` for one node; `k` is 1-based.
+pub fn kth_order_statistic(probs: &[f64], k: usize) -> f64 {
+    assert!(
+        k >= 1 && k <= probs.len(),
+        "k = {k} out of 1..={}",
+        probs.len()
+    );
+    let mut sorted = probs.to_vec();
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+    sorted[k - 1]
+}
+
+/// Combined scores for every node under the order-statistic variant.
+///
+/// # Errors
+/// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ Q`.
+pub fn combine_order_statistic(scores: &ScoreMatrix, k: usize) -> Result<Vec<f64>> {
+    let q = scores.query_count();
+    if k == 0 || k > q {
+        return Err(RwrError::BadSoftAndK { k, query_count: q });
+    }
+    let n = scores.node_count();
+    let mut out = Vec::with_capacity(n);
+    let mut col = vec![0f64; q];
+    for j in 0..n {
+        scores.column_into(NodeId::from_index(j), &mut col);
+        out.push(kth_order_statistic(&col, k));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 3, 2.0),
+            (2, 3, 1.0),
+            (1, 2, 1.0),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn manifold_scores_are_symmetric() {
+        let g = diamond();
+        let queries: Vec<NodeId> = g.nodes().collect();
+        let m = manifold_ranking_scores(&g, RwrConfig::default(), &queries).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = m.score(i, NodeId(j as u32));
+                let b = m.score(j, NodeId(i as u32));
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn manifold_rows_do_not_sum_to_one() {
+        // The appendix notes Σ_j r(i, j) ≠ 1 for Variant 1.
+        let g = diamond();
+        let m = manifold_ranking_scores(&g, RwrConfig::default(), &[NodeId(0)]).unwrap();
+        let sum = m.row_sums()[0];
+        assert!(
+            (sum - 1.0).abs() > 1e-6,
+            "row unexpectedly stochastic: {sum}"
+        );
+    }
+
+    #[test]
+    fn order_statistics_min_max_median() {
+        let p = [0.4, 0.1, 0.9];
+        assert_eq!(kth_order_statistic(&p, 1), 0.9);
+        assert_eq!(kth_order_statistic(&p, 2), 0.4);
+        assert_eq!(kth_order_statistic(&p, 3), 0.1);
+    }
+
+    #[test]
+    fn combine_order_statistic_validates_and_computes() {
+        let m = ScoreMatrix::new(
+            vec![NodeId(0), NodeId(1)],
+            vec![vec![0.5, 0.2], vec![0.1, 0.6]],
+        )
+        .unwrap();
+        assert!(combine_order_statistic(&m, 0).is_err());
+        assert!(combine_order_statistic(&m, 3).is_err());
+        let min = combine_order_statistic(&m, 2).unwrap(); // "AND" = min
+        assert_eq!(min, vec![0.1, 0.2]);
+        let max = combine_order_statistic(&m, 1).unwrap(); // "OR" = max
+        assert_eq!(max, vec![0.5, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn kth_order_statistic_panics_out_of_range() {
+        let _ = kth_order_statistic(&[0.5], 2);
+    }
+}

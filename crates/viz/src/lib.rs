@@ -1,0 +1,193 @@
+//! # ceps-viz
+//!
+//! Graphviz DOT rendering of center-piece subgraphs. The paper presents its
+//! case studies (Figs. 1–3) as drawn subgraphs — query nodes highlighted,
+//! edge thickness proportional to co-authorship strength. This crate
+//! serializes a [`ceps_graph::Subgraph`] (or a full
+//! [`ceps_core::CepsResult`]) in that style, for rendering with `dot -Tsvg`.
+//!
+//! Output is deterministic: nodes and edges are emitted in ascending id
+//! order, so diffs on generated figures are meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use ceps_core::CepsResult;
+use ceps_graph::{CsrGraph, NodeId, NodeLabels, Subgraph};
+
+/// Styling options for DOT output.
+#[derive(Debug, Clone)]
+pub struct DotStyle {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Fill color for query nodes.
+    pub query_color: String,
+    /// Fill color for other nodes.
+    pub node_color: String,
+    /// Scale factor mapping edge weight to pen width.
+    pub edge_width_scale: f64,
+    /// Maximum pen width (strong co-authorships saturate).
+    pub max_pen_width: f64,
+    /// Show the combined score under each node label.
+    pub show_scores: bool,
+}
+
+impl Default for DotStyle {
+    fn default() -> Self {
+        DotStyle {
+            name: "ceps".into(),
+            query_color: "gold".into(),
+            node_color: "lightblue".into(),
+            edge_width_scale: 0.6,
+            max_pen_width: 6.0,
+            show_scores: false,
+        }
+    }
+}
+
+/// Escapes a DOT string literal.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a subgraph (with its parent-graph induced edges) as DOT.
+///
+/// `queries` are highlighted; `labels` (optional) supply display names;
+/// `scores` (optional) are printed under names when
+/// [`DotStyle::show_scores`] is set.
+pub fn subgraph_to_dot(
+    parent: &CsrGraph,
+    subgraph: &Subgraph,
+    queries: &[NodeId],
+    labels: Option<&NodeLabels>,
+    scores: Option<&[f64]>,
+    style: &DotStyle,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", escape(&style.name));
+    let _ = writeln!(out, "  layout=neato;");
+    let _ = writeln!(out, "  overlap=false;");
+    let _ = writeln!(out, "  node [style=filled, fontname=\"Helvetica\"];");
+
+    for v in subgraph.nodes() {
+        let name = labels
+            .map(|l| l.name(v))
+            .unwrap_or_else(|| format!("node-{}", v.0));
+        let label = match (style.show_scores, scores) {
+            (true, Some(s)) => format!("{}\\n{:.2e}", escape(&name), s[v.index()]),
+            _ => escape(&name),
+        };
+        let color = if queries.contains(&v) {
+            &style.query_color
+        } else {
+            &style.node_color
+        };
+        let shape = if queries.contains(&v) {
+            ", shape=doubleoctagon"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", fillcolor={}{}];",
+            v.0, label, color, shape
+        );
+    }
+
+    for (a, b, w) in subgraph.induced_edges(parent) {
+        let pen = (w * style.edge_width_scale).clamp(0.5, style.max_pen_width);
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [penwidth={pen:.2}, label=\"{w}\"];",
+            a.0, b.0
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a full [`CepsResult`] with scores attached.
+pub fn result_to_dot(
+    parent: &CsrGraph,
+    result: &CepsResult,
+    queries: &[NodeId],
+    labels: Option<&NodeLabels>,
+    style: &DotStyle,
+) -> String {
+    subgraph_to_dot(
+        parent,
+        &result.subgraph,
+        queries,
+        labels,
+        Some(&result.combined),
+        style,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::GraphBuilder;
+
+    fn setup() -> (CsrGraph, Subgraph) {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 7.0).unwrap();
+        let g = b.build().unwrap();
+        let s = Subgraph::from_nodes([NodeId(0), NodeId(1), NodeId(2)]);
+        (g, s)
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_highlight() {
+        let (g, s) = setup();
+        let dot = subgraph_to_dot(&g, &s, &[NodeId(0)], None, None, &DotStyle::default());
+        assert!(dot.starts_with("graph \"ceps\" {"));
+        assert!(dot.contains("n0 [label=\"node-0\", fillcolor=gold, shape=doubleoctagon];"));
+        assert!(dot.contains("n1 [label=\"node-1\", fillcolor=lightblue];"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("n0 -- n2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_width_scales_and_saturates() {
+        let (g, s) = setup();
+        let dot = subgraph_to_dot(&g, &s, &[], None, None, &DotStyle::default());
+        // Weight 7 * 0.6 = 4.2; weight 1 * 0.6 clamps up to 0.6.
+        assert!(dot.contains("penwidth=4.20"));
+        assert!(dot.contains("penwidth=0.60"));
+        let tight = DotStyle {
+            max_pen_width: 2.0,
+            ..Default::default()
+        };
+        let dot = subgraph_to_dot(&g, &s, &[], None, None, &tight);
+        assert!(dot.contains("penwidth=2.00"));
+    }
+
+    #[test]
+    fn labels_and_scores_render() {
+        let (g, s) = setup();
+        let labels = NodeLabels::from_names(["Ada \"The\" Byron", "Grace", "Edsger"]);
+        let scores = vec![0.5, 0.25, 0.125];
+        let style = DotStyle {
+            show_scores: true,
+            ..Default::default()
+        };
+        let dot = subgraph_to_dot(&g, &s, &[NodeId(1)], Some(&labels), Some(&scores), &style);
+        assert!(dot.contains("Ada \\\"The\\\" Byron"));
+        assert!(dot.contains("5.00e-1"));
+        assert!(dot.contains("doubleoctagon"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let (g, s) = setup();
+        let a = subgraph_to_dot(&g, &s, &[NodeId(0)], None, None, &DotStyle::default());
+        let b = subgraph_to_dot(&g, &s, &[NodeId(0)], None, None, &DotStyle::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 3 scenario: a three-query `AND` center-piece across three
+//! research communities, with the extraction paths explaining *why* each
+//! center-piece is in the answer.
+//!
+//! ```text
+//! cargo run --example coauthor_and_query
+//! ```
+
+use ceps_repro::ceps_graph::NodeId;
+use ceps_repro::prelude::*;
+
+fn main() {
+    let data = CoauthorConfig::small().seed(21).generate();
+    let repo = QueryRepository::from_graph(&data);
+
+    // One hub from each of three communities (the paper uses Getoor /
+    // Karypis / Pei, all graph researchers from different institutions).
+    let queries = repo.sample_across_communities(3, 5);
+    println!("queries:");
+    for &q in &queries {
+        println!(
+            "  {} [community {}]",
+            data.labels.name(q),
+            data.community(q)
+        );
+    }
+
+    let config = CepsConfig::default().budget(12).query_type(QueryType::And);
+    let engine = CepsEngine::new(&data.graph, config).unwrap();
+    let result = engine.run(&queries).unwrap();
+
+    println!(
+        "\ncenter-piece subgraph: {} nodes, connected = {}",
+        result.subgraph.len(),
+        result.subgraph.is_connected(&data.graph)
+    );
+
+    let mut pieces: Vec<NodeId> = result
+        .subgraph
+        .nodes()
+        .filter(|v| !queries.contains(v))
+        .collect();
+    pieces.sort_by(|a, b| result.combined[b.index()].total_cmp(&result.combined[a.index()]));
+    println!("\ncenter-pieces, best first:");
+    for &v in &pieces {
+        println!(
+            "  {:<22} community {}  r(Q, j) = {:.3e}",
+            data.labels.name(v),
+            data.community(v),
+            result.combined[v.index()]
+        );
+    }
+
+    println!("\nwhy (key paths from each query to each chosen destination):");
+    for path in result.paths.iter().take(9) {
+        let names: Vec<String> = path.nodes.iter().map(|&v| data.labels.name(v)).collect();
+        println!("  [query {}] {}", path.source_index, names.join(" -> "));
+    }
+
+    // The paper's observation: the central figures have strong direct or
+    // short indirect ties to all three queries.
+    if let Some(&best) = pieces.first() {
+        let ties: Vec<String> = queries
+            .iter()
+            .map(|&q| {
+                let w = data.graph.weight(best, q);
+                match w {
+                    Some(w) => format!("{}: direct, {w} papers", data.labels.name(q)),
+                    None => format!("{}: indirect", data.labels.name(q)),
+                }
+            })
+            .collect();
+        println!(
+            "\nbest center-piece {} ties: {}",
+            data.labels.name(best),
+            ties.join("; ")
+        );
+    }
+}

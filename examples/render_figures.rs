@@ -1,0 +1,58 @@
+//! Renders the three case studies (Figs. 1–3) as Graphviz DOT files under
+//! `figures/`, in the paper's visual style: query nodes highlighted,
+//! edge width proportional to co-authored paper count.
+//!
+//! ```text
+//! cargo run --example render_figures
+//! dot -Tsvg figures/fig3_and.dot -o fig3.svg   # if graphviz is installed
+//! ```
+
+use std::fs;
+
+use ceps_repro::ceps_viz::{result_to_dot, DotStyle};
+use ceps_repro::prelude::*;
+
+fn main() {
+    let data = CoauthorConfig::small().seed(11).generate();
+    let repo = QueryRepository::from_graph(&data);
+    fs::create_dir_all("figures").expect("create figures/");
+
+    let render = |name: &str, queries: &[ceps_repro::ceps_graph::NodeId], qt, budget| {
+        let cfg = CepsConfig::default().budget(budget).query_type(qt);
+        let engine = CepsEngine::new(&data.graph, cfg).unwrap();
+        let result = engine.run(queries).unwrap();
+        let style = DotStyle {
+            name: name.to_string(),
+            show_scores: true,
+            ..Default::default()
+        };
+        let dot = result_to_dot(&data.graph, &result, queries, Some(&data.labels), &style);
+        let path = format!("figures/{name}.dot");
+        fs::write(&path, dot).expect("write dot file");
+        println!(
+            "{path}: {} nodes, {} components",
+            result.subgraph.len(),
+            result.subgraph.component_count(&data.graph)
+        );
+    };
+
+    // Fig. 1: four queries from two communities, AND vs 2_softAND.
+    let fig1_queries = vec![
+        repo.group(0)[0],
+        repo.group(0)[1],
+        repo.group(1)[0],
+        repo.group(1)[1],
+    ];
+    render("fig1_and", &fig1_queries, QueryType::And, 8);
+    render("fig1_2softand", &fig1_queries, QueryType::SoftAnd(2), 8);
+
+    // Fig. 2: pairwise connection subgraph.
+    let fig2_queries = repo.sample_across_communities(2, 7);
+    render("fig2_connection", &fig2_queries, QueryType::And, 4);
+
+    // Fig. 3: three queries, three communities.
+    let fig3_queries = repo.sample_across_communities(3, 5);
+    render("fig3_and", &fig3_queries, QueryType::And, 12);
+
+    println!("\nrender with: dot -Tsvg figures/<name>.dot -o <name>.svg");
+}

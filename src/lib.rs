@@ -1,0 +1,28 @@
+//! Umbrella crate for the CePS reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). It re-exports the member crates under
+//! short names so examples read naturally:
+//!
+//! ```
+//! use ceps_repro::prelude::*;
+//!
+//! let graph = ceps_datagen::CoauthorConfig::tiny().seed(7).generate().into_graph();
+//! assert!(graph.node_count() > 0);
+//! ```
+
+pub use ceps_baselines;
+pub use ceps_core;
+pub use ceps_datagen;
+pub use ceps_graph;
+pub use ceps_partition;
+pub use ceps_rwr;
+pub use ceps_viz;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use ceps_core::{CepsConfig, CepsEngine, CepsResult, QueryType};
+    pub use ceps_datagen::{CoauthorConfig, CoauthorGraph, QueryRepository};
+    pub use ceps_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use ceps_rwr::{RwrConfig, RwrEngine};
+}

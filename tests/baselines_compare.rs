@@ -1,0 +1,108 @@
+//! Cross-crate comparison: CePS versus the baseline connectors on the same
+//! query sets, measured by the paper's own goodness criterion (Eq. 13).
+
+use ceps_baselines::{ppr::ppr_top_nodes, shortest::shortest_path_subgraph, steiner::steiner_tree};
+use ceps_core::{eval, CepsConfig, CepsEngine, QueryType};
+use ceps_datagen::{CoauthorConfig, CoauthorGraph, QueryRepository};
+use ceps_rwr::RwrConfig;
+
+fn workload() -> (CoauthorGraph, QueryRepository) {
+    let data = CoauthorConfig::tiny().seed(33).generate();
+    let repo = QueryRepository::from_graph(&data);
+    (data, repo)
+}
+
+#[test]
+fn ceps_captures_at_least_as_much_goodness_as_shortest_paths_at_equal_size() {
+    let (data, repo) = workload();
+    let mut wins = 0;
+    let mut total = 0;
+    for seed in 0..10u64 {
+        let queries = repo.sample(3, seed);
+        let Ok(sp) = shortest_path_subgraph(&data.graph, &queries) else {
+            continue;
+        };
+        // Give CePS the same node budget the shortest-path union used.
+        let budget = sp.len().saturating_sub(queries.len()).max(1);
+        let cfg = CepsConfig::default()
+            .budget(budget)
+            .query_type(QueryType::And);
+        let res = CepsEngine::new(&data.graph, cfg)
+            .unwrap()
+            .run(&queries)
+            .unwrap();
+
+        let ceps_ratio = eval::node_ratio(&res.combined, &res.subgraph);
+        let sp_ratio = eval::node_ratio(&res.combined, &sp);
+        total += 1;
+        if ceps_ratio + 1e-12 >= sp_ratio {
+            wins += 1;
+        }
+    }
+    assert!(total >= 5, "too few connected query draws");
+    // CePS optimizes this criterion directly; it must win at least the
+    // overwhelming majority (ties count as wins).
+    assert!(wins * 10 >= total * 8, "CePS won only {wins}/{total}");
+}
+
+#[test]
+fn ceps_beats_the_steiner_heuristic_on_goodness_capture() {
+    let (data, repo) = workload();
+    let mut wins = 0;
+    let mut total = 0;
+    for seed in 0..10u64 {
+        let queries = repo.sample(3, seed);
+        let Ok(tree) = steiner_tree(&data.graph, &queries) else {
+            continue;
+        };
+        let budget = tree.subgraph.len().saturating_sub(queries.len()).max(1);
+        let cfg = CepsConfig::default()
+            .budget(budget)
+            .query_type(QueryType::And);
+        let res = CepsEngine::new(&data.graph, cfg)
+            .unwrap()
+            .run(&queries)
+            .unwrap();
+
+        let ceps_ratio = eval::node_ratio(&res.combined, &res.subgraph);
+        let steiner_ratio = eval::node_ratio(&res.combined, &tree.subgraph);
+        total += 1;
+        if ceps_ratio + 1e-12 >= steiner_ratio {
+            wins += 1;
+        }
+    }
+    assert!(total >= 5);
+    assert!(wins * 10 >= total * 8, "CePS won only {wins}/{total}");
+}
+
+#[test]
+fn ppr_sum_cannot_express_and_semantics() {
+    // Footnote 1's point, measured: under summed (PPR/OR-ish) scores the
+    // top nodes may be one-sided hubs, while the AND combination demands
+    // closeness to every query. We verify the rankings genuinely differ.
+    let (data, repo) = workload();
+    let queries = repo.sample_across_communities(2, 4);
+    let (_, summed) = ppr_top_nodes(&data.graph, &queries, 10, RwrConfig::default()).unwrap();
+
+    let cfg = CepsConfig::default().budget(10).query_type(QueryType::And);
+    let res = CepsEngine::new(&data.graph, cfg)
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+
+    let top_by = |scores: &[f64]| {
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        order
+            .into_iter()
+            .filter(|i| !queries.iter().any(|q| q.index() == *i))
+            .take(5)
+            .collect::<Vec<_>>()
+    };
+    let ppr_top = top_by(&summed);
+    let and_top = top_by(&res.combined);
+    assert_ne!(
+        ppr_top, and_top,
+        "sum and AND rankings coincided unexpectedly"
+    );
+}

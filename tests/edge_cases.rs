@@ -1,0 +1,149 @@
+//! Failure-injection and degenerate-input tests: the pipeline must behave
+//! sensibly (no panics, documented outcomes) on inputs the paper never
+//! shows — isolated queries, budgets larger than the graph, trivial
+//! graphs, disconnected query sets.
+
+use ceps_core::{CepsConfig, CepsEngine, FastCeps, QueryType};
+use ceps_graph::{GraphBuilder, NodeId};
+
+/// Path 0-1-2 plus isolated node 3.
+fn path_plus_isolated() -> ceps_graph::CsrGraph {
+    let mut b = GraphBuilder::with_nodes(4);
+    b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn isolated_query_node_yields_queries_only_under_and() {
+    let g = path_plus_isolated();
+    let cfg = CepsConfig::default().budget(3).query_type(QueryType::And);
+    let engine = CepsEngine::new(&g, cfg).unwrap();
+    // Query 3 is isolated: nothing can be close to BOTH 0 and 3, so the
+    // combined scores vanish and extraction stops at the query set.
+    let res = engine.run(&[NodeId(0), NodeId(3)]).unwrap();
+    assert_eq!(res.subgraph.len(), 2);
+    assert!(res.subgraph.contains(NodeId(0)));
+    assert!(res.subgraph.contains(NodeId(3)));
+    assert!(res.destinations.is_empty());
+}
+
+#[test]
+fn isolated_query_node_still_grows_under_or() {
+    let g = path_plus_isolated();
+    let cfg = CepsConfig::default().budget(2).query_type(QueryType::Or);
+    let engine = CepsEngine::new(&g, cfg).unwrap();
+    // OR semantics: nodes close to query 0 still score; the path grows.
+    let res = engine.run(&[NodeId(0), NodeId(3)]).unwrap();
+    assert!(
+        res.subgraph.len() > 2,
+        "OR failed to grow: {:?}",
+        res.subgraph
+    );
+}
+
+#[test]
+fn budget_larger_than_graph_takes_everything_reachable() {
+    let g = path_plus_isolated();
+    let cfg = CepsConfig::default().budget(100).query_type(QueryType::And);
+    let engine = CepsEngine::new(&g, cfg).unwrap();
+    let res = engine.run(&[NodeId(0), NodeId(2)]).unwrap();
+    // All positive-score nodes (the path) get taken; the isolated node
+    // cannot score and stays out.
+    assert!(res.subgraph.contains(NodeId(1)));
+    assert!(!res.subgraph.contains(NodeId(3)));
+}
+
+#[test]
+fn two_node_graph_works() {
+    let mut b = GraphBuilder::new();
+    b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    let g = b.build().unwrap();
+    let engine = CepsEngine::new(&g, CepsConfig::default().budget(1)).unwrap();
+    let res = engine.run(&[NodeId(0), NodeId(1)]).unwrap();
+    assert_eq!(res.subgraph.len(), 2);
+    let res = engine.run(&[NodeId(0)]).unwrap();
+    assert!(res.subgraph.contains(NodeId(0)));
+}
+
+#[test]
+fn all_nodes_as_queries_is_a_fixed_point() {
+    let g = path_plus_isolated();
+    let engine = CepsEngine::new(&g, CepsConfig::default().budget(5)).unwrap();
+    let queries: Vec<NodeId> = g.nodes().collect();
+    let res = engine.run(&queries).unwrap();
+    assert_eq!(res.subgraph.len(), 4);
+    assert!(res.destinations.is_empty(), "nothing left to add");
+}
+
+#[test]
+fn soft_and_k_equal_to_query_count_equals_and() {
+    let g = path_plus_isolated();
+    let queries = [NodeId(0), NodeId(2)];
+    let run = |qt| {
+        let cfg = CepsConfig::default().budget(2).query_type(qt);
+        CepsEngine::new(&g, cfg).unwrap().run(&queries).unwrap()
+    };
+    let and = run(QueryType::And);
+    let soft = run(QueryType::SoftAnd(2));
+    assert_eq!(and.combined, soft.combined);
+    let a: Vec<_> = and.subgraph.nodes().collect();
+    let s: Vec<_> = soft.subgraph.nodes().collect();
+    assert_eq!(a, s);
+}
+
+#[test]
+fn fast_ceps_with_query_in_tiny_partition_still_answers() {
+    // Partition counts close to the node count force tiny partitions.
+    let g = path_plus_isolated();
+    let cfg = CepsConfig::default().budget(2);
+    let fast = FastCeps::new(&g, cfg, 4, 0).unwrap();
+    let res = fast.run(&[NodeId(0)]).unwrap();
+    assert!(res.subgraph.contains(NodeId(0)));
+}
+
+#[test]
+fn heavy_multi_edge_weights_do_not_break_normalization() {
+    // Extremely skewed weights: one edge a million times heavier.
+    let mut b = GraphBuilder::new();
+    b.add_edge(NodeId(0), NodeId(1), 1e6).unwrap();
+    b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+    b.add_edge(NodeId(2), NodeId(3), 1e-6).unwrap();
+    let g = b.build().unwrap();
+    let engine = CepsEngine::new(&g, CepsConfig::default().budget(2)).unwrap();
+    let res = engine.run(&[NodeId(0), NodeId(3)]).unwrap();
+    for &s in &res.combined {
+        assert!(s.is_finite());
+        assert!((0.0..=1.0).contains(&s));
+    }
+    assert!(res.subgraph.is_connected(&g));
+}
+
+#[test]
+fn star_hub_query_with_penalization() {
+    // A pure star: hub 0 with 20 leaves; alpha = 1 penalizes the hub hard
+    // but the pipeline must stay well-defined.
+    let mut b = GraphBuilder::new();
+    for leaf in 1..=20u32 {
+        b.add_edge(NodeId(0), NodeId(leaf), 1.0).unwrap();
+    }
+    let g = b.build().unwrap();
+    let cfg = CepsConfig::default().budget(3).alpha(1.0);
+    let engine = CepsEngine::new(&g, cfg).unwrap();
+    let res = engine.run(&[NodeId(1), NodeId(2)]).unwrap();
+    // The hub is the only route between two leaves.
+    assert!(res.subgraph.contains(NodeId(0)));
+    assert!(res.subgraph.is_connected(&g));
+}
+
+#[test]
+fn duplicate_and_bad_query_sets_error_cleanly() {
+    let g = path_plus_isolated();
+    let engine = CepsEngine::new(&g, CepsConfig::default()).unwrap();
+    assert!(engine.run(&[]).is_err());
+    assert!(engine.run(&[NodeId(1), NodeId(1)]).is_err());
+    assert!(engine.run(&[NodeId(42)]).is_err());
+    let cfg = CepsConfig::default().query_type(QueryType::SoftAnd(9));
+    let engine = CepsEngine::new(&g, cfg).unwrap();
+    assert!(engine.run(&[NodeId(0), NodeId(1)]).is_err());
+}

@@ -1,0 +1,239 @@
+//! End-to-end pipeline invariants on generated co-authorship graphs.
+
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+use ceps_datagen::{CoauthorConfig, QueryRepository};
+use ceps_graph::algo::largest_component;
+
+fn workload() -> (ceps_datagen::CoauthorGraph, QueryRepository) {
+    let data = CoauthorConfig::tiny().seed(77).generate();
+    let repo = QueryRepository::from_graph(&data);
+    (data, repo)
+}
+
+#[test]
+fn queries_always_in_output_for_every_query_type() {
+    let (data, repo) = workload();
+    for (qt, q) in [
+        (QueryType::And, 3),
+        (QueryType::Or, 3),
+        (QueryType::SoftAnd(2), 3),
+        (QueryType::And, 1),
+        (QueryType::Or, 5),
+    ] {
+        let queries = repo.sample(q, 9);
+        let cfg = CepsConfig::default().budget(8).query_type(qt);
+        let engine = CepsEngine::new(&data.graph, cfg).unwrap();
+        let res = engine.run(&queries).unwrap();
+        for &query in &queries {
+            assert!(res.subgraph.contains(query), "{qt:?} dropped query {query}");
+        }
+    }
+}
+
+#[test]
+fn budget_bounds_hold_with_path_overshoot_slack() {
+    let (data, repo) = workload();
+    for budget in [1usize, 5, 10, 25] {
+        let queries = repo.sample(3, 1);
+        let cfg = CepsConfig::default()
+            .budget(budget)
+            .query_type(QueryType::And);
+        let engine = CepsEngine::new(&data.graph, cfg).unwrap();
+        let res = engine.run(&queries).unwrap();
+        let non_query = res.subgraph.len() - queries.len();
+        let len = cfg.effective_path_len(res.k);
+        assert!(
+            non_query <= budget.saturating_sub(1) + res.k * len,
+            "budget {budget}: {non_query} non-query nodes (len {len}, k {})",
+            res.k
+        );
+    }
+}
+
+#[test]
+fn and_query_on_giant_component_is_connected() {
+    let (data, repo) = workload();
+    let giant = largest_component(&data.graph);
+    // Hubs are in the giant component by construction of the repository.
+    let queries = repo.sample(2, 3);
+    assert!(queries.iter().all(|q| giant.contains(q)));
+    let cfg = CepsConfig::default().budget(10).query_type(QueryType::And);
+    let res = CepsEngine::new(&data.graph, cfg)
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+    assert!(
+        res.subgraph.is_connected(&data.graph),
+        "AND subgraph disconnected: {:?}",
+        res.subgraph
+    );
+}
+
+#[test]
+fn combined_scores_respect_query_type_ordering() {
+    let (data, repo) = workload();
+    let queries = repo.sample(4, 5);
+    let mk = |qt| {
+        let cfg = CepsConfig::default().budget(5).query_type(qt);
+        CepsEngine::new(&data.graph, cfg)
+            .unwrap()
+            .run(&queries)
+            .unwrap()
+            .combined
+    };
+    let or = mk(QueryType::Or);
+    let s2 = mk(QueryType::SoftAnd(2));
+    let s3 = mk(QueryType::SoftAnd(3));
+    let and = mk(QueryType::And);
+    for j in 0..data.graph.node_count() {
+        assert!(or[j] + 1e-12 >= s2[j]);
+        assert!(s2[j] + 1e-12 >= s3[j]);
+        assert!(s3[j] + 1e-12 >= and[j]);
+    }
+}
+
+#[test]
+fn results_are_deterministic() {
+    let (data, repo) = workload();
+    let queries = repo.sample(3, 8);
+    let cfg = CepsConfig::default().budget(10);
+    let a = CepsEngine::new(&data.graph, cfg)
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+    let b = CepsEngine::new(&data.graph, cfg)
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+    let an: Vec<_> = a.subgraph.nodes().collect();
+    let bn: Vec<_> = b.subgraph.nodes().collect();
+    assert_eq!(an, bn);
+    assert_eq!(a.combined, b.combined);
+    assert_eq!(a.destinations, b.destinations);
+}
+
+#[test]
+fn query_order_does_not_change_the_subgraph() {
+    let (data, repo) = workload();
+    let mut queries = repo.sample(3, 2);
+    let cfg = CepsConfig::default().budget(10);
+    let engine = CepsEngine::new(&data.graph, cfg).unwrap();
+    let a: Vec<_> = engine.run(&queries).unwrap().subgraph.nodes().collect();
+    queries.reverse();
+    let b: Vec<_> = engine.run(&queries).unwrap().subgraph.nodes().collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn destination_trace_is_ranked_by_combined_score() {
+    let (data, repo) = workload();
+    let queries = repo.sample(2, 6);
+    let cfg = CepsConfig::default().budget(12);
+    let res = CepsEngine::new(&data.graph, cfg)
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+    // Each chosen destination has combined score >= every later one
+    // (the argmax of Eq. 11 over a shrinking candidate set).
+    for w in res.destinations.windows(2) {
+        assert!(
+            res.combined[w[0].index()] >= res.combined[w[1].index()] - 1e-15,
+            "destination order violated"
+        );
+    }
+}
+
+#[test]
+fn push_scoring_approximates_the_iterative_pipeline() {
+    let (data, repo) = workload();
+    let queries = repo.sample(3, 3);
+    let iterative = CepsEngine::new(&data.graph, CepsConfig::default().budget(8))
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+    // A tight push threshold reproduces the iterative combined scores to
+    // within the residual bound. (Exact subgraph equality is not asserted:
+    // forward push legitimately perturbs exact score ties, and its work
+    // grows like ~1/epsilon, so the threshold stays moderate.)
+    let pushed = CepsEngine::new(
+        &data.graph,
+        CepsConfig::default().budget(8).push_scores(1e-9),
+    )
+    .unwrap()
+    .run(&queries)
+    .unwrap();
+    for j in 0..data.graph.node_count() {
+        let d = (iterative.combined[j] - pushed.combined[j]).abs();
+        assert!(d < 1e-6, "node {j}: combined differs by {d}");
+    }
+    for &q in &queries {
+        assert!(pushed.subgraph.contains(q));
+    }
+    // A loose threshold still upholds the pipeline contract.
+    let loose = CepsEngine::new(
+        &data.graph,
+        CepsConfig::default().budget(8).push_scores(1e-3),
+    )
+    .unwrap()
+    .run(&queries)
+    .unwrap();
+    for &q in &queries {
+        assert!(loose.subgraph.contains(q));
+    }
+}
+
+#[test]
+fn order_statistic_variant_runs_and_differs_from_meeting_probability() {
+    let (data, repo) = workload();
+    let queries = repo.sample(3, 6);
+    let meeting = CepsEngine::new(&data.graph, CepsConfig::default().budget(6))
+        .unwrap()
+        .run(&queries)
+        .unwrap();
+    let orderstat = CepsEngine::new(
+        &data.graph,
+        CepsConfig::default().budget(6).order_statistic(),
+    )
+    .unwrap()
+    .run(&queries)
+    .unwrap();
+    // Variant 2's AND is min(r(i,j)) — a different scale than the product,
+    // and pointwise >= it (min of probabilities beats their product).
+    for j in 0..data.graph.node_count() {
+        assert!(orderstat.combined[j] + 1e-15 >= meeting.combined[j]);
+    }
+    for &q in &queries {
+        assert!(orderstat.subgraph.contains(q));
+    }
+}
+
+#[test]
+fn manifold_variant_gives_symmetric_scores() {
+    // Appendix Variant 1: r(i, j) = r(j, i) under the symmetric operator.
+    let (data, _) = workload();
+    let engine = CepsEngine::new(&data.graph, CepsConfig::default().budget(4).manifold()).unwrap();
+    let a = ceps_graph::NodeId(0);
+    let b = ceps_graph::NodeId(7);
+    let m = engine.individual_scores(&[a, b]).unwrap();
+    assert!((m.score(0, b) - m.score(1, a)).abs() < 1e-9);
+}
+
+#[test]
+fn extracted_goodness_grows_with_budget() {
+    let (data, repo) = workload();
+    let queries = repo.sample(3, 4);
+    let mut last = 0.0;
+    for budget in [2usize, 6, 12, 24] {
+        let cfg = CepsConfig::default().budget(budget);
+        let res = CepsEngine::new(&data.graph, cfg)
+            .unwrap()
+            .run(&queries)
+            .unwrap();
+        let g = res.extracted_goodness();
+        assert!(
+            g + 1e-15 >= last,
+            "budget {budget}: goodness fell {last} -> {g}"
+        );
+        last = g;
+    }
+}

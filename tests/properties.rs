@@ -1,0 +1,96 @@
+//! Cross-crate property tests: pipeline invariants over randomized
+//! generator configurations and query draws.
+
+use ceps_core::{CepsConfig, CepsEngine, QueryType};
+use ceps_datagen::{CoauthorConfig, QueryRepository};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CoauthorConfig> {
+    (2usize..=4, 10usize..=30, 30usize..=90, 0u64..1000).prop_map(
+        |(communities, authors, papers, seed)| CoauthorConfig {
+            communities,
+            authors_per_community: authors,
+            papers_per_community: papers,
+            seed,
+            ..CoauthorConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the generator produces, the pipeline upholds its contract:
+    /// queries present, subgraph within bounds, scores within [0, 1].
+    #[test]
+    fn pipeline_contract_holds_on_random_workloads(
+        cfg in arb_config(),
+        q in 1usize..=4,
+        budget in 1usize..=15,
+        qseed in 0u64..100,
+        qt_pick in 0usize..3,
+    ) {
+        let data = cfg.generate();
+        let repo = QueryRepository::from_graph(&data);
+        prop_assume!(repo.all().len() >= q);
+        let queries = repo.sample(q, qseed);
+
+        let qt = match qt_pick {
+            0 => QueryType::And,
+            1 => QueryType::Or,
+            _ => QueryType::SoftAnd(((qseed as usize) % q) + 1),
+        };
+        let ceps_cfg = CepsConfig::default().budget(budget).query_type(qt);
+        let engine = CepsEngine::new(&data.graph, ceps_cfg).unwrap();
+        let res = engine.run(&queries).unwrap();
+
+        for &query in &queries {
+            prop_assert!(res.subgraph.contains(query));
+        }
+        for &s in &res.combined {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "combined score {s}");
+        }
+        let len = ceps_cfg.effective_path_len(res.k);
+        let non_query = res.subgraph.len() - queries.len();
+        prop_assert!(non_query <= budget.saturating_sub(1) + res.k * len);
+
+        // Every key path runs from its source to its destination and is
+        // fully contained in the subgraph.
+        for p in &res.paths {
+            prop_assert_eq!(p.nodes.first(), Some(&queries[p.source_index]));
+            prop_assert_eq!(p.nodes.last(), Some(&p.dest));
+            for v in &p.nodes {
+                prop_assert!(res.subgraph.contains(*v));
+            }
+            // Downhill: individual scores strictly ordered along the path
+            // under the (score, id) total order.
+            for w in p.nodes.windows(2) {
+                let a = res.scores.score(p.source_index, w[0]);
+                let b = res.scores.score(p.source_index, w[1]);
+                prop_assert!(
+                    a > b || (a == b && w[0].0 > w[1].0),
+                    "path not downhill: {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    /// NRatio is within [0, 1] and non-decreasing in budget for any
+    /// workload (more budget can only capture more goodness mass).
+    #[test]
+    fn nratio_monotone_in_budget(cfg in arb_config(), qseed in 0u64..50) {
+        let data = cfg.generate();
+        let repo = QueryRepository::from_graph(&data);
+        prop_assume!(repo.all().len() >= 2);
+        let queries = repo.sample(2, qseed);
+        let mut last = 0.0;
+        for budget in [2usize, 6, 14] {
+            let ceps_cfg = CepsConfig::default().budget(budget);
+            let res = CepsEngine::new(&data.graph, ceps_cfg).unwrap().run(&queries).unwrap();
+            let ratio = ceps_core::eval::node_ratio(&res.combined, &res.subgraph);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ratio));
+            prop_assert!(ratio + 1e-9 >= last, "NRatio fell {last} -> {ratio}");
+            last = ratio;
+        }
+    }
+}
