@@ -1,0 +1,62 @@
+//! Microbenchmark: the batched block-SpMM RWR kernel against the scalar
+//! per-source loop it replaced.
+//!
+//! Three contenders per query count `Q`:
+//!
+//! * `scalar_loop` — `Q` independent `solve_single` passes
+//!   ([`ceps_rwr::RwrEngine::solve_many_unbatched`]), the pre-batching
+//!   multi-source path: each pass re-reads the whole CSR structure;
+//! * `block` — the batched kernel with `threads = 1`: one CSR sweep per
+//!   iteration feeds all `Q` columns of the node-major block;
+//! * `par_block` — the same kernel with the sparse product row-chunked
+//!   across scoped worker threads (only wins on multi-core hosts).
+
+use ceps_bench::{workload::Workload, Scale};
+use ceps_graph::{normalize::Normalization, NodeId, Transition};
+use ceps_rwr::{RwrConfig, RwrEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_rwr_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rwr_block");
+    group.sample_size(10);
+
+    let w = Workload::build(Scale::Medium, 1);
+    let t = Transition::new(&w.data.graph, Normalization::DegreePenalized { alpha: 0.5 });
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    for q in [2usize, 5, 10] {
+        let queries: Vec<NodeId> = w.repository.sample(q, q as u64);
+
+        group.bench_with_input(BenchmarkId::new("scalar_loop", q), &queries, |b, qs| {
+            let cfg = RwrConfig {
+                threads: 1,
+                ..Default::default()
+            };
+            let engine = RwrEngine::new(&t, cfg).unwrap();
+            b.iter(|| black_box(engine.solve_many_unbatched(qs).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("block", q), &queries, |b, qs| {
+            let cfg = RwrConfig {
+                threads: 1,
+                ..Default::default()
+            };
+            let engine = RwrEngine::new(&t, cfg).unwrap();
+            b.iter(|| black_box(engine.solve_many(qs).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("par_block", q), &queries, |b, qs| {
+            let cfg = RwrConfig {
+                threads,
+                ..Default::default()
+            };
+            let engine = RwrEngine::new(&t, cfg).unwrap();
+            b.iter(|| black_box(engine.solve_many(qs).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rwr_block);
+criterion_main!(benches);

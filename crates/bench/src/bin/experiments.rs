@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ceps_bench::figures::{
-    ablation, baselines, case_studies, fig4, fig5, fig6, injection, scaling,
+    ablation, baselines, case_studies, fig4, fig5, fig6, injection, rwr_bench, scaling,
 };
 use ceps_bench::report::{write_json, Table};
 use ceps_bench::workload::Workload;
@@ -28,6 +28,7 @@ struct Options {
     seed: u64,
     out: PathBuf,
     quick: bool,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,12 +39,13 @@ fn parse_args() -> Result<Options, String> {
         seed: 42,
         out: PathBuf::from("results"),
         quick: false,
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "fig4" | "fig5" | "fig6" | "cases" | "inject" | "ablation" | "baselines"
-            | "scaling" | "all" => opts.figures.push(arg),
+            | "scaling" | "rwr" | "all" => opts.figures.push(arg),
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
@@ -60,6 +62,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -75,9 +81,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|all]... \
+                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|all]... \
                  [--scale tiny|small|medium|large|paper] [--trials N] [--seed S] \
-                 [--out DIR] [--quick]"
+                 [--out DIR] [--quick] [--threads N]"
             );
             return ExitCode::FAILURE;
         }
@@ -255,6 +261,43 @@ fn main() -> ExitCode {
         let table = ablation::run(&workload, &params);
         println!("{}", table.render());
         println!("(ablation took {:.2?})\n", t.elapsed());
+        tables.push(table);
+    }
+
+    if wants("rwr") {
+        let mut params = rwr_bench::RwrBenchParams {
+            seed: opts.seed,
+            threads: opts.threads,
+            ..Default::default()
+        };
+        if let Some(t) = opts.trials {
+            params.trials = t;
+        }
+        if opts.quick {
+            params.query_counts = vec![2, 5];
+            params.trials = params.trials.min(2);
+        }
+        let t = Instant::now();
+        let table = rwr_bench::run(&workload, &params);
+        println!("{}", table.render());
+        println!("(rwr took {:.2?})\n", t.elapsed());
+        // The kernel benchmark gets its own JSON artifact (CI uploads it),
+        // in addition to riding along in the combined experiments.json.
+        let meta = serde_json::json!({
+            "scale": opts.scale.to_string(),
+            "seed": opts.seed,
+            "threads": params.threads,
+            "trials": params.trials,
+            "nodes": workload.node_count(),
+            "edges": workload.edge_count(),
+        });
+        match write_json(&opts.out, "BENCH_rwr", &meta, std::slice::from_ref(&table)) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("error writing JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         tables.push(table);
     }
 

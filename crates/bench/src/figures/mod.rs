@@ -7,4 +7,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod injection;
+pub mod rwr_bench;
 pub mod scaling;

@@ -1,0 +1,148 @@
+//! RWR kernel benchmark — the proof artifact for the batched block-SpMM
+//! solver: per query count `Q`, wall-clock of the scalar per-source loop
+//! ([`RwrEngine::solve_many_unbatched`]), the batched block kernel
+//! (`threads = 1`), and the thread-parallel block kernel, plus the speedup
+//! of each batched variant over the scalar loop.
+//!
+//! The batched kernel's win is cache reuse: each CSR entry is loaded once
+//! per iteration and folded into all `Q` columns, instead of `Q` separate
+//! sweeps over the adjacency arrays. The parallel variant additionally
+//! row-chunks the product across scoped workers, so its column only
+//! improves on multi-core machines.
+
+use std::time::Instant;
+
+use ceps_graph::{normalize::Normalization, Transition};
+use ceps_rwr::{RwrConfig, RwrEngine};
+
+use crate::report::Table;
+use crate::workload::Workload;
+
+/// Parameters for the RWR kernel benchmark.
+#[derive(Debug, Clone)]
+pub struct RwrBenchParams {
+    /// Query-set sizes to measure.
+    pub query_counts: Vec<usize>,
+    /// Timed repetitions per cell; the minimum is reported.
+    pub trials: usize,
+    /// Worker threads for the parallel column.
+    pub threads: usize,
+    /// Normalization exponent (degree penalization, Eq. 10).
+    pub alpha: f64,
+    /// Query-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for RwrBenchParams {
+    fn default() -> Self {
+        RwrBenchParams {
+            query_counts: vec![2, 5, 10],
+            trials: 3,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            alpha: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+fn time_ms(trials: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs the benchmark over `workload`'s graph.
+///
+/// Columns: `Q`, the three wall-clock times in milliseconds (best of
+/// `trials`), and the block/parallel speedups over the scalar loop.
+///
+/// # Panics
+/// Panics if the three paths disagree on the solved scores — the benchmark
+/// doubles as an end-to-end equivalence check.
+pub fn run(workload: &Workload, params: &RwrBenchParams) -> Table {
+    let transition = Transition::new(
+        &workload.data.graph,
+        Normalization::DegreePenalized {
+            alpha: params.alpha,
+        },
+    );
+    let mut table = Table::new(
+        "BENCH rwr: batched block kernel vs scalar loop",
+        vec![
+            "Q".into(),
+            "unbatched_ms".into(),
+            "block_ms".into(),
+            "par_block_ms".into(),
+            "block_speedup".into(),
+            "par_speedup".into(),
+        ],
+    );
+    for (i, &q) in params.query_counts.iter().enumerate() {
+        let queries = workload.repository.sample(q, params.seed ^ i as u64);
+        let scalar = engine(&transition, 1);
+        let block = engine(&transition, 1);
+        let par = engine(&transition, params.threads);
+
+        // Equivalence before timing: all three paths must produce the same R.
+        let reference = scalar.solve_many_unbatched(&queries).unwrap();
+        assert_eq!(reference, block.solve_many(&queries).unwrap());
+        assert_eq!(reference, par.solve_many(&queries).unwrap());
+
+        let t_scalar = time_ms(params.trials, || {
+            scalar.solve_many_unbatched(&queries).unwrap();
+        });
+        let t_block = time_ms(params.trials, || {
+            block.solve_many(&queries).unwrap();
+        });
+        let t_par = time_ms(params.trials, || {
+            par.solve_many(&queries).unwrap();
+        });
+        table.push_row(vec![
+            q as f64,
+            t_scalar,
+            t_block,
+            t_par,
+            t_scalar / t_block,
+            t_scalar / t_par,
+        ]);
+    }
+    table
+}
+
+fn engine(transition: &Transition, threads: usize) -> RwrEngine<'_> {
+    let cfg = RwrConfig {
+        threads,
+        ..Default::default()
+    };
+    RwrEngine::new(transition, cfg).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn produces_one_row_per_query_count() {
+        let w = Workload::build(Scale::Tiny, 7);
+        let params = RwrBenchParams {
+            query_counts: vec![2, 3],
+            trials: 1,
+            threads: 2,
+            ..Default::default()
+        };
+        let t = run(&w, &params);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], 2.0);
+        assert_eq!(t.rows[1][0], 3.0);
+        // Times are positive and speedups finite.
+        for row in &t.rows {
+            assert!(row[1..4].iter().all(|&ms| ms > 0.0));
+            assert!(row[4..].iter().all(|&s| s.is_finite() && s > 0.0));
+        }
+    }
+}

@@ -71,6 +71,8 @@ pub enum Command {
         queries: String,
         /// Normalization exponent.
         alpha: f64,
+        /// Worker threads for the RWR solves.
+        threads: usize,
     },
     /// `ceps import` — convert tab-separated co-author pairs to the
     /// edge-list + labels formats.
@@ -98,6 +100,7 @@ USAGE:
                 [--dot FILE] [--json] [--push EPS] [--threads N]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
+                [--threads N]
   ceps import   --pairs FILE --out FILE --labels-out FILE
   ceps help
 ";
@@ -219,6 +222,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 labels: flags.get("labels").map(PathBuf::from),
                 queries: required(&flags, "queries")?,
                 alpha: num(&flags, "alpha", 0.5f64)?,
+                threads: num(&flags, "threads", 1usize)?,
             })
         }
         "import" => {

@@ -61,7 +61,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             labels,
             queries,
             alpha,
-        } => autok(&graph, labels.as_deref(), &queries, alpha),
+            threads,
+        } => autok(&graph, labels.as_deref(), &queries, alpha, threads),
         Command::Import {
             pairs,
             out,
@@ -305,12 +306,13 @@ fn autok(
     labels_path: Option<&Path>,
     queries: &str,
     alpha: f64,
+    threads: usize,
 ) -> Result<String, CliError> {
     let graph = load_graph(graph_path)?;
     let labels = labels_path.map(load_labels).transpose()?;
     let query_nodes = resolve_queries(queries, labels.as_ref(), &graph)?;
 
-    let cfg = CepsConfig::default().alpha(alpha);
+    let cfg = CepsConfig::default().alpha(alpha).threads(threads);
     let engine = CepsEngine::new(&graph, cfg)?;
     let inference = ceps_core::infer_soft_and_k(&engine, &query_nodes)?;
 
@@ -511,6 +513,7 @@ mod tests {
             labels: Some(l),
             queries: "0,1,2".into(),
             alpha: 0.5,
+            threads: 1,
         })
         .unwrap();
         assert!(out.contains("inferred K_softAND"));

@@ -66,22 +66,19 @@ pub fn infer_soft_and_k(engine: &CepsEngine<'_>, queries: &[NodeId]) -> Result<K
     let n = scores.node_count();
 
     let mut mean_ranks = vec![0f64; q - 1];
+    let mut combined = vec![0f64; n];
     for hold in 0..q {
-        // Rows of the reduced set.
+        // Rows of the reduced set, borrowed straight from the solved R.
         let reduced: Vec<&[f64]> = (0..q)
             .filter(|&i| i != hold)
             .map(|i| scores.row(i))
             .collect();
         for k_prime in 1..q {
-            // Combined score of every node under k' over the reduced set.
-            let mut col = vec![0f64; q - 1];
-            let mut combined = vec![0f64; n];
-            for (j, slot) in combined.iter_mut().enumerate() {
-                for (c, row) in col.iter_mut().zip(&reduced) {
-                    *c = row[j];
-                }
-                *slot = combine::at_least_k(&col, k_prime);
-            }
+            // Combined score of every node under k' over the reduced set;
+            // the row-sweeping combiner fills the hoisted buffer without
+            // per-node column gathers.
+            combine::combine_rows(&reduced, k_prime, &mut combined)
+                .expect("1 <= k' <= Q - 1 by construction");
             // Remaining queries would trivially top the ranking; exclude
             // them so the rank reflects retrieval among non-query nodes.
             for (i, &other) in queries.iter().enumerate() {

@@ -178,19 +178,20 @@ impl<'g> CepsEngine<'g> {
                 Ok(engine.solve_many(queries)?)
             }
             ScoreMethod::Push { epsilon } => {
-                let rows = queries
-                    .iter()
-                    .map(|&q| {
-                        ceps_rwr::push::forward_push(
-                            &self.transition,
-                            self.config.rwr.c,
-                            q,
-                            epsilon,
-                        )
-                        .map(|r| r.scores)
-                    })
-                    .collect::<ceps_rwr::Result<Vec<_>>>()?;
-                Ok(ScoreMatrix::new(queries.to_vec(), rows)?)
+                // Per-source pushes append straight into the contiguous
+                // row-major storage of the score matrix.
+                let n = self.transition.node_count();
+                let mut data = Vec::with_capacity(queries.len() * n);
+                for &q in queries {
+                    let run = ceps_rwr::push::forward_push(
+                        &self.transition,
+                        self.config.rwr.c,
+                        q,
+                        epsilon,
+                    )?;
+                    data.extend_from_slice(&run.scores);
+                }
+                Ok(ScoreMatrix::from_flat(queries.to_vec(), data, n)?)
             }
         }
     }

@@ -217,6 +217,148 @@ impl Transition {
         }
     }
 
+    /// Computes `out = M · X` for a dense block `X` of `cols` column
+    /// vectors, stored row-major with stride `cols` (node-major: `X[u, j]`
+    /// at `x[u * cols + j]`).
+    ///
+    /// One pass over the CSR arrays serves every column: each
+    /// `(target, coeff)` entry is loaded once and applied to `cols`
+    /// accumulators, instead of being re-read per solve as in the
+    /// one-column [`Transition::apply`]. Per column, the accumulation
+    /// visits arcs in the same order as `apply`, so results are
+    /// bitwise-identical to `cols` independent scalar products.
+    ///
+    /// # Panics
+    /// Panics if `cols == 0` or either slice is not `node_count * cols`
+    /// long.
+    pub fn apply_block(&self, x: &[f64], out: &mut [f64], cols: usize) {
+        assert!(cols > 0, "block must have at least one column");
+        assert_eq!(
+            x.len(),
+            self.node_count * cols,
+            "input block length mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.node_count * cols,
+            "output block length mismatch"
+        );
+        self.apply_block_rows(x, out, cols, 0);
+    }
+
+    /// Block kernel over the row range `first_row ..`, writing into `out`
+    /// (whose length selects how many rows are computed). Shared by
+    /// [`Transition::apply_block`] and the parallel row-chunked variants.
+    ///
+    /// Dispatches narrow widths to a const-generic kernel whose `cols`
+    /// accumulators live in registers for the whole CSR sweep; the batched
+    /// win over repeated [`Transition::apply`] comes from that reuse. Wider
+    /// blocks sweep the CSR arrays once per 8-column panel, which keeps the
+    /// register pressure bounded while still amortizing each entry load
+    /// across 8 columns.
+    fn apply_block_rows(&self, x: &[f64], out: &mut [f64], cols: usize, first_row: usize) {
+        debug_assert_eq!(out.len() % cols, 0);
+        match cols {
+            1 => self.apply_block_rows_fixed::<1>(x, out, cols, first_row, 0),
+            2 => self.apply_block_rows_fixed::<2>(x, out, cols, first_row, 0),
+            3 => self.apply_block_rows_fixed::<3>(x, out, cols, first_row, 0),
+            4 => self.apply_block_rows_fixed::<4>(x, out, cols, first_row, 0),
+            5 => self.apply_block_rows_fixed::<5>(x, out, cols, first_row, 0),
+            6 => self.apply_block_rows_fixed::<6>(x, out, cols, first_row, 0),
+            7 => self.apply_block_rows_fixed::<7>(x, out, cols, first_row, 0),
+            8 => self.apply_block_rows_fixed::<8>(x, out, cols, first_row, 0),
+            _ => {
+                let mut first_col = 0;
+                while first_col < cols {
+                    match cols - first_col {
+                        1 => self.apply_block_rows_fixed::<1>(x, out, cols, first_row, first_col),
+                        2 => self.apply_block_rows_fixed::<2>(x, out, cols, first_row, first_col),
+                        3 => self.apply_block_rows_fixed::<3>(x, out, cols, first_row, first_col),
+                        4 => self.apply_block_rows_fixed::<4>(x, out, cols, first_row, first_col),
+                        5 => self.apply_block_rows_fixed::<5>(x, out, cols, first_row, first_col),
+                        6 => self.apply_block_rows_fixed::<6>(x, out, cols, first_row, first_col),
+                        7 => self.apply_block_rows_fixed::<7>(x, out, cols, first_row, first_col),
+                        _ => self.apply_block_rows_fixed::<8>(x, out, cols, first_row, first_col),
+                    }
+                    first_col += 8;
+                }
+            }
+        }
+    }
+
+    /// Computes the `K`-column panel starting at column `first_col` of the
+    /// stride-`cols` block, for the rows covered by `out`. Per column the
+    /// arc order is identical to [`Transition::apply`], so any panel split
+    /// produces bitwise-identical results.
+    fn apply_block_rows_fixed<const K: usize>(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        cols: usize,
+        first_row: usize,
+        first_col: usize,
+    ) {
+        for (local, orow) in out.chunks_exact_mut(cols).enumerate() {
+            let u = first_row + local;
+            let (s, e) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            let mut acc = [0f64; K];
+            for (t, c) in self.targets[s..e].iter().zip(&self.coeffs[s..e]) {
+                let xrow = &x[*t as usize * cols + first_col..];
+                for (a, xv) in acc.iter_mut().zip(&xrow[..K]) {
+                    *a += c * xv;
+                }
+            }
+            orow[first_col..first_col + K].copy_from_slice(&acc);
+        }
+    }
+
+    /// Parallel [`Transition::apply`]: row ranges are chunked across
+    /// `threads` scoped workers, each writing a disjoint `chunks_mut` slice
+    /// of `out` (no locks). `threads <= 1` falls back to the sequential
+    /// kernel. Results are identical to the sequential path — row sums
+    /// don't depend on which worker computes them.
+    ///
+    /// # Panics
+    /// Panics if `x` or `out` is not `node_count` long.
+    pub fn par_apply(&self, x: &[f64], out: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.node_count, "input vector length mismatch");
+        assert_eq!(out.len(), self.node_count, "output vector length mismatch");
+        self.par_apply_block(x, out, 1, threads);
+    }
+
+    /// Parallel [`Transition::apply_block`]: same row-chunked worker scheme
+    /// as [`Transition::par_apply`], each worker running the block kernel
+    /// over its slice of rows. Bitwise-identical to the sequential block
+    /// kernel.
+    ///
+    /// # Panics
+    /// Panics if `cols == 0`, either slice is not `node_count * cols` long,
+    /// or a worker thread panics.
+    pub fn par_apply_block(&self, x: &[f64], out: &mut [f64], cols: usize, threads: usize) {
+        assert!(cols > 0, "block must have at least one column");
+        assert_eq!(
+            x.len(),
+            self.node_count * cols,
+            "input block length mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.node_count * cols,
+            "output block length mismatch"
+        );
+        let workers = threads.min(self.node_count).max(1);
+        if workers <= 1 {
+            return self.apply_block_rows(x, out, cols, 0);
+        }
+        let rows_per = self.node_count.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (ci, chunk) in out.chunks_mut(rows_per * cols).enumerate() {
+                scope.spawn(move |_| self.apply_block_rows(x, chunk, cols, ci * rows_per));
+            }
+        })
+        .expect("apply_block worker panicked");
+    }
+
     /// The matrix entry `M[u, v]` (`W̃[u, v]` in the paper's notation — for
     /// the stochastic kinds, the probability of stepping `v → u`).
     ///

@@ -105,6 +105,61 @@ proptest! {
         }
     }
 
+    /// The block kernel is the scalar operator applied per column: for any
+    /// graph, normalization and block width, `apply_block` on a random
+    /// N x Q block equals Q scalar `apply` calls, bitwise (the per-column
+    /// arithmetic order is identical by construction).
+    #[test]
+    fn apply_block_matches_scalar_apply(
+        (n, edges) in arb_edges(),
+        alpha in 0.0f64..2.0,
+        cols in 1usize..6,
+        fill in proptest::collection::vec(0.0f64..1.0, 24 * 6),
+    ) {
+        let g = build(n, &edges);
+        let t = Transition::new(&g, Normalization::DegreePenalized { alpha });
+        let x: Vec<f64> = fill[..n * cols].to_vec();
+        let mut block_out = vec![0f64; n * cols];
+        t.apply_block(&x, &mut block_out, cols);
+        let mut col = vec![0f64; n];
+        let mut col_out = vec![0f64; n];
+        for j in 0..cols {
+            for u in 0..n {
+                col[u] = x[u * cols + j];
+            }
+            t.apply(&col, &mut col_out);
+            for u in 0..n {
+                prop_assert_eq!(block_out[u * cols + j], col_out[u],
+                    "col {} node {}", j, u);
+            }
+        }
+    }
+
+    /// Row-chunking the product across threads never changes the output:
+    /// `par_apply_block` equals `apply_block` bitwise for any thread count
+    /// (each row is computed by exactly one worker, same inner loop).
+    #[test]
+    fn par_apply_block_matches_sequential(
+        (n, edges) in arb_edges(),
+        cols in 1usize..5,
+        threads in 1usize..7,
+        fill in proptest::collection::vec(0.0f64..1.0, 24 * 5),
+    ) {
+        let g = build(n, &edges);
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let x: Vec<f64> = fill[..n * cols].to_vec();
+        let mut seq = vec![0f64; n * cols];
+        let mut par = vec![0f64; n * cols];
+        t.apply_block(&x, &mut seq, cols);
+        t.par_apply_block(&x, &mut par, cols, threads);
+        prop_assert_eq!(&seq, &par);
+        if cols == 1 {
+            let mut par1 = vec![0f64; n];
+            t.par_apply(&x, &mut par1, threads);
+            prop_assert_eq!(&seq, &par1);
+        }
+    }
+
     /// Dijkstra distances are consistent with BFS hops under unit costs.
     #[test]
     fn dijkstra_matches_bfs_on_unit_costs((n, edges) in arb_edges()) {

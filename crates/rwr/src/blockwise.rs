@@ -157,17 +157,52 @@ impl BlockwiseRwr {
 
     /// Score matrix for a query set.
     ///
+    /// Queries are grouped by block and their rows written straight into
+    /// the contiguous matrix: each block's member list is walked once per
+    /// group, and no per-query full-`N` scratch vector is allocated (rows
+    /// outside the query's block stay at the zero the matrix starts with).
+    ///
     /// # Errors
     /// [`RwrError::NoQueries`] / [`RwrError::BadQueryNode`].
     pub fn query_many(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
         if queries.is_empty() {
             return Err(RwrError::NoQueries);
         }
-        let rows = queries
-            .iter()
-            .map(|&q| self.query(q))
-            .collect::<Result<Vec<_>>>()?;
-        ScoreMatrix::new(queries.to_vec(), rows)
+        for &q in queries {
+            if q.index() >= self.node_count {
+                return Err(RwrError::BadQueryNode {
+                    node: q,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        let mut matrix = ScoreMatrix::zeros(queries.to_vec(), self.node_count)?;
+        let mut by_block: Vec<Vec<usize>> = vec![Vec::new(); self.members.len()];
+        for (i, &q) in queries.iter().enumerate() {
+            by_block[self.assignment[q.index()] as usize].push(i);
+        }
+        let mut rhs = Vec::new();
+        for (b, group) in by_block.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let block = &self.members[b];
+            for &i in group {
+                rhs.clear();
+                rhs.resize(block.len(), 0.0);
+                let local_q = block
+                    .iter()
+                    .position(|&v| v == queries[i].0)
+                    .expect("query is a member of its own block");
+                rhs[local_q] = 1.0 - self.c;
+                self.factors[b].solve_in_place(&mut rhs);
+                let row = matrix.row_mut(i);
+                for (li, &v) in block.iter().enumerate() {
+                    row[v as usize] = rhs[li];
+                }
+            }
+        }
+        Ok(matrix)
     }
 }
 

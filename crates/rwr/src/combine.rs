@@ -68,29 +68,100 @@ pub fn or(probs: &[f64]) -> f64 {
     1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>()
 }
 
+/// Combined scores for every node, for "at least k of Q", given the score
+/// rows `r(i, ·)` directly. Writes into `out` (length N).
+///
+/// This is the row-sweeping formulation of [`combine_scores`]: instead of
+/// gathering a `Q`-length probability column per node (a strided read plus
+/// a buffer write for all `N` nodes), each score row is streamed once and
+/// folded into per-node accumulators — AND keeps a running product, OR a
+/// running miss-product, and K_softAND maintains the Eq. 9 Poisson-binomial
+/// DP as `k + 1` vectors of length `N` updated row by row. Per node the
+/// arithmetic sequence is identical to [`and`]/[`or`]/[`at_least_k`] on the
+/// gathered column, so results match exactly.
+///
+/// Taking rows as slices (rather than a [`ScoreMatrix`]) lets callers such
+/// as auto-k's leave-one-out combine any subset of an already-solved
+/// matrix's rows without copying them.
+///
+/// # Errors
+/// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ rows.len()`.
+///
+/// # Panics
+/// Panics if any row's length differs from `out.len()`.
+pub fn combine_rows(rows: &[&[f64]], k: usize, out: &mut [f64]) -> Result<()> {
+    let q = rows.len();
+    if k == 0 || k > q {
+        return Err(RwrError::BadSoftAndK { k, query_count: q });
+    }
+    let n = out.len();
+    assert!(
+        rows.iter().all(|r| r.len() == n),
+        "all rows must match the output length"
+    );
+
+    if k == q {
+        // AND (Eq. 6): running product across rows.
+        out.copy_from_slice(rows[0]);
+        for row in &rows[1..] {
+            for (acc, &p) in out.iter_mut().zip(*row) {
+                *acc *= p;
+            }
+        }
+    } else if k == 1 {
+        // OR (Eq. 7): running product of misses, complemented at the end.
+        out.fill(1.0);
+        for row in rows {
+            for (acc, &p) in out.iter_mut().zip(*row) {
+                *acc *= 1.0 - p;
+            }
+        }
+        for acc in out.iter_mut() {
+            *acc = 1.0 - *acc;
+        }
+    } else {
+        // K_softAND: dp[t * n + j] = P(exactly t of the rows seen so far
+        // are present at node j); one (k + 1) x N scratch block replaces
+        // the per-node DP vector.
+        let mut dp = vec![0f64; (k + 1) * n];
+        dp[..n].fill(1.0);
+        for row in rows {
+            for t in (1..=k).rev() {
+                let (lo, hi) = dp.split_at_mut(t * n);
+                let prev = &lo[(t - 1) * n..];
+                for j in 0..n {
+                    let p = row[j];
+                    hi[j] = hi[j] * (1.0 - p) + prev[j] * p;
+                }
+            }
+            for (slot, &p) in dp[..n].iter_mut().zip(*row) {
+                *slot *= 1.0 - p;
+            }
+        }
+        // P(at least k) = 1 - P(at most k - 1). Sum the tail first and
+        // subtract once, in the same association `at_least_k` uses, so the
+        // two paths agree to the last bit.
+        out.fill(0.0);
+        for t in 0..k {
+            for (acc, &mass) in out.iter_mut().zip(&dp[t * n..(t + 1) * n]) {
+                *acc += mass;
+            }
+        }
+        for acc in out.iter_mut() {
+            *acc = 1.0 - *acc;
+        }
+    }
+    Ok(())
+}
+
 /// Combined scores `r(Q, ·)` for every node, for "at least k of Q".
 ///
 /// # Errors
 /// [`RwrError::BadSoftAndK`] unless `1 ≤ k ≤ Q`.
 pub fn combine_scores(scores: &ScoreMatrix, k: usize) -> Result<Vec<f64>> {
-    let q = scores.query_count();
-    if k == 0 || k > q {
-        return Err(RwrError::BadSoftAndK { k, query_count: q });
-    }
-    let n = scores.node_count();
-    let mut out = Vec::with_capacity(n);
-    let mut col = vec![0f64; q];
-    for j in 0..n {
-        scores.column_into(ceps_graph::NodeId::from_index(j), &mut col);
-        let v = if k == q {
-            and(&col)
-        } else if k == 1 {
-            or(&col)
-        } else {
-            at_least_k(&col, k)
-        };
-        out.push(v);
-    }
+    let rows: Vec<&[f64]> = (0..scores.query_count()).map(|i| scores.row(i)).collect();
+    let mut out = vec![0f64; scores.node_count()];
+    combine_rows(&rows, k, &mut out)?;
     Ok(out)
 }
 

@@ -7,14 +7,16 @@ use crate::{Result, RwrError};
 /// Individual closeness scores for a set of query nodes: row `i` holds
 /// `r(i, ·)`, the RWR stationary distribution of query `q_i` (Eq. 3/4).
 ///
-/// This is the matrix `R` of Table 2. Rows are dense `Vec<f64>` because the
-/// downstream consumers (score combination, EXTRACT's per-source node
-/// ordering) touch every entry.
+/// This is the matrix `R` of Table 2. Storage is one contiguous `Vec<f64>`
+/// with row stride `node_count` — rows stay cache-adjacent for the
+/// row-sweeping consumers (score combination, EXTRACT's per-source node
+/// ordering, auto-k's leave-one-out), and the batched solver can write the
+/// whole matrix without per-row allocations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreMatrix {
     sources: Vec<NodeId>,
-    /// `rows[i][j] = r(i, j)`; every row has length `node_count`.
-    rows: Vec<Vec<f64>>,
+    /// `data[i * node_count + j] = r(i, j)`.
+    data: Vec<f64>,
     node_count: usize,
 }
 
@@ -36,11 +38,50 @@ impl ScoreMatrix {
             rows.iter().all(|r| r.len() == node_count),
             "all rows must have equal length"
         );
+        let mut data = Vec::with_capacity(sources.len() * node_count);
+        for row in &rows {
+            data.extend_from_slice(row);
+        }
         Ok(ScoreMatrix {
             sources,
-            rows,
+            data,
             node_count,
         })
+    }
+
+    /// Assembles a matrix directly from contiguous row-major storage
+    /// (`data[i * node_count + j] = r(i, j)`), the layout the batched
+    /// solver produces.
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] if `sources` is empty.
+    ///
+    /// # Panics
+    /// Panics unless `data.len() == sources.len() * node_count`.
+    pub fn from_flat(sources: Vec<NodeId>, data: Vec<f64>, node_count: usize) -> Result<Self> {
+        if sources.is_empty() {
+            return Err(RwrError::NoQueries);
+        }
+        assert_eq!(
+            data.len(),
+            sources.len() * node_count,
+            "flat data must be sources x node_count long"
+        );
+        Ok(ScoreMatrix {
+            sources,
+            data,
+            node_count,
+        })
+    }
+
+    /// An all-zero matrix to be filled in place via
+    /// [`ScoreMatrix::row_mut`].
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] if `sources` is empty.
+    pub fn zeros(sources: Vec<NodeId>, node_count: usize) -> Result<Self> {
+        let data = vec![0f64; sources.len() * node_count];
+        Self::from_flat(sources, data, node_count)
     }
 
     /// Number of query nodes `Q`.
@@ -63,24 +104,40 @@ impl ScoreMatrix {
     /// `r(i, j)` — closeness of node `j` wrt the `i`-th query.
     #[inline]
     pub fn score(&self, i: usize, j: NodeId) -> f64 {
-        self.rows[i][j.index()]
+        self.data[i * self.node_count + j.index()]
     }
 
     /// Full row `r(i, ·)`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+        &self.data[i * self.node_count..(i + 1) * self.node_count]
+    }
+
+    /// Mutable row `r(i, ·)`, for writers filling a [`ScoreMatrix::zeros`]
+    /// matrix in place.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.node_count..(i + 1) * self.node_count]
+    }
+
+    /// All rows as one contiguous row-major slice (stride
+    /// [`ScoreMatrix::node_count`]).
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
     }
 
     /// Column `r(·, j)` gathered into a small buffer (length `Q`).
     pub fn column(&self, j: NodeId) -> Vec<f64> {
-        self.rows.iter().map(|r| r[j.index()]).collect()
+        let mut buf = vec![0f64; self.query_count()];
+        self.column_into(j, &mut buf);
+        buf
     }
 
     /// Gathers column `j` into `buf` without allocating (`buf.len() == Q`).
     pub fn column_into(&self, j: NodeId, buf: &mut [f64]) {
         debug_assert_eq!(buf.len(), self.query_count());
-        for (slot, row) in buf.iter_mut().zip(&self.rows) {
+        for (slot, row) in buf.iter_mut().zip(self.data.chunks_exact(self.node_count)) {
             *slot = row[j.index()];
         }
     }
@@ -89,7 +146,7 @@ impl ScoreMatrix {
     /// processes nodes in (Sec. 5: "we arrange the nodes in descending order
     /// of r(i, j)"). Ties break by ascending id for determinism.
     pub fn descending_order(&self, i: usize) -> Vec<NodeId> {
-        let row = &self.rows[i];
+        let row = self.row(i);
         let mut order: Vec<u32> = (0..self.node_count as u32).collect();
         order
             .sort_unstable_by(|&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b)));
@@ -99,7 +156,10 @@ impl ScoreMatrix {
     /// Row sums — 1.0 for exact stationary distributions over connected
     /// graphs; tests use this to check solver fidelity.
     pub fn row_sums(&self) -> Vec<f64> {
-        self.rows.iter().map(|r| r.iter().sum()).collect()
+        self.data
+            .chunks_exact(self.node_count)
+            .map(|r| r.iter().sum())
+            .collect()
     }
 }
 
@@ -142,6 +202,10 @@ mod tests {
             ScoreMatrix::new(vec![], vec![]),
             Err(RwrError::NoQueries)
         ));
+        assert!(matches!(
+            ScoreMatrix::from_flat(vec![], vec![], 4),
+            Err(RwrError::NoQueries)
+        ));
     }
 
     #[test]
@@ -156,5 +220,36 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn ragged_rows_panic() {
         let _ = ScoreMatrix::new(vec![NodeId(0), NodeId(1)], vec![vec![1.0], vec![0.5, 0.5]]);
+    }
+
+    #[test]
+    fn from_flat_matches_new() {
+        let rows = ScoreMatrix::new(
+            vec![NodeId(0), NodeId(1)],
+            vec![vec![0.5, 0.5, 0.0], vec![0.1, 0.2, 0.7]],
+        )
+        .unwrap();
+        let flat = ScoreMatrix::from_flat(
+            vec![NodeId(0), NodeId(1)],
+            vec![0.5, 0.5, 0.0, 0.1, 0.2, 0.7],
+            3,
+        )
+        .unwrap();
+        assert_eq!(rows, flat);
+        assert_eq!(flat.as_flat(), &[0.5, 0.5, 0.0, 0.1, 0.2, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sources x node_count")]
+    fn from_flat_length_mismatch_panics() {
+        let _ = ScoreMatrix::from_flat(vec![NodeId(0)], vec![1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn zeros_then_row_mut_fills_in_place() {
+        let mut m = ScoreMatrix::zeros(vec![NodeId(0), NodeId(1)], 3).unwrap();
+        m.row_mut(1).copy_from_slice(&[0.25, 0.25, 0.5]);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.score(1, NodeId(2)), 0.5);
     }
 }

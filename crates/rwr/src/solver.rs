@@ -20,7 +20,9 @@ pub struct RwrConfig {
     /// Optional early-exit: stop once the L1 change between successive
     /// iterates drops below this. `None` always runs `max_iterations`.
     pub tolerance: Option<f64>,
-    /// Number of worker threads for multi-source solves. 1 = sequential.
+    /// Number of worker threads for the sparse-times-block product inside
+    /// multi-source solves. 1 = sequential. Defaults to the machine's
+    /// available parallelism.
     pub threads: usize,
 }
 
@@ -30,7 +32,7 @@ impl Default for RwrConfig {
             c: 0.5,
             max_iterations: 50,
             tolerance: None,
-            threads: 1,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         }
     }
 }
@@ -133,62 +135,139 @@ impl<'t> RwrEngine<'t> {
         Ok((x, stats))
     }
 
-    /// Stationary distributions for every query node, as the `R` matrix.
+    /// Batched power iteration: all `Q` stationary distributions at once.
     ///
-    /// With `config.threads > 1` the (independent) per-source solves run on
-    /// scoped worker threads.
+    /// Iterates `X ← c · M X + (1 − c) E` on an `N × Q` block (node-major,
+    /// stride `Q`) with ping-ponged buffers, so each sparse entry of `M` is
+    /// loaded once per iteration and reused across all `Q` columns —
+    /// instead of `Q` separate passes over the CSR arrays as in repeated
+    /// [`RwrEngine::solve_single`] calls. With `config.threads > 1` the
+    /// product row-chunks across scoped workers
+    /// ([`Transition::par_apply_block`]).
+    ///
+    /// Per column the arithmetic order matches `solve_single` exactly, so
+    /// each returned row and its [`SolveStats`] are bitwise-identical to
+    /// the single-source solve. With a `tolerance` set, columns freeze
+    /// individually the iteration their L1 delta drops below it — exactly
+    /// where `solve_single` stops — and carry their values unchanged while
+    /// the rest keep iterating.
     ///
     /// # Errors
     /// [`RwrError::NoQueries`] on an empty slice or
     /// [`RwrError::BadQueryNode`] for an out-of-range query.
-    pub fn solve_many(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+    pub fn solve_block(&self, queries: &[NodeId]) -> Result<(ScoreMatrix, Vec<SolveStats>)> {
         if queries.is_empty() {
             return Err(RwrError::NoQueries);
         }
         for &q in queries {
             self.check_node(q)?;
         }
+        let n = self.transition.node_count();
+        let q_count = queries.len();
+        let c = self.config.c;
+        let restart = 1.0 - c;
 
-        let rows: Vec<Vec<f64>> = if self.config.threads <= 1 || queries.len() == 1 {
-            let mut rows = Vec::with_capacity(queries.len());
-            for &q in queries {
-                rows.push(self.solve_single(q)?.0);
+        let mut x = vec![0f64; n * q_count];
+        for (j, q) in queries.iter().enumerate() {
+            x[q.index() * q_count + j] = 1.0;
+        }
+        let mut next = vec![0f64; n * q_count];
+        let mut stats = vec![
+            SolveStats {
+                iterations: 0,
+                final_delta: f64::INFINITY,
+            };
+            q_count
+        ];
+        let mut frozen = vec![false; q_count];
+        let mut active = q_count;
+        let mut deltas = vec![0f64; q_count];
+
+        for it in 0..self.config.max_iterations {
+            if active == 0 {
+                break;
             }
-            rows
-        } else {
-            self.solve_parallel(queries)?
-        };
-        ScoreMatrix::new(queries.to_vec(), rows)
-    }
-
-    fn solve_parallel(&self, queries: &[NodeId]) -> Result<Vec<Vec<f64>>> {
-        let workers = self.config.threads.min(queries.len());
-        let mut rows: Vec<Option<Vec<f64>>> = vec![None; queries.len()];
-        let indexed: Vec<(usize, NodeId)> = queries.iter().copied().enumerate().collect();
-        let chunk = indexed.len().div_ceil(workers);
-
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for part in indexed.chunks(chunk) {
-                handles.push(scope.spawn(move |_| -> Result<Vec<(usize, Vec<f64>)>> {
-                    part.iter()
-                        .map(|&(i, q)| Ok((i, self.solve_single(q)?.0)))
-                        .collect()
-                }));
+            if self.config.threads > 1 {
+                self.transition
+                    .par_apply_block(&x, &mut next, q_count, self.config.threads);
+            } else {
+                self.transition.apply_block(&x, &mut next, q_count);
             }
-            for h in handles {
-                for (i, row) in h.join().expect("rwr worker panicked")? {
-                    rows[i] = Some(row);
+            deltas.fill(0.0);
+            for u in 0..n {
+                let xrow = &x[u * q_count..u * q_count + q_count];
+                let nrow = &mut next[u * q_count..u * q_count + q_count];
+                for j in 0..q_count {
+                    if frozen[j] {
+                        // Converged columns ride along unchanged.
+                        nrow[j] = xrow[j];
+                        continue;
+                    }
+                    let v = c * nrow[j]
+                        + if queries[j].index() == u {
+                            restart
+                        } else {
+                            0.0
+                        };
+                    deltas[j] += (v - xrow[j]).abs();
+                    nrow[j] = v;
                 }
             }
-            Ok::<(), RwrError>(())
-        })
-        .expect("rwr scope panicked")?;
+            std::mem::swap(&mut x, &mut next);
+            for j in 0..q_count {
+                if frozen[j] {
+                    continue;
+                }
+                stats[j].iterations = it + 1;
+                stats[j].final_delta = deltas[j];
+                if let Some(tol) = self.config.tolerance {
+                    if deltas[j] < tol {
+                        frozen[j] = true;
+                        active -= 1;
+                    }
+                }
+            }
+        }
 
-        Ok(rows
-            .into_iter()
-            .map(|r| r.expect("all rows filled"))
-            .collect())
+        // Transpose the node-major iteration block into the row-major Q x N
+        // score matrix.
+        let mut data = vec![0f64; q_count * n];
+        for u in 0..n {
+            for j in 0..q_count {
+                data[j * n + u] = x[u * q_count + j];
+            }
+        }
+        Ok((ScoreMatrix::from_flat(queries.to_vec(), data, n)?, stats))
+    }
+
+    /// Stationary distributions for every query node, as the `R` matrix.
+    ///
+    /// Runs the batched kernel ([`RwrEngine::solve_block`]); results are
+    /// bitwise-identical to per-source [`RwrEngine::solve_single`] calls.
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] on an empty slice or
+    /// [`RwrError::BadQueryNode`] for an out-of-range query.
+    pub fn solve_many(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        Ok(self.solve_block(queries)?.0)
+    }
+
+    /// Reference multi-source path: one [`RwrEngine::solve_single`] per
+    /// query, sequentially. Kept for differential tests and as the
+    /// benchmark baseline the batched kernel is measured against.
+    ///
+    /// # Errors
+    /// [`RwrError::NoQueries`] on an empty slice or
+    /// [`RwrError::BadQueryNode`] for an out-of-range query.
+    pub fn solve_many_unbatched(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        if queries.is_empty() {
+            return Err(RwrError::NoQueries);
+        }
+        let mut rows = Vec::with_capacity(queries.len());
+        for &q in queries {
+            rows.push(self.solve_single(q)?.0);
+        }
+        ScoreMatrix::new(queries.to_vec(), rows)
     }
 }
 
@@ -293,6 +372,35 @@ mod tests {
             .solve_many(&queries)
             .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batched_solve_matches_unbatched_bitwise() {
+        let t = line_graph(10);
+        let queries = [NodeId(0), NodeId(4), NodeId(9)];
+        let engine = RwrEngine::new(&t, RwrConfig::default()).unwrap();
+        let batched = engine.solve_many(&queries).unwrap();
+        let unbatched = engine.solve_many_unbatched(&queries).unwrap();
+        assert_eq!(batched, unbatched);
+    }
+
+    #[test]
+    fn block_stats_match_single_source_stats() {
+        let t = line_graph(10);
+        let queries = [NodeId(0), NodeId(9)];
+        let cfg = RwrConfig {
+            tolerance: Some(1e-6),
+            max_iterations: 500,
+            threads: 1,
+            ..Default::default()
+        };
+        let engine = RwrEngine::new(&t, cfg).unwrap();
+        let (matrix, stats) = engine.solve_block(&queries).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let (row, single) = engine.solve_single(q).unwrap();
+            assert_eq!(stats[i], single, "query {i}");
+            assert_eq!(matrix.row(i), &row[..], "query {i}");
+        }
     }
 
     #[test]

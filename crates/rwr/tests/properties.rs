@@ -2,7 +2,7 @@
 
 use ceps_graph::{normalize::Normalization, GraphBuilder, NodeId, Transition};
 use ceps_rwr::{
-    combine::{at_least_k, at_least_k_bruteforce, combine_scores},
+    combine::{and, at_least_k, at_least_k_bruteforce, combine_rows, combine_scores, or},
     exact::solve_exact,
     push::forward_push,
     RwrConfig, RwrEngine,
@@ -113,6 +113,109 @@ proptest! {
             for j in 0..g.node_count() {
                 prop_assert!(mid[j] <= or[j] + 1e-12);
                 prop_assert!(mid[j] + 1e-12 >= and[j]);
+            }
+        }
+    }
+
+    /// The batched block solve reproduces the per-source solves: every row
+    /// of `solve_block`'s matrix (and its stats) must match the
+    /// corresponding `solve_single` within 1e-12 — in fact bitwise, since
+    /// the per-column arithmetic order is identical.
+    #[test]
+    fn solve_block_matches_solve_single(
+        g in arb_connected_graph(),
+        c in 0.1f64..0.9,
+        alpha in 0.0f64..1.0,
+        picks in proptest::collection::vec(0usize..20, 1..6),
+    ) {
+        let mut queries: Vec<NodeId> = picks
+            .iter()
+            .map(|&p| NodeId((p % g.node_count()) as u32))
+            .collect();
+        queries.sort_unstable();
+        queries.dedup();
+        let t = Transition::new(&g, Normalization::DegreePenalized { alpha });
+        let cfg = RwrConfig { c, max_iterations: 60, tolerance: None, threads: 1 };
+        let engine = RwrEngine::new(&t, cfg).unwrap();
+        let (matrix, stats) = engine.solve_block(&queries).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let (row, single_stats) = engine.solve_single(q).unwrap();
+            for j in 0..g.node_count() {
+                let d = (matrix.row(i)[j] - row[j]).abs();
+                prop_assert!(d < 1e-12, "query {i} node {j}: diff {d}");
+                prop_assert_eq!(matrix.row(i)[j], row[j]);
+            }
+            prop_assert_eq!(stats[i], single_stats);
+        }
+    }
+
+    /// Column freezing (tolerance-based early exit) never changes results:
+    /// each frozen column holds exactly the value the per-source solve
+    /// stops at, even when the other columns keep iterating.
+    #[test]
+    fn freezing_matches_per_source_early_stop(
+        g in arb_connected_graph(),
+        c in 0.1f64..0.9,
+        tol_exp in 2u32..10,
+        picks in proptest::collection::vec(0usize..20, 2..6),
+    ) {
+        let mut queries: Vec<NodeId> = picks
+            .iter()
+            .map(|&p| NodeId((p % g.node_count()) as u32))
+            .collect();
+        queries.sort_unstable();
+        queries.dedup();
+        prop_assume!(queries.len() >= 2);
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let cfg = RwrConfig {
+            c,
+            max_iterations: 500,
+            tolerance: Some(10f64.powi(-(tol_exp as i32))),
+            threads: 1,
+        };
+        let engine = RwrEngine::new(&t, cfg).unwrap();
+        let (matrix, stats) = engine.solve_block(&queries).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let (row, single_stats) = engine.solve_single(q).unwrap();
+            prop_assert_eq!(stats[i], single_stats, "query {}", i);
+            for j in 0..g.node_count() {
+                prop_assert_eq!(matrix.row(i)[j], row[j], "query {} node {}", i, j);
+            }
+        }
+    }
+
+    /// The row-sweeping combiner equals the per-node column combinators
+    /// bitwise for every k — `and` at k = Q, `or` at k = 1, the Eq. 9 DP in
+    /// between (auto-k relies on this interchangeability).
+    #[test]
+    fn combine_rows_matches_column_dp(
+        g in arb_connected_graph(),
+        picks in proptest::collection::vec(0usize..20, 2..6),
+    ) {
+        let mut queries: Vec<NodeId> = picks
+            .iter()
+            .map(|&p| NodeId((p % g.node_count()) as u32))
+            .collect();
+        queries.sort_unstable();
+        queries.dedup();
+        prop_assume!(queries.len() >= 2);
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let m = RwrEngine::new(&t, RwrConfig::default()).unwrap().solve_many(&queries).unwrap();
+        let rows: Vec<&[f64]> = (0..queries.len()).map(|i| m.row(i)).collect();
+        let mut out = vec![0f64; g.node_count()];
+        let q = queries.len();
+        for k in 1..=q {
+            combine_rows(&rows, k, &mut out).unwrap();
+            for j in 0..g.node_count() {
+                let col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+                let reference = if k == q {
+                    and(&col)
+                } else if k == 1 {
+                    or(&col)
+                } else {
+                    at_least_k(&col, k)
+                };
+                prop_assert_eq!(out[j], reference, "k={} node {}", k, j);
             }
         }
     }

@@ -1,0 +1,318 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! `criterion_group!`, `criterion_main!` — with a simple measurement loop:
+//! estimate the cost of one iteration, batch iterations into fixed-duration
+//! samples, and report the mean/min/max ns per iteration. There is no
+//! statistical analysis, HTML report, or saved baseline.
+//!
+//! `cargo bench -- --test` (what CI's bench-smoke runs) executes each
+//! benchmark body exactly once, as real criterion does.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Target wall-clock duration of one measurement sample.
+const SAMPLE_TARGET_NS: u128 = 5_000_000;
+/// Cap on measurement samples per benchmark, regardless of `sample_size`.
+const MAX_SAMPLES: usize = 30;
+
+/// Benchmark registry/driver; construct via [`Criterion::from_args`]
+/// (normally done by `criterion_main!`).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments. Recognizes `--test`
+    /// (smoke mode: run each body once) and a positional substring filter;
+    /// harness flags cargo passes (`--bench`, etc.) are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_benchmark_id();
+        self.run(&full, 20, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, full_id: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            smoke: self.test_mode,
+            sample_size: sample_size.min(MAX_SAMPLES).max(2),
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            None => println!("{full_id}: no measurement (b.iter never called)"),
+            Some(r) if self.test_mode => {
+                let _ = r;
+                println!("{full_id}: ok (smoke)");
+            }
+            Some(r) => println!(
+                "{full_id}: {:.1} ns/iter (min {:.1}, max {:.1}, {} samples x {} iters)",
+                r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+            ),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples (capped internally).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op here; results print as they complete).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark as `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Renders the id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Timing loop handle passed to each benchmark body.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `f`. In smoke mode runs it once; otherwise estimates its
+    /// cost, batches iterations into ~fixed-duration samples, and records
+    /// mean/min/max ns per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            let _ = std::hint::black_box(f());
+            self.report = Some(Report {
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                max_ns: 0.0,
+                samples: 0,
+                iters_per_sample: 1,
+            });
+            return;
+        }
+        // Warmup + estimate.
+        let start = Instant::now();
+        let _ = std::hint::black_box(f());
+        let est_ns = start.elapsed().as_nanos().max(1);
+        let iters = (SAMPLE_TARGET_NS / est_ns).clamp(1, 10_000_000) as u64;
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let _ = std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            per_iter.push(ns / iters as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        self.report = Some(Report {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups with an arg-parsed driver.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        c.bench_function("unit/smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("wanted".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other/name", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+        c.benchmark_group("wanted").bench_with_input(
+            BenchmarkId::new("case", 5),
+            &5usize,
+            |b, &n| {
+                ran = true;
+                b.iter(|| n * 2);
+            },
+        );
+        assert!(ran);
+    }
+
+    #[test]
+    fn measured_mode_reports_positive_time() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(2);
+        g.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..64u64).sum::<u64>()))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,101 @@
+//! Hermetic stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63), which gives the same
+//! borrow-the-stack guarantees the workspace relies on for its parallel
+//! row-chunked kernels.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result alias matching `crossbeam::thread`: the error is the payload
+    /// of a worker panic.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to [`scope`]'s closure; spawn workers off it.
+    ///
+    /// Workers may borrow anything that outlives the scope ('env data).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result (`Err` holds the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. As in crossbeam, the closure
+        /// receives the scope itself (for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all workers are joined before `scope` returns. Returns `Err` with the
+    /// panic payload if the closure or an unjoined worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut out = vec![0u64; 2];
+        thread::scope(|s| {
+            let (lo, hi) = out.split_at_mut(1);
+            let h1 = s.spawn(|_| data[..4].iter().sum::<u64>());
+            let h2 = s.spawn(|_| data[4..].iter().sum::<u64>());
+            lo[0] = h1.join().unwrap();
+            hi[0] = h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 26]);
+    }
+
+    #[test]
+    fn worker_panic_is_captured_by_join() {
+        let res = thread::scope(|s| {
+            let h = s.spawn(|_| -> usize { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn closure_panic_is_captured_by_scope() {
+        let res = thread::scope(|_| -> usize { panic!("outer") });
+        assert!(res.is_err());
+    }
+}

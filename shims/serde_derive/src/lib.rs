@@ -1,0 +1,654 @@
+//! Hermetic stand-in for `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro` (no syn/quote, which aren't vendored).
+//! The generated impls target the shim's value-tree model:
+//! `Serialize::to_value(&self) -> serde::json::Value` and
+//! `Deserialize::from_value(&Value) -> Result<Self, Error>`.
+//!
+//! Supported input shapes — the full set this workspace derives on:
+//! * named structs (optionally generic; type params get the trait bound added);
+//! * tuple structs — a single (non-skipped) field serializes transparently,
+//!   as serde does for newtypes and `#[serde(transparent)]`;
+//! * externally tagged enums with unit, tuple, and struct variants;
+//! * the `#[serde(skip)]` field attribute (omitted on write, defaulted on read).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    where_clause: String,
+    data: Data,
+}
+
+struct Param {
+    is_lifetime: bool,
+    name: String,
+    bounds: String,
+}
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Data {
+    Named(Vec<NamedField>),
+    /// Tuple struct: per-position skip flags.
+    Tuple(Vec<bool>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct AttrInfo {
+    skip: bool,
+}
+
+/// Consumes leading `#[...]` attributes, noting `#[serde(skip)]`.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> AttrInfo {
+    let mut info = AttrInfo::default();
+    while *i < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            panic!("expected [...] after #")
+        };
+        assert_eq!(
+            g.delimiter(),
+            Delimiter::Bracket,
+            "expected #[...] attribute"
+        );
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(arg) = t {
+                            if arg.to_string() == "skip" {
+                                info.skip = true;
+                            }
+                            // `transparent`, `rename`, … are accepted and
+                            // ignored; newtype serialization is already
+                            // transparent in this shim.
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    info
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn take_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match &tokens[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other}"),
+    }
+}
+
+fn tokens_text(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Splits a token list at top-level commas (commas nested in `<...>` or any
+/// delimited group don't split).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses `<...>` generic parameters starting at `tokens[*i] == '<'`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<Param> {
+    *i += 1; // past '<'
+    let mut depth = 1i32;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(tokens[*i].clone());
+        *i += 1;
+    }
+    split_commas(&inner)
+        .into_iter()
+        .map(|param| {
+            let is_lifetime =
+                matches!(param.first(), Some(TokenTree::Punct(p)) if p.as_char() == '\'');
+            let mut j = if is_lifetime { 1 } else { 0 };
+            let raw_name = expect_ident(&param, &mut j);
+            let name = if is_lifetime {
+                format!("'{raw_name}")
+            } else {
+                raw_name
+            };
+            // Anything after ':' is the declared bound list.
+            let bounds = param
+                .iter()
+                .position(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':'))
+                .map(|colon| tokens_text(&param[colon + 1..]))
+                .unwrap_or_default();
+            Param {
+                is_lifetime,
+                name,
+                bounds,
+            }
+        })
+        .collect()
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&tokens, &mut i);
+    take_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            params = parse_generics(&tokens, &mut i);
+        }
+    }
+
+    // Whatever sits between the generics and the body/terminator is a where
+    // clause (or, for tuple structs, follows the parens) — re-emit verbatim.
+    let mut where_clause = Vec::new();
+    let mut body: Option<TokenTree> = None;
+    let mut is_tuple = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(tokens[i].clone());
+                break;
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && body.is_none() && kw == "struct" =>
+            {
+                body = Some(tokens[i].clone());
+                is_tuple = true;
+                i += 1;
+                // where clause may follow the parens; stop at ';'.
+                while i < tokens.len() {
+                    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ';') {
+                        break;
+                    }
+                    where_clause.push(tokens[i].clone());
+                    i += 1;
+                }
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            t => {
+                where_clause.push(t.clone());
+                i += 1;
+            }
+        }
+    }
+    let where_clause = tokens_text(&where_clause);
+
+    let data = match (&body, kw.as_str()) {
+        (None, "struct") => Data::Unit,
+        (Some(TokenTree::Group(g)), "struct") if is_tuple => {
+            let skips = split_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .map(|field| {
+                    let mut j = 0;
+                    take_attrs(&field, &mut j).skip
+                })
+                .collect();
+            Data::Tuple(skips)
+        }
+        (Some(TokenTree::Group(g)), "struct") => {
+            let fields = split_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .map(|field| {
+                    let mut j = 0;
+                    let info = take_attrs(&field, &mut j);
+                    take_vis(&field, &mut j);
+                    NamedField {
+                        name: expect_ident(&field, &mut j),
+                        skip: info.skip,
+                    }
+                })
+                .collect();
+            Data::Named(fields)
+        }
+        (Some(TokenTree::Group(g)), "enum") => {
+            let variants = split_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .map(|var| {
+                    let mut j = 0;
+                    take_attrs(&var, &mut j);
+                    let vname = expect_ident(&var, &mut j);
+                    let kind = match var.get(j) {
+                        Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                            let n =
+                                split_commas(&vg.stream().into_iter().collect::<Vec<_>>()).len();
+                            VariantKind::Tuple(n)
+                        }
+                        Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                            let names = split_commas(&vg.stream().into_iter().collect::<Vec<_>>())
+                                .into_iter()
+                                .map(|field| {
+                                    let mut k = 0;
+                                    take_attrs(&field, &mut k);
+                                    take_vis(&field, &mut k);
+                                    expect_ident(&field, &mut k)
+                                })
+                                .collect();
+                            VariantKind::Named(names)
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Variant { name: vname, kind }
+                })
+                .collect();
+            Data::Enum(variants)
+        }
+        _ => panic!("serde_derive shim: unsupported input shape for `{name}`"),
+    };
+
+    Input {
+        name,
+        params,
+        where_clause,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Returns `(impl_generics, ty_generics)`; type params get `extra_bound`
+/// appended so un-annotated generics like `Doc<'a, M>` still derive.
+fn generics_split(params: &[Param], extra_bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g = params
+        .iter()
+        .map(|p| {
+            if p.is_lifetime {
+                if p.bounds.is_empty() {
+                    p.name.clone()
+                } else {
+                    format!("{}: {}", p.name, p.bounds)
+                }
+            } else if p.bounds.is_empty() {
+                format!("{}: {extra_bound}", p.name)
+            } else {
+                format!("{}: {} + {extra_bound}", p.name, p.bounds)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ty_g = params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    (format!("<{impl_g}>"), format!("<{ty_g}>"))
+}
+
+fn gen_serialize(inp: &Input) -> String {
+    let (impl_g, ty_g) = generics_split(&inp.params, "::serde::Serialize");
+    let name = &inp.name;
+    let body = match &inp.data {
+        Data::Named(fields) => {
+            let entries = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::json::Value::Object(vec![{entries}])")
+        }
+        Data::Tuple(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            match live.as_slice() {
+                [] => "::serde::json::Value::Null".to_string(),
+                // Newtype: serialize transparently as the inner value.
+                [only] => format!("::serde::Serialize::to_value(&self.{only})"),
+                many => {
+                    let items = many
+                        .iter()
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::json::Value::Array(vec![{items}])")
+                }
+            }
+        }
+        Data::Unit => "::serde::json::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vname} => \
+                             ::serde::json::Value::String(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vname}(__f0) => ::serde::json::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let pats = (0..*n)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{vname}({pats}) => ::serde::json::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::json::Value::Array(vec![{items}]))]),"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{vname} {{ {pats} }} => \
+                                 ::serde::json::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::json::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}",
+        where_clause = inp.where_clause,
+    )
+}
+
+fn named_fields_ctor(type_name: &str, fields: &[NamedField], source: &str) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::core::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{0}: match {source}.get(\"{0}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                         None => return Err(::serde::json::Error::new(\n\
+                             \"missing field `{0}` in {type_name}\")),\n\
+                     }}",
+                    f.name
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{ {inits} }}")
+}
+
+fn gen_deserialize(inp: &Input) -> String {
+    let (impl_g, ty_g) = generics_split(&inp.params, "::serde::Deserialize");
+    let name = &inp.name;
+    let body = match &inp.data {
+        Data::Named(fields) => {
+            let ctor = named_fields_ctor(name, fields, "__v");
+            format!(
+                "match __v {{\n\
+                     ::serde::json::Value::Object(_) => Ok(Self {ctor}),\n\
+                     __other => Err(::serde::json::Error::type_mismatch(\"object\", __other)),\n\
+                 }}"
+            )
+        }
+        Data::Tuple(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            match live.as_slice() {
+                [] => {
+                    let defaults = skips
+                        .iter()
+                        .map(|_| "::core::default::Default::default()".to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("Ok(Self({defaults}))")
+                }
+                [only] => {
+                    let args = (0..skips.len())
+                        .map(|i| {
+                            if i == *only {
+                                "::serde::Deserialize::from_value(__v)?".to_string()
+                            } else {
+                                "::core::default::Default::default()".to_string()
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("Ok(Self({args}))")
+                }
+                many => {
+                    let n = many.len();
+                    let mut next = 0usize;
+                    let args = (0..skips.len())
+                        .map(|i| {
+                            if skips[i] {
+                                "::core::default::Default::default()".to_string()
+                            } else {
+                                let s =
+                                    format!("::serde::Deserialize::from_value(&__items[{next}])?");
+                                next += 1;
+                                s
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match __v {{\n\
+                             ::serde::json::Value::Array(__items) if __items.len() == {n} => \
+                                 Ok(Self({args})),\n\
+                             __other => Err(::serde::json::Error::type_mismatch(\n\
+                                 \"array of {n} elements\", __other)),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+        Data::Unit => "Ok(Self)".to_string(),
+        Data::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => \
+                             Ok(Self::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let args = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                     ::serde::json::Value::Array(__items) \
+                                         if __items.len() == {n} => Ok(Self::{vname}({args})),\n\
+                                     __other => Err(::serde::json::Error::type_mismatch(\n\
+                                         \"array of {n} elements\", __other)),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let named: Vec<NamedField> = fields
+                                .iter()
+                                .map(|f| NamedField {
+                                    name: f.clone(),
+                                    skip: false,
+                                })
+                                .collect();
+                            let ctor = named_fields_ctor(name, &named, "__inner");
+                            Some(format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                     ::serde::json::Value::Object(_) => \
+                                         Ok(Self::{vname} {ctor}),\n\
+                                     __other => Err(::serde::json::Error::type_mismatch(\n\
+                                         \"object\", __other)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __v {{\n\
+                     ::serde::json::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::json::Error::new(format!(\n\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::json::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => Err(::serde::json::Error::new(format!(\n\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => Err(::serde::json::Error::type_mismatch(\n\
+                         \"string or single-key object\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {where_clause} {{\n\
+             fn from_value(__v: &::serde::json::Value) \
+                 -> ::core::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}",
+        where_clause = inp.where_clause,
+    )
+}

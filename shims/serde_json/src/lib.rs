@@ -1,0 +1,109 @@
+//! Hermetic stand-in for the `serde_json` crate.
+//!
+//! Thin text layer over the `serde` shim's [`Value`] tree: serialization
+//! renders a value tree to JSON text, deserialization parses text and
+//! rebuilds the type from the tree. Covers the API surface this workspace
+//! uses: `to_string`, `to_string_pretty`, `from_str`, `from_slice`,
+//! `to_value`, [`Value`], and the [`json!`] macro (string-literal keys,
+//! expression values).
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{Error, Value};
+use serde::{Deserialize, Serialize};
+
+/// Result alias matching `serde_json`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact one-line JSON.
+///
+/// # Errors
+/// Never fails in this shim (the signature matches `serde_json`).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Never fails in this shim (the signature matches `serde_json`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+/// [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    T::from_value(&Value::parse(s)?)
+}
+
+/// Deserializes a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+/// [`Error`] on invalid UTF-8, malformed JSON, or a shape mismatch with `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax.
+///
+/// Supports the shapes this workspace writes: object literals with
+/// string-literal keys and arbitrary expression values, array literals,
+/// `null`, and bare expressions (anything `Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::to_value(&$val)) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_round_trip() {
+        let v: Vec<u32> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn json_macro_objects_and_nesting() {
+        let inner = json!({"nodes": vec![1u32, 2]});
+        let doc = json!({
+            "query_type": "AND",
+            "budget": 5u32,
+            "paths": vec![inner.clone(), inner],
+        });
+        assert_eq!(doc["query_type"], "AND");
+        assert_eq!(doc["budget"], 5u64);
+        assert_eq!(doc["paths"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["paths"][0]["nodes"][1], 2u64);
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let doc: Value = from_slice(br#"{"a": 1.5}"#).unwrap();
+        assert_eq!(doc["a"], 1.5);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let err = from_str::<Value>("{oops").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}
