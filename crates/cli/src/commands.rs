@@ -5,7 +5,7 @@ use std::fs;
 use std::io::BufReader;
 use std::path::Path;
 
-use ceps_core::{eval, CepsConfig, CepsEngine, QueryType};
+use ceps_core::{eval, CepsConfig, CepsEngine, CepsService, QueryType};
 use ceps_graph::{io as gio, CsrGraph, NodeId, NodeLabels};
 use ceps_partition::{partition_graph, PartitionConfig};
 
@@ -63,6 +63,33 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             alpha,
             threads,
         } => autok(&graph, labels.as_deref(), &queries, alpha, threads),
+        Command::Serve {
+            graph,
+            requests,
+            queries_per,
+            workers,
+            repeat,
+            budget,
+            alpha,
+            cache_mb,
+            seed,
+            threads,
+            json,
+        } => serve(
+            &graph,
+            ServeOptions {
+                requests,
+                queries_per,
+                workers,
+                repeat,
+                budget,
+                alpha,
+                cache_mb,
+                seed,
+                threads,
+                json,
+            },
+        ),
         Command::Import {
             pairs,
             out,
@@ -334,6 +361,143 @@ fn autok(
     Ok(out)
 }
 
+/// Options of the `serve` subcommand.
+struct ServeOptions {
+    requests: usize,
+    queries_per: usize,
+    workers: usize,
+    repeat: f64,
+    budget: usize,
+    alpha: f64,
+    cache_mb: usize,
+    seed: u64,
+    threads: usize,
+    json: bool,
+}
+
+/// splitmix64 — a tiny deterministic generator for the synthetic stream, so
+/// the CLI needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds a repository-style query stream: each query node comes from a
+/// small pool of hub (highest-degree) nodes with probability `repeat`, and
+/// uniformly from the whole graph otherwise. Nodes within a request are
+/// distinct.
+fn synthetic_stream(
+    graph: &CsrGraph,
+    requests: usize,
+    queries_per: usize,
+    repeat: f64,
+    seed: u64,
+) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count() as u64;
+    let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+    by_degree.sort_by(|&a, &b| {
+        graph
+            .degree(b)
+            .total_cmp(&graph.degree(a))
+            .then(a.0.cmp(&b.0))
+    });
+    let pool: Vec<NodeId> = by_degree
+        .into_iter()
+        .take(32.min(graph.node_count()))
+        .collect();
+
+    let mut state = seed ^ 0xceb5_0000;
+    let mut stream = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let mut set: Vec<NodeId> = Vec::with_capacity(queries_per);
+        while set.len() < queries_per.min(graph.node_count()) {
+            let roll = splitmix64(&mut state) as f64 / u64::MAX as f64;
+            let candidate = if roll < repeat {
+                pool[(splitmix64(&mut state) % pool.len() as u64) as usize]
+            } else {
+                NodeId((splitmix64(&mut state) % n) as u32)
+            };
+            if !set.contains(&candidate) {
+                set.push(candidate);
+            }
+        }
+        stream.push(set);
+    }
+    stream
+}
+
+fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
+    let graph = load_graph(graph_path)?;
+    let cfg = CepsConfig::default()
+        .budget(opts.budget)
+        .alpha(opts.alpha)
+        .threads(opts.threads);
+    let engine = CepsEngine::new(graph, cfg)?;
+    let service = if opts.cache_mb == 0 {
+        CepsService::uncached(engine)
+    } else {
+        CepsService::new(engine, opts.cache_mb << 20)
+    };
+
+    let stream = synthetic_stream(
+        service.engine().graph(),
+        opts.requests,
+        opts.queries_per,
+        opts.repeat,
+        opts.seed,
+    );
+    let outcome = service.serve_stream(&stream, opts.workers)?;
+
+    if opts.json {
+        let latency = serde_json::json!({
+            "p50": outcome.latency_percentile_ms(50.0),
+            "p95": outcome.latency_percentile_ms(95.0),
+            "p99": outcome.latency_percentile_ms(99.0),
+        });
+        let doc = serde_json::json!({
+            "requests": outcome.completed,
+            "workers": outcome.workers,
+            "repeat_rate": opts.repeat,
+            "cache_mb": opts.cache_mb,
+            "wall_ms": outcome.wall_ms,
+            "throughput_qps": outcome.throughput_qps(),
+            "hit_rate": outcome.hit_rate(),
+            "latency_ms": latency,
+        });
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).map_err(|e| CliError(format!("json error: {e}")))?
+        ));
+    }
+
+    let mut out = format!(
+        "served {} requests on {} workers in {:.1} ms ({:.1} q/s)\n\
+         latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n",
+        outcome.completed,
+        outcome.workers,
+        outcome.wall_ms,
+        outcome.throughput_qps(),
+        outcome.latency_percentile_ms(50.0),
+        outcome.latency_percentile_ms(95.0),
+        outcome.latency_percentile_ms(99.0),
+    );
+    match outcome.cache {
+        Some(stats) => out.push_str(&format!(
+            "cache: {:.1}% hits ({} hits / {} misses, {} evictions, budget {} MiB)\n",
+            100.0 * outcome.hit_rate(),
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            opts.cache_mb,
+        )),
+        None => out.push_str("cache: disabled\n"),
+    }
+    Ok(out)
+}
+
 fn import(pairs: &Path, out: &Path, labels_out: &Path) -> Result<String, CliError> {
     let file = fs::File::open(pairs)
         .map_err(|e| CliError(format!("cannot open {}: {e}", pairs.display())))?;
@@ -552,6 +716,46 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("Ada Lovelace"), "center-piece missing: {out}");
+    }
+
+    #[test]
+    fn serve_reports_throughput_and_cache() {
+        let (g, _) = generated();
+        let out = execute(Command::Serve {
+            graph: g.clone(),
+            requests: 10,
+            queries_per: 2,
+            workers: 2,
+            repeat: 0.8,
+            budget: 4,
+            alpha: 0.5,
+            cache_mb: 16,
+            seed: 1,
+            threads: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("served 10 requests"));
+        assert!(out.contains("cache:"), "missing cache line: {out}");
+
+        let out = execute(Command::Serve {
+            graph: g,
+            requests: 6,
+            queries_per: 2,
+            workers: 1,
+            repeat: 0.0,
+            budget: 4,
+            alpha: 0.5,
+            cache_mb: 0,
+            seed: 1,
+            threads: 1,
+            json: true,
+        })
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(doc["requests"], 6);
+        assert_eq!(doc["hit_rate"], 0.0);
+        assert!(doc["latency_ms"]["p50"].as_f64().unwrap() >= 0.0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn rank_of(scores: &[f64], target: NodeId) -> f64 {
 ///
 /// # Errors
 /// Query validation errors as in [`CepsEngine::run`].
-pub fn infer_soft_and_k(engine: &CepsEngine<'_>, queries: &[NodeId]) -> Result<KInference> {
+pub fn infer_soft_and_k(engine: &CepsEngine, queries: &[NodeId]) -> Result<KInference> {
     if queries.is_empty() {
         return Err(CepsError::NoQueries);
     }

@@ -1,10 +1,20 @@
 //! Pipeline configuration.
 
-use ceps_rwr::RwrConfig;
+use std::sync::Arc;
+
+use ceps_graph::{CsrGraph, Transition};
+use ceps_partition::{partition_graph, PartitionConfig};
+use ceps_rwr::blockwise::BlockwiseRwr;
+use ceps_rwr::precomputed::PrecomputedRwr;
+use ceps_rwr::{IterativeScores, PushScores, RwrConfig, ScoreBackend};
 
 use crate::{CepsError, QueryType, Result};
 
 /// How Step 1 (individual score calculation, Eq. 4) is solved.
+///
+/// Every variant maps to one [`ScoreBackend`] implementation via
+/// [`ScoreMethod::build_backend`]; the pipeline holds the trait object and
+/// never dispatches on this enum again after construction.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ScoreMethod {
     /// Fixed-iteration power iteration — the paper's method (`m = 50`).
@@ -18,6 +28,72 @@ pub enum ScoreMethod {
         /// Push threshold; smaller = more accurate and more expensive.
         epsilon: f64,
     },
+    /// Dense offline inversion `(1 − c)(I − c W̃)⁻¹` (Eq. 12): `O(N³)`
+    /// once, then every query is a column copy. Only viable for small
+    /// graphs — construction refuses more than `max_nodes` nodes.
+    Precomputed {
+        /// Hard ceiling on the node count (`N²` dense memory).
+        max_nodes: usize,
+    },
+    /// The paper's Sec. 6 blockwise approximation: partition the graph,
+    /// invert each diagonal block, drop cross-block mass.
+    Blockwise {
+        /// Number of partition blocks `p`.
+        parts: usize,
+        /// Partitioner seed (randomized matching and seed placement).
+        seed: u64,
+        /// Refuse blocks larger than this (dense per-block cost).
+        max_block: usize,
+    },
+}
+
+impl ScoreMethod {
+    /// Builds the [`ScoreBackend`] this method names, over a shared
+    /// normalized operator. `graph` is only consulted by
+    /// [`ScoreMethod::Blockwise`] (its partitioner runs on the raw
+    /// adjacency, not the operator).
+    ///
+    /// # Errors
+    /// Backend construction errors: solver validation, dense-size refusals
+    /// ([`ceps_rwr::RwrError::GraphTooLarge`]) or partitioner failures.
+    pub fn build_backend(
+        &self,
+        graph: &CsrGraph,
+        transition: &Arc<Transition>,
+        rwr: RwrConfig,
+    ) -> Result<Arc<dyn ScoreBackend>> {
+        Ok(match *self {
+            ScoreMethod::Iterative => {
+                Arc::new(IterativeScores::new(Arc::clone(transition), rwr)?)
+            }
+            ScoreMethod::Push { epsilon } => {
+                if !(epsilon.is_finite() && epsilon > 0.0) {
+                    return Err(CepsError::BadPushEpsilon { epsilon });
+                }
+                Arc::new(PushScores::new(Arc::clone(transition), rwr.c, epsilon)?)
+            }
+            ScoreMethod::Precomputed { max_nodes } => {
+                Arc::new(PrecomputedRwr::new(transition, rwr.c, max_nodes)?)
+            }
+            ScoreMethod::Blockwise {
+                parts,
+                seed,
+                max_block,
+            } => {
+                let pcfg = PartitionConfig {
+                    seed,
+                    ..PartitionConfig::with_parts(parts)
+                };
+                let partitioning = partition_graph(graph, &pcfg)?;
+                Arc::new(BlockwiseRwr::new(
+                    transition,
+                    partitioning.assignment(),
+                    rwr.c,
+                    max_block,
+                )?)
+            }
+        })
+    }
 }
 
 /// How Step 2 (combining individual scores) is computed.
@@ -125,6 +201,25 @@ impl CepsConfig {
     /// Switches Step 1 to forward push with threshold `epsilon`.
     pub fn push_scores(mut self, epsilon: f64) -> Self {
         self.score_method = ScoreMethod::Push { epsilon };
+        self
+    }
+
+    /// Switches Step 1 to the dense precomputed inverse (Eq. 12), refusing
+    /// graphs above `max_nodes` nodes.
+    pub fn precomputed_scores(mut self, max_nodes: usize) -> Self {
+        self.score_method = ScoreMethod::Precomputed { max_nodes };
+        self
+    }
+
+    /// Switches Step 1 to the Sec. 6 blockwise approximation with `parts`
+    /// partition blocks (partitioner seed `seed`), refusing blocks above
+    /// `max_block` nodes.
+    pub fn blockwise_scores(mut self, parts: usize, seed: u64, max_block: usize) -> Self {
+        self.score_method = ScoreMethod::Blockwise {
+            parts,
+            seed,
+            max_block,
+        };
         self
     }
 

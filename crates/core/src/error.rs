@@ -37,6 +37,19 @@ pub enum CepsError {
         /// The rejected threshold.
         epsilon: f64,
     },
+    /// A caller-supplied score matrix does not match the query set and
+    /// graph it is being combined against
+    /// (see [`crate::CepsEngine::run_with_scores`]).
+    ScoreShapeMismatch {
+        /// Rows in the supplied matrix.
+        rows: usize,
+        /// Columns (nodes) in the supplied matrix.
+        cols: usize,
+        /// Number of queries it was paired with.
+        queries: usize,
+        /// Node count of the engine's graph.
+        nodes: usize,
+    },
     /// An error from the graph substrate.
     Graph(GraphError),
     /// An error from the RWR engine.
@@ -69,6 +82,17 @@ impl fmt::Display for CepsError {
                 write!(
                     f,
                     "push threshold epsilon = {epsilon} must be finite and > 0"
+                )
+            }
+            CepsError::ScoreShapeMismatch {
+                rows,
+                cols,
+                queries,
+                nodes,
+            } => {
+                write!(
+                    f,
+                    "score matrix is {rows}x{cols} but the run needs {queries}x{nodes}"
                 )
             }
             CepsError::Graph(e) => write!(f, "graph error: {e}"),

@@ -20,13 +20,13 @@
 pub mod active;
 pub mod path;
 
-pub use path::SharingRule;
+pub use path::{PathWorkspace, SharingRule};
 
 use ceps_graph::{CsrGraph, NodeId, Subgraph};
 use ceps_rwr::ScoreMatrix;
 
 use self::active::active_sources;
-use self::path::{discover_key_path, PathQuery};
+use self::path::{discover_key_path_in_cone, PathQuery, SourceCone};
 
 /// One key path discovered during extraction, for interpretability: the
 /// paper stresses that EXTRACT "provides some interpretations on why such
@@ -105,6 +105,11 @@ pub fn extract(params: ExtractParams<'_>) -> ExtractOutcome {
     let mut orphans = Vec::new();
     let mut added = 0usize; // non-query nodes added so far
     let mut col = vec![0f64; queries.len()];
+    let mut ws = PathWorkspace::new();
+    // Downhill reachability from a source depends only on its score row —
+    // not on the destination or the growing subgraph — so each active
+    // source's cone is computed once and shared across every round.
+    let mut cones: Vec<Option<SourceCone>> = vec![None; queries.len()];
 
     while added < budget {
         // Eq. 11: pd = argmax_{j ∉ H} r(Q, j); ties by id for determinism.
@@ -133,16 +138,22 @@ pub fn extract(params: ExtractParams<'_>) -> ExtractOutcome {
 
         let mut found_any = false;
         for &i in &actives {
-            let key_path = discover_key_path(PathQuery {
-                graph,
-                individual: scores.row(i),
-                combined,
-                in_subgraph: &in_h,
-                source: queries[i],
-                dest: pd,
-                max_new_nodes: max_path_len,
-                sharing,
-            });
+            let cone = cones[i]
+                .get_or_insert_with(|| SourceCone::compute(graph, scores.row(i), queries[i]));
+            let key_path = discover_key_path_in_cone(
+                PathQuery {
+                    graph,
+                    individual: scores.row(i),
+                    combined,
+                    in_subgraph: &in_h,
+                    source: queries[i],
+                    dest: pd,
+                    max_new_nodes: max_path_len,
+                    sharing,
+                },
+                cone,
+                &mut ws,
+            );
             let Some(nodes) = key_path else { continue };
             found_any = true;
             for &v in &nodes {

@@ -66,10 +66,154 @@ fn key(individual: &[f64], v: u32) -> (f64, std::cmp::Reverse<u32>) {
     (individual[v as usize], std::cmp::Reverse(v))
 }
 
+/// Reusable scratch buffers for [`discover_key_path_with`].
+///
+/// Path discovery runs once per (destination, active source) pair — dozens
+/// of times per EXTRACT call — and its working set is proportional to the
+/// local neighbourhood actually explored, not the graph. The two `n`-sized
+/// maps here (`reach` stamps, candidate positions) are the only full-graph
+/// state, and this struct amortizes them across calls: stamps are
+/// invalidated by bumping `epoch`, positions are un-set on exit via the
+/// candidate list, so no per-call `O(n)` clearing happens either.
+#[derive(Debug, Default)]
+pub struct PathWorkspace {
+    /// Candidate stamps: a node is a candidate of the current call iff its
+    /// stamp equals the call's epoch.
+    reach: Vec<u32>,
+    /// Position of candidate `v` in downhill order. Only ever read for
+    /// nodes stamped as candidates of the current call, so entries from
+    /// earlier calls need no clearing.
+    pos_of: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+    candidates: Vec<u32>,
+    /// Downhill edges between candidates, `(lower, upper)` node ids, as
+    /// recorded by the ascending sweep.
+    edges: Vec<(u32, u32)>,
+    /// CSR over `edges` by destination position: in-edge sources (as
+    /// positions) of candidate `p` live at
+    /// `edge_src[edge_starts[p]..edge_starts[p + 1]]`.
+    edge_starts: Vec<u32>,
+    edge_src: Vec<u32>,
+    dp: Vec<f64>,
+    parent: Vec<(u32, u32)>,
+    /// Bit `s` set ⇔ `dp[p * width + s]` holds finite mass; lets the DP
+    /// inner loop touch only live `(candidate, s)` slots.
+    occupied: Vec<u64>,
+}
+
+impl PathWorkspace {
+    /// A workspace usable with graphs of any size (buffers grow on demand).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.reach.len() < n {
+            self.reach.resize(n, 0);
+            self.pos_of.resize(n, 0);
+        }
+        // One stamp value per call; on wrap-around, re-zero once.
+        if self.epoch == u32::MAX {
+            self.reach.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.stack.clear();
+        self.candidates.clear();
+        self.edges.clear();
+    }
+}
+
+/// The downhill-reachable cone of one source under one score row.
+///
+/// A node is in the cone when some strictly score-descending walk from the
+/// source reaches it. Crucially this is independent of the destination:
+/// every intermediate node of a downhill walk to `v` scores above `v`, so
+/// a walk that ends inside the `[r(i, pd), r(i, q_i)]` band never leaves
+/// it. It is also independent of the partially built subgraph. EXTRACT
+/// therefore computes one cone per active source and reuses it across all
+/// of that source's destinations.
+#[derive(Debug, Clone)]
+pub struct SourceCone {
+    source: NodeId,
+    reach: Vec<bool>,
+}
+
+impl SourceCone {
+    /// Computes the cone of `source` under the score row `individual`.
+    pub fn compute(graph: &CsrGraph, individual: &[f64], source: NodeId) -> Self {
+        let n = graph.node_count();
+        debug_assert_eq!(individual.len(), n);
+        let mut reach = vec![false; n];
+        let mut stack = vec![source.0];
+        reach[source.index()] = true;
+        while let Some(v) = stack.pop() {
+            let vk = key(individual, v);
+            for (u, _w) in graph.neighbors(NodeId(v)) {
+                let u = u.0;
+                if !reach[u as usize] && key(individual, u) < vk {
+                    reach[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        SourceCone { source, reach }
+    }
+
+    /// The source the cone was computed from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Whether `v` is downhill-reachable from the source.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.reach[v.index()]
+    }
+}
+
 /// Discovers the key path, returning its nodes `source..=dest`, or `None`
 /// when no downhill path within the length bound exists (including the
 /// degenerate case `source == dest`).
+///
+/// Convenience wrapper over [`discover_key_path_with`] that allocates a
+/// fresh [`PathWorkspace`]; loops should reuse one instead.
 pub fn discover_key_path(q: PathQuery<'_>) -> Option<Vec<NodeId>> {
+    discover_key_path_with(q, &mut PathWorkspace::new())
+}
+
+/// [`discover_key_path`] with caller-provided scratch space; computes the
+/// source's [`SourceCone`] inline. Callers issuing several discoveries from
+/// one source should compute the cone once and use
+/// [`discover_key_path_in_cone`].
+pub fn discover_key_path_with(q: PathQuery<'_>, ws: &mut PathWorkspace) -> Option<Vec<NodeId>> {
+    if q.source == q.dest {
+        return None;
+    }
+    let cone = SourceCone::compute(q.graph, q.individual, q.source);
+    discover_key_path_in_cone(q, &cone, ws)
+}
+
+/// [`discover_key_path`] against a precomputed [`SourceCone`].
+///
+/// The DP only ever assigns mass to nodes on some downhill walk from the
+/// source, and only nodes with a downhill walk into `pd` can contribute to
+/// the answer — so instead of enumerating every node whose score lies in
+/// the `[r(i, pd), r(i, q_i)]` band (which on a power-law graph is most of
+/// the high-score cone), the candidate set is computed exactly as
+/// {cone of the source} ∩ {backward-reachable from `pd`} with one
+/// score-ascending traversal from `pd` that never leaves the cone. The
+/// surviving candidates keep their relative downhill order, every downhill
+/// edge among them is preserved, and the pruned nodes carried no DP mass,
+/// so the discovered path is identical to the unpruned computation's.
+///
+/// # Panics
+/// Debug-asserts that `cone` belongs to `q.source` and `q.graph`.
+pub fn discover_key_path_in_cone(
+    q: PathQuery<'_>,
+    cone: &SourceCone,
+    ws: &mut PathWorkspace,
+) -> Option<Vec<NodeId>> {
     if q.source == q.dest {
         return None;
     }
@@ -77,32 +221,88 @@ pub fn discover_key_path(q: PathQuery<'_>) -> Option<Vec<NodeId>> {
     debug_assert_eq!(q.individual.len(), n);
     debug_assert_eq!(q.combined.len(), n);
     debug_assert_eq!(q.in_subgraph.len(), n);
+    debug_assert_eq!(cone.source, q.source);
+    debug_assert_eq!(cone.reach.len(), n);
 
     let dest_key = key(q.individual, q.dest.0);
     let src_key = key(q.individual, q.source.0);
     if src_key < dest_key {
         return None; // the source itself is "below" pd: no downhill path
     }
+    if !cone.reach[q.dest.index()] {
+        return None; // pd is not downhill-reachable at all
+    }
 
-    // Candidate set: nodes between the source and pd in the downhill order.
-    let mut candidates: Vec<u32> = (0..n as u32)
-        .filter(|&v| {
-            let kv = key(q.individual, v);
-            kv >= dest_key && kv <= src_key
-        })
-        .collect();
-    candidates.sort_unstable_by(|&a, &b| {
-        key(q.individual, b)
-            .partial_cmp(&key(q.individual, a))
+    ws.begin(n);
+    let mark = ws.epoch;
+
+    // Ascending sweep from pd inside the cone; what it marks is exactly
+    // the candidate set (and it never inspects more than their edges).
+    // Every downhill edge between candidates is recorded as it is first
+    // seen — from its lower endpoint, which the sweep pops exactly once —
+    // so the DP below never has to rescan adjacency lists.
+    ws.reach[q.dest.index()] = mark;
+    ws.stack.push(q.dest.0);
+    ws.candidates.push(q.dest.0);
+    while let Some(v) = ws.stack.pop() {
+        let vk = key(q.individual, v);
+        for (u, _w) in q.graph.neighbors(NodeId(v)) {
+            let u = u.0;
+            if !cone.reach[u as usize] {
+                continue; // outside the cone: never a candidate
+            }
+            if key(q.individual, u) > vk {
+                ws.edges.push((v, u));
+                if ws.reach[u as usize] != mark {
+                    ws.reach[u as usize] = mark;
+                    ws.stack.push(u);
+                    ws.candidates.push(u);
+                }
+            }
+        }
+    }
+
+    let individual = q.individual;
+    ws.candidates.sort_unstable_by(|&a, &b| {
+        key(individual, b)
+            .partial_cmp(&key(individual, a))
             .expect("finite scores")
     });
+    let candidates = &ws.candidates;
     // Positions: candidates[0] == source, last == dest.
     debug_assert_eq!(candidates.first(), Some(&q.source.0));
     debug_assert_eq!(candidates.last(), Some(&q.dest.0));
     let m = candidates.len();
-    let mut pos_of = vec![u32::MAX; n];
     for (p, &v) in candidates.iter().enumerate() {
-        pos_of[v as usize] = p as u32;
+        ws.pos_of[v as usize] = p as u32;
+    }
+
+    // Bucket the recorded edges by destination position (counting sort):
+    // the DP wants, per candidate, its downhill in-edges as positions.
+    let ecount = ws.edges.len();
+    ws.edge_starts.clear();
+    ws.edge_starts.resize(m + 1, 0);
+    for &(v, _) in &ws.edges {
+        ws.edge_starts[ws.pos_of[v as usize] as usize + 1] += 1;
+    }
+    for p in 0..m {
+        ws.edge_starts[p + 1] += ws.edge_starts[p];
+    }
+    ws.edge_src.clear();
+    ws.edge_src.resize(ecount, 0);
+    {
+        // `edge_starts` doubles as the scatter cursor; shifting it back
+        // afterwards restores the prefix sums.
+        let starts = &mut ws.edge_starts;
+        for &(v, u) in &ws.edges {
+            let slot = &mut starts[ws.pos_of[v as usize] as usize];
+            ws.edge_src[*slot as usize] = ws.pos_of[u as usize];
+            *slot += 1;
+        }
+        for p in (1..=m).rev() {
+            starts[p] = starts[p - 1];
+        }
+        starts[0] = 0;
     }
 
     let len = q.max_new_nodes;
@@ -110,8 +310,12 @@ pub fn discover_key_path(q: PathQuery<'_>) -> Option<Vec<NodeId>> {
     const NEG: f64 = f64::NEG_INFINITY;
     // dp[p * width + s] = best captured goodness of a prefix path ending at
     // candidate p using exactly s new nodes; parent stores (prev_pos, prev_s).
-    let mut dp = vec![NEG; m * width];
-    let mut parent = vec![(u32::MAX, u32::MAX); m * width];
+    ws.dp.clear();
+    ws.dp.resize(m * width, NEG);
+    ws.parent.clear();
+    ws.parent.resize(m * width, (u32::MAX, u32::MAX));
+    let dp = &mut ws.dp;
+    let parent = &mut ws.parent;
 
     let share_free = q.sharing == SharingRule::FreeSharedNodes;
     let s0 = usize::from(!(share_free && q.in_subgraph[q.source.index()]));
@@ -120,29 +324,67 @@ pub fn discover_key_path(q: PathQuery<'_>) -> Option<Vec<NodeId>> {
     }
     dp[s0] = q.combined[q.source.index()]; // position 0 is the source
 
+    // Occupancy masks make the relaxation sparse: a predecessor with no
+    // finite slot is skipped in one load, and only live source slots are
+    // visited (in the same ascending-`s` order and with the same strict
+    // `>` updates as the dense loop, so the chosen path is unchanged).
+    // Widths beyond 64 (budget > 63·k) fall back to dense relaxation.
+    let occ = &mut ws.occupied;
+    occ.clear();
+    occ.resize(m, 0);
+    let masked = width <= 64;
+    if masked {
+        occ[0] = 1u64 << s0;
+    }
+
     for p in 1..m {
         let v = candidates[p];
         let v_free = share_free && q.in_subgraph[v as usize];
         let gain = q.combined[v as usize];
         let s_min = usize::from(!v_free);
-        for (u, _w) in q.graph.neighbors(NodeId(v)) {
-            let up = pos_of[u.index()];
-            if up == u32::MAX || up as usize >= p {
-                continue; // not a candidate, or not downhill into v
-            }
-            let ub = up as usize * width;
-            for s in s_min..width {
-                let s_prev = if v_free { s } else { s - 1 };
-                let cand = dp[ub + s_prev];
-                if cand == NEG {
-                    continue;
+        let pb = p * width;
+        let mut pocc = 0u64;
+        let es = ws.edge_starts[p] as usize;
+        let ee = ws.edge_starts[p + 1] as usize;
+        for &up in &ws.edge_src[es..ee] {
+            let up = up as usize;
+            debug_assert!(up < p, "recorded edges must be downhill");
+            let ub = up * width;
+            if masked {
+                // Transfer: slot s_prev feeds s = s_prev (free node) or
+                // s_prev + 1 (new node); drop anything past the bound.
+                let mut bits = if v_free { occ[up] } else { occ[up] << 1 };
+                if width < 64 {
+                    bits &= (1u64 << width) - 1;
                 }
-                let val = cand + gain;
-                if val > dp[p * width + s] {
-                    dp[p * width + s] = val;
-                    parent[p * width + s] = (up, s_prev as u32);
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let s_prev = if v_free { s } else { s - 1 };
+                    let val = dp[ub + s_prev] + gain;
+                    if val > dp[pb + s] {
+                        dp[pb + s] = val;
+                        parent[pb + s] = (up as u32, s_prev as u32);
+                        pocc |= 1u64 << s;
+                    }
+                }
+            } else {
+                for s in s_min..width {
+                    let s_prev = if v_free { s } else { s - 1 };
+                    let cand = dp[ub + s_prev];
+                    if cand == NEG {
+                        continue;
+                    }
+                    let val = cand + gain;
+                    if val > dp[pb + s] {
+                        dp[pb + s] = val;
+                        parent[pb + s] = (up as u32, s_prev as u32);
+                    }
                 }
             }
+        }
+        if masked {
+            occ[p] = pocc;
         }
     }
 

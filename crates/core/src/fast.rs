@@ -14,7 +14,9 @@
 //! Quality loss is measured by `RelRatio` (Eq. 19, [`crate::eval`]); the
 //! paper reports ~10% loss for a ~6:1 speedup.
 
-use ceps_graph::{CsrGraph, NodeId, Subgraph};
+use std::sync::Arc;
+
+use ceps_graph::{CsrGraph, IntoSharedGraph, NodeId, Subgraph};
 use ceps_partition::{partition_graph, PartitionConfig, Partitioning};
 
 use crate::pipeline::{CepsEngine, CepsResult};
@@ -40,8 +42,8 @@ use crate::{CepsConfig, CepsError, Result};
 /// assert!(result.reduced_node_count <= graph.node_count());
 /// ```
 #[derive(Debug, Clone)]
-pub struct FastCeps<'g> {
-    graph: &'g CsrGraph,
+pub struct FastCeps {
+    graph: Arc<CsrGraph>,
     partitioning: Partitioning,
     config: CepsConfig,
 }
@@ -64,23 +66,25 @@ pub struct FastCepsResult {
     pub back: Vec<NodeId>,
 }
 
-impl<'g> FastCeps<'g> {
+impl FastCeps {
     /// Step 0: pre-partitions `graph` into `partitions` pieces (the one-time
-    /// offline cost of Table 5).
+    /// offline cost of Table 5). Accepts any graph handle
+    /// [`IntoSharedGraph`] accepts, like [`CepsEngine::new`].
     ///
     /// # Errors
     /// Partitioner validation errors, or CePS config shape errors.
-    pub fn new(
-        graph: &'g CsrGraph,
+    pub fn new<G: IntoSharedGraph>(
+        graph: G,
         config: CepsConfig,
         partitions: usize,
         seed: u64,
     ) -> Result<Self> {
+        let graph = graph.into_shared_graph();
         let pcfg = PartitionConfig {
             seed,
             ..PartitionConfig::with_parts(partitions)
         };
-        let partitioning = partition_graph(graph, &pcfg)?;
+        let partitioning = partition_graph(&graph, &pcfg)?;
         Ok(FastCeps {
             graph,
             partitioning,
@@ -89,13 +93,13 @@ impl<'g> FastCeps<'g> {
     }
 
     /// Builds from an existing partitioning (e.g. shared across configs).
-    pub fn with_partitioning(
-        graph: &'g CsrGraph,
+    pub fn with_partitioning<G: IntoSharedGraph>(
+        graph: G,
         config: CepsConfig,
         partitioning: Partitioning,
     ) -> Self {
         FastCeps {
-            graph,
+            graph: graph.into_shared_graph(),
             partitioning,
             config,
         }
@@ -120,7 +124,7 @@ impl<'g> FastCeps<'g> {
 
         // Step 1: the covering subgraph, materialized with dense ids.
         let cover = self.partitioning.covering_subgraph(queries);
-        let (reduced, back) = cover.into_graph(self.graph)?;
+        let (reduced, back) = cover.into_graph(&self.graph)?;
 
         // Forward-map the queries into nW ids.
         let mut fwd = vec![u32::MAX; self.graph.node_count()];
@@ -129,8 +133,11 @@ impl<'g> FastCeps<'g> {
         }
         let reduced_queries: Vec<NodeId> = queries.iter().map(|q| NodeId(fwd[q.index()])).collect();
 
-        // Step 2: plain CePS on nW.
-        let engine = CepsEngine::new(&reduced, self.config)?;
+        // Step 2: plain CePS on nW (the reduced graph moves into the
+        // throwaway engine — no clone).
+        let reduced_node_count = reduced.node_count();
+        let reduced_edge_count = reduced.edge_count();
+        let engine = CepsEngine::new(reduced, self.config)?;
         let inner = engine.run(&reduced_queries)?;
 
         // Translate back to original ids.
@@ -143,8 +150,8 @@ impl<'g> FastCeps<'g> {
         Ok(FastCepsResult {
             subgraph,
             combined,
-            reduced_node_count: reduced.node_count(),
-            reduced_edge_count: reduced.edge_count(),
+            reduced_node_count,
+            reduced_edge_count,
             inner,
             back,
         })

@@ -62,6 +62,7 @@ pub mod extract;
 pub mod fast;
 mod pipeline;
 mod query;
+pub mod serve;
 
 pub use auto_k::{infer_soft_and_k, KInference};
 pub use config::{CepsConfig, CombineMethod, ScoreMethod};
@@ -70,6 +71,7 @@ pub use extract::{ExtractOutcome, KeyPath, SharingRule};
 pub use fast::{FastCeps, FastCepsResult};
 pub use pipeline::{CepsEngine, CepsResult};
 pub use query::QueryType;
+pub use serve::{CepsService, ServeOutcome};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CepsError>;

@@ -1,23 +1,48 @@
 //! The end-to-end CePS pipeline (Table 1).
 
-use ceps_graph::{normalize::Normalization, CsrGraph, GraphError, NodeId, Subgraph, Transition};
-use ceps_rwr::{combine, RwrEngine, ScoreMatrix};
+use std::fmt;
+use std::sync::Arc;
 
-use crate::config::{CombineMethod, ScoreMethod};
+use ceps_graph::{
+    normalize::Normalization, CsrGraph, GraphError, IntoSharedGraph, NodeId, Subgraph, Transition,
+};
+use ceps_rwr::{combine, ScoreBackend, ScoreMatrix};
+
+use crate::config::CombineMethod;
 use crate::extract::{extract, ExtractOutcome, ExtractParams, KeyPath, SharingRule};
 use crate::{CepsConfig, CepsError, Result};
 
 /// A ready-to-query CePS engine over one graph.
 ///
-/// Construction performs the normalization (Eqs. 5/10) once; every
-/// [`run`](CepsEngine::run) reuses it. This mirrors how the paper's system
-/// is "operational": the graph is loaded and normalized up front, queries
-/// arrive online.
-#[derive(Debug, Clone)]
-pub struct CepsEngine<'g> {
-    graph: &'g CsrGraph,
-    transition: Transition,
+/// Construction performs the normalization (Eqs. 5/10) and score-backend
+/// setup once; every [`run`](CepsEngine::run) reuses them. This mirrors how
+/// the paper's system is "operational": the graph is loaded and normalized
+/// up front, queries arrive online.
+///
+/// The engine **owns** its graph and operator through `Arc`s, so it is
+/// `Send + Sync + 'static`: clone it (cheap — three `Arc` bumps and a
+/// `Copy` config) into worker threads, or wrap it in a
+/// [`crate::serve::CepsService`] for cached concurrent serving.
+/// Construction accepts anything [`IntoSharedGraph`] accepts: an
+/// `Arc<CsrGraph>`, `&Arc<CsrGraph>`, an owned `CsrGraph`, or (cloning)
+/// a `&CsrGraph`.
+#[derive(Clone)]
+pub struct CepsEngine {
+    graph: Arc<CsrGraph>,
+    transition: Arc<Transition>,
+    backend: Arc<dyn ScoreBackend>,
     config: CepsConfig,
+}
+
+impl fmt::Debug for CepsEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CepsEngine")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("backend", &self.backend.method_name())
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 /// Everything a CePS run produces.
@@ -66,14 +91,16 @@ impl CepsResult {
     }
 }
 
-impl<'g> CepsEngine<'g> {
-    /// Builds an engine: validates the config shape and normalizes the
-    /// adjacency matrix.
+impl CepsEngine {
+    /// Builds an engine: validates the config shape, normalizes the
+    /// adjacency matrix and constructs the configured score backend.
     ///
     /// # Errors
-    /// [`CepsError::BadAlpha`] or RWR validation errors. (Query-dependent
-    /// checks happen in [`run`](CepsEngine::run).)
-    pub fn new(graph: &'g CsrGraph, config: CepsConfig) -> Result<Self> {
+    /// [`CepsError::BadAlpha`], RWR validation errors, or backend
+    /// construction errors (dense-size refusals, partitioner failures).
+    /// (Query-dependent checks happen in [`run`](CepsEngine::run).)
+    pub fn new<G: IntoSharedGraph>(graph: G, config: CepsConfig) -> Result<Self> {
+        let graph = graph.into_shared_graph();
         if graph.node_count() == 0 {
             return Err(CepsError::Graph(GraphError::EmptyGraph));
         }
@@ -90,10 +117,14 @@ impl<'g> CepsEngine<'g> {
                 alpha: config.alpha,
             }
         };
-        let transition = Transition::new(graph, normalization);
+        let transition = Arc::new(Transition::new(&graph, normalization));
+        let backend = config
+            .score_method
+            .build_backend(&graph, &transition, config.rwr)?;
         Ok(CepsEngine {
             graph,
             transition,
+            backend,
             config,
         })
     }
@@ -105,12 +136,27 @@ impl<'g> CepsEngine<'g> {
 
     /// The underlying graph.
     pub fn graph(&self) -> &CsrGraph {
-        self.graph
+        &self.graph
+    }
+
+    /// The shared graph handle (clone to co-own).
+    pub fn shared_graph(&self) -> &Arc<CsrGraph> {
+        &self.graph
     }
 
     /// The normalized operator (needed by edge-score evaluation).
     pub fn transition(&self) -> &Transition {
         &self.transition
+    }
+
+    /// The shared operator handle (clone to co-own).
+    pub fn shared_transition(&self) -> &Arc<Transition> {
+        &self.transition
+    }
+
+    /// The Step 1 score backend the engine dispatches to.
+    pub fn backend(&self) -> &Arc<dyn ScoreBackend> {
+        &self.backend
     }
 
     /// Runs the full pipeline (Table 1) for one query set.
@@ -125,6 +171,31 @@ impl<'g> CepsEngine<'g> {
 
         // Step 1: individual score calculation (Eq. 4).
         let scores = self.solve_scores(queries)?;
+        self.run_with_scores(queries, scores)
+    }
+
+    /// Steps 2–3 over an already-solved score matrix `R`.
+    ///
+    /// This is the entry point for callers that obtained `R` outside the
+    /// engine — notably [`crate::serve::CepsService`], which assembles it
+    /// from its row cache. The matrix must have one row per query, in query
+    /// order, over this engine's graph.
+    ///
+    /// # Errors
+    /// Query/config validation errors as in [`run`](CepsEngine::run), and
+    /// [`CepsError::ScoreShapeMismatch`] when `scores` does not match
+    /// `queries` and the graph.
+    pub fn run_with_scores(&self, queries: &[NodeId], scores: ScoreMatrix) -> Result<CepsResult> {
+        self.validate_queries(queries)?;
+        self.config.validate(queries.len())?;
+        if scores.query_count() != queries.len() || scores.node_count() != self.graph.node_count() {
+            return Err(CepsError::ScoreShapeMismatch {
+                rows: scores.query_count(),
+                cols: scores.node_count(),
+                queries: queries.len(),
+                nodes: self.graph.node_count(),
+            });
+        }
 
         // Step 2: combining individual scores (Eqs. 6-9 or Eq. 21).
         let k = self.config.query.soft_and_k(queries.len())?;
@@ -138,7 +209,7 @@ impl<'g> CepsEngine<'g> {
             paths,
             orphan_destinations,
         } = extract(ExtractParams {
-            graph: self.graph,
+            graph: &self.graph,
             scores: &scores,
             combined: &combined,
             k,
@@ -166,34 +237,12 @@ impl<'g> CepsEngine<'g> {
     /// Query validation and solver errors as in [`run`](CepsEngine::run).
     pub fn individual_scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
         self.validate_queries(queries)?;
-        self.config.rwr.validate()?;
         self.solve_scores(queries)
     }
 
-    /// Dispatches Step 1 to the configured solver.
+    /// Dispatches Step 1 to the configured backend.
     fn solve_scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
-        match self.config.score_method {
-            ScoreMethod::Iterative => {
-                let engine = RwrEngine::new(&self.transition, self.config.rwr)?;
-                Ok(engine.solve_many(queries)?)
-            }
-            ScoreMethod::Push { epsilon } => {
-                // Per-source pushes append straight into the contiguous
-                // row-major storage of the score matrix.
-                let n = self.transition.node_count();
-                let mut data = Vec::with_capacity(queries.len() * n);
-                for &q in queries {
-                    let run = ceps_rwr::push::forward_push(
-                        &self.transition,
-                        self.config.rwr.c,
-                        q,
-                        epsilon,
-                    )?;
-                    data.extend_from_slice(&run.scores);
-                }
-                Ok(ScoreMatrix::from_flat(queries.to_vec(), data, n)?)
-            }
-        }
+        Ok(self.backend.scores(queries)?)
     }
 
     /// Steps 1–2 only: the combined score vector without extraction.
@@ -222,7 +271,7 @@ impl<'g> CepsEngine<'g> {
         }
     }
 
-    fn validate_queries(&self, queries: &[NodeId]) -> Result<()> {
+    pub(crate) fn validate_queries(&self, queries: &[NodeId]) -> Result<()> {
         if queries.is_empty() {
             return Err(CepsError::NoQueries);
         }
@@ -323,6 +372,31 @@ mod tests {
         for w in top.windows(2) {
             assert!(res.combined[w[0].index()] >= res.combined[w[1].index()]);
         }
+    }
+
+    #[test]
+    fn top_scoring_nodes_breaks_ties_by_ascending_id() {
+        // Hand-built result with deliberate score ties: equal scores must
+        // order by ascending node id, regardless of b's cut point.
+        let res = CepsResult {
+            subgraph: Subgraph::new(),
+            scores: ScoreMatrix::zeros(vec![NodeId(0)], 6).unwrap(),
+            combined: vec![0.5, 0.9, 0.5, 0.9, 0.1, 0.5],
+            k: 1,
+            destinations: vec![],
+            paths: vec![],
+            orphan_destinations: vec![],
+        };
+        let ids = |b| {
+            res.top_scoring_nodes(b)
+                .iter()
+                .map(|v| v.0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(6), vec![1, 3, 0, 2, 5, 4]);
+        // A cut mid-tie keeps the lowest ids of the tied band.
+        assert_eq!(ids(3), vec![1, 3, 0]);
+        assert_eq!(ids(4), vec![1, 3, 0, 2]);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Concurrent query serving with a shared RWR row cache.
+//!
+//! The paper's system is "operational": the graph is normalized once and
+//! query sets arrive online, with the per-query RWR solve as the dominant
+//! cost (Sec. 6 exists only to attack it). Real workloads repeat query
+//! nodes constantly — repository queries are community hubs — and an RWR
+//! row `r(i, ·)` depends only on the operator and solver settings, never on
+//! the co-queries. [`CepsService`] exploits that: it wraps an owned
+//! [`CepsEngine`] plus a shared [`RwrRowCache`], assembles Step 1's score
+//! matrix from cache hits plus **one batched backend solve over only the
+//! missing rows**, and hands the matrix to
+//! [`CepsEngine::run_with_scores`] for Steps 2–3.
+//!
+//! Cloning a service is three `Arc` bumps, so one service fans out across
+//! `crossbeam::thread::scope` workers; [`CepsService::serve_stream`] is
+//! that harness, returning throughput, latency percentiles and cache
+//! statistics in a [`ServeOutcome`].
+//!
+//! ## Cache keying and invalidation
+//!
+//! Rows are keyed by query [`ceps_graph::NodeId`] **alone**; every other
+//! key component — transition operator, restart `c`, iteration budget,
+//! tolerance, score variant — is pinned by the engine the service wraps.
+//! The cache is created inside the service and never outlives its engine,
+//! so there is nothing to invalidate: rebuild the engine (new graph, new
+//! config) → you get a new, empty cache. Correctness rests on the
+//! batch-independence contract of [`ceps_rwr::ScoreBackend`]: a cached row
+//! is bitwise-identical to the same row solved cold in any batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ceps_graph::NodeId;
+use ceps_rwr::{scores_with_cache, CacheStats, RwrRowCache, ScoreMatrix};
+
+use crate::pipeline::{CepsEngine, CepsResult};
+use crate::Result;
+
+/// A cloneable, thread-safe CePS query server: an engine plus a shared
+/// row cache.
+#[derive(Debug, Clone)]
+pub struct CepsService {
+    engine: CepsEngine,
+    cache: Option<Arc<RwrRowCache>>,
+}
+
+impl CepsService {
+    /// Wraps `engine` with a row cache of `cache_bytes` total budget
+    /// (sharded [`ceps_rwr::cache::DEFAULT_SHARDS`] ways). A zero budget
+    /// behaves like [`CepsService::uncached`].
+    pub fn new(engine: CepsEngine, cache_bytes: usize) -> Self {
+        CepsService {
+            engine,
+            cache: Some(Arc::new(RwrRowCache::new(cache_bytes))),
+        }
+    }
+
+    /// Like [`CepsService::new`] with an explicit shard count.
+    pub fn with_shards(engine: CepsEngine, cache_bytes: usize, shards: usize) -> Self {
+        CepsService {
+            engine,
+            cache: Some(Arc::new(RwrRowCache::with_shards(cache_bytes, shards))),
+        }
+    }
+
+    /// Wraps `engine` with no cache at all — every query solves cold.
+    /// The control arm of the serving benchmark.
+    pub fn uncached(engine: CepsEngine) -> Self {
+        CepsService {
+            engine,
+            cache: None,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &CepsEngine {
+        &self.engine
+    }
+
+    /// Snapshot of the cache counters (`None` when running uncached).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Step 1 with cache assembly: hits are served from the store, misses
+    /// are batched through one backend solve and inserted.
+    ///
+    /// # Errors
+    /// Query validation and solver errors as in
+    /// [`CepsEngine::individual_scores`].
+    pub fn individual_scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        self.engine.validate_queries(queries)?;
+        match &self.cache {
+            Some(cache) => Ok(scores_with_cache(
+                self.engine.backend().as_ref(),
+                cache,
+                queries,
+            )?),
+            None => self.engine.individual_scores(queries),
+        }
+    }
+
+    /// The full pipeline (Table 1) with cached Step 1.
+    ///
+    /// # Errors
+    /// As in [`CepsEngine::run`].
+    pub fn run(&self, queries: &[NodeId]) -> Result<CepsResult> {
+        self.engine.validate_queries(queries)?;
+        self.engine.config().validate(queries.len())?;
+        let scores = self.individual_scores(queries)?;
+        self.engine.run_with_scores(queries, scores)
+    }
+
+    /// Serves every query set in `stream` across `workers` scoped threads
+    /// sharing this service's cache, and reports throughput, latency
+    /// percentiles and cache-counter deltas.
+    ///
+    /// Query sets are claimed from a shared atomic cursor, so the
+    /// assignment (and therefore which worker warms which rows) is
+    /// scheduling-dependent — but results are not: every worker reads
+    /// through the same cache and the backend is deterministic.
+    ///
+    /// # Errors
+    /// The first query-set error a worker hits (remaining sets still
+    /// drain; their results are discarded).
+    pub fn serve_stream(&self, stream: &[Vec<NodeId>], workers: usize) -> Result<ServeOutcome> {
+        let workers = workers.max(1).min(stream.len().max(1));
+        let before = self.cache_stats().unwrap_or_default();
+        let cursor = AtomicUsize::new(0);
+        let started = Instant::now();
+
+        let per_worker = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut latencies = Vec::new();
+                        let mut first_err = None;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(queries) = stream.get(i) else {
+                                break;
+                            };
+                            let t0 = Instant::now();
+                            match self.run(queries) {
+                                Ok(_) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
+                                Err(e) => {
+                                    if first_err.is_none() {
+                                        first_err = Some(e);
+                                    }
+                                }
+                            }
+                        }
+                        (latencies, first_err)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("serve scope panicked");
+
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut latencies_ms = Vec::with_capacity(stream.len());
+        for (lats, err) in per_worker {
+            if let Some(e) = err {
+                return Err(e);
+            }
+            latencies_ms.extend(lats);
+        }
+        latencies_ms.sort_by(f64::total_cmp);
+
+        let after = self.cache_stats().unwrap_or_default();
+        let cache = self.cache.as_ref().map(|_| CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+            insertions: after.insertions - before.insertions,
+            rejected: after.rejected - before.rejected,
+        });
+
+        Ok(ServeOutcome {
+            completed: latencies_ms.len(),
+            workers,
+            wall_ms,
+            latencies_ms,
+            cache,
+        })
+    }
+}
+
+/// What one [`CepsService::serve_stream`] run measured.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Query sets answered successfully.
+    pub completed: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock time for the whole stream, milliseconds.
+    pub wall_ms: f64,
+    /// Per-query latencies in milliseconds, sorted ascending.
+    pub latencies_ms: Vec<f64>,
+    /// Cache-counter deltas over the run (`None` when uncached).
+    pub cache: Option<CacheStats>,
+}
+
+impl ServeOutcome {
+    /// Queries per second over the wall clock.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.wall_ms / 1e3)
+        }
+    }
+
+    /// The `p`-th latency percentile (nearest-rank, `0 < p <= 100`), or
+    /// 0 when nothing completed.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let n = self.latencies_ms.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.latencies_ms[rank.clamp(1, n) - 1]
+    }
+
+    /// Cache hit rate over the run (0 when uncached).
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.map_or(0.0, |c| c.hit_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CepsConfig, CepsError};
+    use ceps_graph::{CsrGraph, GraphBuilder};
+
+    /// Three 5-cliques in a ring with weak bridges — enough structure for
+    /// multi-query runs to cross clique boundaries.
+    fn ring(cliques: u32, size: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for k in 0..cliques {
+            let base = k * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    b.add_edge(NodeId(base + i), NodeId(base + j), 2.0).unwrap();
+                }
+            }
+            let next = ((k + 1) % cliques) * size;
+            b.add_edge(NodeId(base), NodeId(next + 1), 0.3).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn engine() -> CepsEngine {
+        let cfg = CepsConfig::default().budget(4).threads(1);
+        CepsEngine::new(ring(3, 5), cfg).unwrap()
+    }
+
+    #[test]
+    fn cached_run_matches_engine_run() {
+        let e = engine();
+        let service = CepsService::new(e.clone(), 1 << 20);
+        let queries = [NodeId(1), NodeId(6)];
+        // Twice: cold then fully warm.
+        for _ in 0..2 {
+            let served = service.run(&queries).unwrap();
+            let direct = e.run(&queries).unwrap();
+            assert_eq!(served.scores, direct.scores);
+            assert_eq!(served.combined, direct.combined);
+            let s: Vec<_> = served.subgraph.nodes().collect();
+            let d: Vec<_> = direct.subgraph.nodes().collect();
+            assert_eq!(s, d);
+        }
+        let stats = service.cache_stats().unwrap();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.insertions, 2);
+    }
+
+    #[test]
+    fn uncached_service_is_plain_engine() {
+        let e = engine();
+        let service = CepsService::uncached(e.clone());
+        assert!(service.cache_stats().is_none());
+        let queries = [NodeId(0), NodeId(11)];
+        assert_eq!(
+            service.individual_scores(&queries).unwrap(),
+            e.individual_scores(&queries).unwrap()
+        );
+    }
+
+    #[test]
+    fn service_validates_before_touching_the_cache() {
+        let service = CepsService::new(engine(), 1 << 20);
+        assert!(matches!(service.run(&[]), Err(CepsError::NoQueries)));
+        assert!(matches!(
+            service.run(&[NodeId(2), NodeId(2)]),
+            Err(CepsError::DuplicateQuery { .. })
+        ));
+        assert!(service.run(&[NodeId(999)]).is_err());
+        assert_eq!(service.cache_stats().unwrap(), CacheStats::default());
+    }
+
+    #[test]
+    fn serve_stream_completes_and_measures() {
+        let service = CepsService::new(engine(), 1 << 20);
+        let stream: Vec<Vec<NodeId>> = (0..12)
+            .map(|i| vec![NodeId(i % 15), NodeId((i + 5) % 15)])
+            .collect();
+        let out = service.serve_stream(&stream, 3).unwrap();
+        assert_eq!(out.completed, 12);
+        assert_eq!(out.workers, 3);
+        assert_eq!(out.latencies_ms.len(), 12);
+        assert!(out.throughput_qps() > 0.0);
+        assert!(out.latency_percentile_ms(50.0) <= out.latency_percentile_ms(99.0));
+        let cache = out.cache.unwrap();
+        assert_eq!(cache.hits + cache.misses, 24, "every query row probed");
+        assert!(out.hit_rate() > 0.0, "repeated nodes must hit");
+    }
+
+    #[test]
+    fn serve_stream_surfaces_worker_errors() {
+        let service = CepsService::new(engine(), 1 << 20);
+        let stream = vec![vec![NodeId(0)], vec![NodeId(999)], vec![NodeId(1)]];
+        assert!(service.serve_stream(&stream, 2).is_err());
+    }
+
+    #[test]
+    fn concurrent_workers_agree_with_serial_engine() {
+        // Smoke test: many workers hammer one small cache; results must
+        // match the serial, uncached engine bitwise.
+        let e = engine();
+        let service = CepsService::with_shards(e.clone(), 4096, 2);
+        let stream: Vec<Vec<NodeId>> = (0..20).map(|i| vec![NodeId(i % 15)]).collect();
+        let out = service.serve_stream(&stream, 4).unwrap();
+        assert_eq!(out.completed, 20);
+        for queries in &stream {
+            assert_eq!(
+                service.individual_scores(queries).unwrap(),
+                e.individual_scores(queries).unwrap()
+            );
+        }
+    }
+}

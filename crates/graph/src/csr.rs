@@ -1,5 +1,7 @@
 //! The immutable compressed-sparse-row graph.
 
+use std::sync::Arc;
+
 use crate::{GraphError, NodeId, Result};
 
 /// An immutable edge-weighted undirected graph in compressed-sparse-row form.
@@ -194,6 +196,48 @@ impl CsrGraph {
     }
 }
 
+/// Conversion into a shared, reference-counted graph handle.
+///
+/// The query engines (`CepsEngine`, `FastCeps`, `CepsService`) own their
+/// graph as an `Arc<CsrGraph>` so one normalized graph can back any number
+/// of engines and serving workers without lifetimes tying them to a stack
+/// frame. This trait lets their constructors accept whichever form the
+/// caller has:
+///
+/// * `Arc<CsrGraph>` / `&Arc<CsrGraph>` — shared, zero-copy (the form a
+///   long-lived service should use);
+/// * `CsrGraph` — takes ownership, wraps in a fresh `Arc`;
+/// * `&CsrGraph` — **clones** the graph into a fresh `Arc`. Convenient for
+///   tests and one-shot runs; for large graphs prefer passing an `Arc`.
+pub trait IntoSharedGraph {
+    /// Produces the shared handle.
+    fn into_shared_graph(self) -> Arc<CsrGraph>;
+}
+
+impl IntoSharedGraph for Arc<CsrGraph> {
+    fn into_shared_graph(self) -> Arc<CsrGraph> {
+        self
+    }
+}
+
+impl IntoSharedGraph for &Arc<CsrGraph> {
+    fn into_shared_graph(self) -> Arc<CsrGraph> {
+        Arc::clone(self)
+    }
+}
+
+impl IntoSharedGraph for CsrGraph {
+    fn into_shared_graph(self) -> Arc<CsrGraph> {
+        Arc::new(self)
+    }
+}
+
+impl IntoSharedGraph for &CsrGraph {
+    fn into_shared_graph(self) -> Arc<CsrGraph> {
+        Arc::new(self.clone())
+    }
+}
+
 /// Iterator over `(neighbor, weight)` pairs of one node.
 #[derive(Debug, Clone)]
 pub struct NeighborIter<'a> {
@@ -304,5 +348,21 @@ mod tests {
         assert_eq!(g.neighbor_ids(NodeId(5)), &[0, 1, 2, 3, 4]);
         assert_eq!(g.neighbor_weights(NodeId(5)), &[1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(g.degree(NodeId(5)), 15.0);
+    }
+
+    #[test]
+    fn into_shared_graph_preserves_and_shares() {
+        let g = path4();
+        // &CsrGraph clones into a fresh Arc.
+        let a1 = (&g).into_shared_graph();
+        assert_eq!(*a1, g);
+        // Arc and &Arc share the same allocation.
+        let a2 = Arc::clone(&a1).into_shared_graph();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let a3 = (&a1).into_shared_graph();
+        assert!(Arc::ptr_eq(&a1, &a3));
+        // Owned graph moves in without cloning.
+        let a4 = g.into_shared_graph();
+        assert_eq!(a4.node_count(), 4);
     }
 }

@@ -49,7 +49,7 @@ pub mod stats;
 pub mod subgraph;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, NeighborIter};
+pub use csr::{CsrGraph, IntoSharedGraph, NeighborIter};
 pub use error::GraphError;
 pub use id::NodeId;
 pub use labels::NodeLabels;

@@ -1,0 +1,267 @@
+//! The [`ScoreBackend`] trait — one interface over the four individual-score
+//! solvers of the workspace.
+//!
+//! Step 1 of the CePS pipeline ("individual score calculation", Eq. 4) can be
+//! answered four ways, each with a different offline/online trade-off:
+//!
+//! | backend | offline cost | online cost | exactness |
+//! |---|---|---|---|
+//! | [`IterativeScores`] (power iteration) | none | `m` sparse passes | iterative |
+//! | [`PushScores`] (forward push) | none | local, skew-bounded | `ε`-approximate |
+//! | [`crate::precomputed::PrecomputedRwr`] | `O(N³)` LU | one column copy | exact |
+//! | [`crate::blockwise::BlockwiseRwr`] | `Σ n_b³` per-block LU | one block solve | drops cross-block mass |
+//!
+//! The pipeline holds a `dyn ScoreBackend` and never match-dispatches on the
+//! concrete type; callers pick the backend via `ceps_core::ScoreMethod`. All
+//! four produce rows that depend **only on their own query node** (never on
+//! the other queries in the batch), which is the invariant the row cache
+//! ([`crate::cache`]) relies on: a row solved in one batch is bitwise-valid
+//! in any other batch against the same backend.
+
+use std::sync::Arc;
+
+use ceps_graph::{NodeId, Transition};
+
+use crate::blockwise::BlockwiseRwr;
+use crate::precomputed::PrecomputedRwr;
+use crate::push::forward_push;
+use crate::{Result, RwrConfig, RwrEngine, ScoreMatrix};
+
+/// A solver for individual RWR closeness scores (Step 1 of Table 1).
+///
+/// Implementations must be deterministic and **batch-independent**: the row
+/// returned for query `q` is a pure function of `(backend, q)`, bitwise
+/// identical however the surrounding query set is composed. The row cache
+/// depends on this contract.
+pub trait ScoreBackend: Send + Sync {
+    /// Number of nodes each score row covers.
+    fn node_count(&self) -> usize;
+
+    /// Solves the `Q × N` score matrix for `queries` (row `i` = `r(i, ·)`).
+    ///
+    /// # Errors
+    /// [`crate::RwrError::NoQueries`] on an empty slice,
+    /// [`crate::RwrError::BadQueryNode`] for out-of-range queries, plus any
+    /// backend-specific solve error.
+    fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix>;
+
+    /// Short human-readable backend name (diagnostics and reports).
+    fn method_name(&self) -> &'static str;
+}
+
+/// Owned power-iteration backend: an [`RwrEngine`] that shares its
+/// [`Transition`] through an `Arc` instead of borrowing it, so engines and
+/// services built on it are `'static`.
+#[derive(Debug, Clone)]
+pub struct IterativeScores {
+    transition: Arc<Transition>,
+    config: RwrConfig,
+}
+
+impl IterativeScores {
+    /// Creates the backend over a shared operator.
+    ///
+    /// # Errors
+    /// Propagates [`RwrConfig::validate`].
+    pub fn new(transition: Arc<Transition>, config: RwrConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(IterativeScores { transition, config })
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &RwrConfig {
+        &self.config
+    }
+
+    /// The shared operator.
+    pub fn transition(&self) -> &Arc<Transition> {
+        &self.transition
+    }
+}
+
+impl ScoreBackend for IterativeScores {
+    fn node_count(&self) -> usize {
+        self.transition.node_count()
+    }
+
+    fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        RwrEngine::new(&self.transition, self.config)?.solve_many(queries)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "iterative"
+    }
+}
+
+/// Owned forward-push backend (per-source local pushes, `ε` residual bound).
+#[derive(Debug, Clone)]
+pub struct PushScores {
+    transition: Arc<Transition>,
+    c: f64,
+    epsilon: f64,
+}
+
+impl PushScores {
+    /// Creates the backend.
+    ///
+    /// # Errors
+    /// [`crate::RwrError::InvalidRestart`] for `c ∉ (0, 1)`.
+    pub fn new(transition: Arc<Transition>, c: f64, epsilon: f64) -> Result<Self> {
+        if !(c > 0.0 && c < 1.0) {
+            return Err(crate::RwrError::InvalidRestart { c });
+        }
+        Ok(PushScores {
+            transition,
+            c,
+            epsilon,
+        })
+    }
+
+    /// The push threshold.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl ScoreBackend for PushScores {
+    fn node_count(&self) -> usize {
+        self.transition.node_count()
+    }
+
+    fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        if queries.is_empty() {
+            return Err(crate::RwrError::NoQueries);
+        }
+        let n = self.transition.node_count();
+        let mut data = Vec::with_capacity(queries.len() * n);
+        for &q in queries {
+            let run = forward_push(&self.transition, self.c, q, self.epsilon)?;
+            data.extend_from_slice(&run.scores);
+        }
+        ScoreMatrix::from_flat(queries.to_vec(), data, n)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "push"
+    }
+}
+
+/// Borrowed iterative engines are backends too (tests, one-shot solves).
+impl ScoreBackend for RwrEngine<'_> {
+    fn node_count(&self) -> usize {
+        self.transition().node_count()
+    }
+
+    fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        self.solve_many(queries)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "iterative"
+    }
+}
+
+impl ScoreBackend for PrecomputedRwr {
+    fn node_count(&self) -> usize {
+        PrecomputedRwr::node_count(self)
+    }
+
+    fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        self.query_many(queries)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "precomputed"
+    }
+}
+
+impl ScoreBackend for BlockwiseRwr {
+    fn node_count(&self) -> usize {
+        BlockwiseRwr::node_count(self)
+    }
+
+    fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
+        self.query_many(queries)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "blockwise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_graph::{normalize::Normalization, GraphBuilder};
+
+    fn transition() -> Arc<Transition> {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 0, 1.0)] {
+            b.add_edge(NodeId(x), NodeId(y), w).unwrap();
+        }
+        let g = b.build().unwrap();
+        Arc::new(Transition::new(&g, Normalization::ColumnStochastic))
+    }
+
+    #[test]
+    fn iterative_backend_matches_borrowed_engine() {
+        let t = transition();
+        let cfg = RwrConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let owned = IterativeScores::new(Arc::clone(&t), cfg).unwrap();
+        let borrowed = RwrEngine::new(&t, cfg).unwrap();
+        let queries = [NodeId(0), NodeId(2)];
+        assert_eq!(
+            owned.scores(&queries).unwrap(),
+            ScoreBackend::scores(&borrowed, &queries).unwrap()
+        );
+        assert_eq!(owned.node_count(), 4);
+        assert_eq!(owned.method_name(), "iterative");
+    }
+
+    #[test]
+    fn push_backend_solves_per_source() {
+        let t = transition();
+        let push = PushScores::new(Arc::clone(&t), 0.5, 1e-9).unwrap();
+        let m = push.scores(&[NodeId(1)]).unwrap();
+        assert_eq!(m.query_count(), 1);
+        assert!((m.row_sums()[0] - 1.0).abs() < 1e-6);
+        assert!(matches!(push.scores(&[]), Err(crate::RwrError::NoQueries)));
+        assert!(PushScores::new(t, 1.5, 1e-9).is_err());
+    }
+
+    #[test]
+    fn dense_backends_expose_the_trait() {
+        let t = transition();
+        let pre = PrecomputedRwr::new(&t, 0.5, 100).unwrap();
+        let m = ScoreBackend::scores(&pre, &[NodeId(0), NodeId(3)]).unwrap();
+        assert_eq!(m.query_count(), 2);
+        assert_eq!(ScoreBackend::node_count(&pre), 4);
+        assert_eq!(pre.method_name(), "precomputed");
+
+        let bw = BlockwiseRwr::new(&t, &[0, 0, 1, 1], 0.5, 100).unwrap();
+        let m = ScoreBackend::scores(&bw, &[NodeId(2)]).unwrap();
+        assert_eq!(m.query_count(), 1);
+        assert_eq!(bw.method_name(), "blockwise");
+    }
+
+    #[test]
+    fn backends_box_as_trait_objects() {
+        let t = transition();
+        let cfg = RwrConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let backends: Vec<Box<dyn ScoreBackend>> = vec![
+            Box::new(IterativeScores::new(Arc::clone(&t), cfg).unwrap()),
+            Box::new(PushScores::new(Arc::clone(&t), 0.5, 1e-8).unwrap()),
+            Box::new(PrecomputedRwr::new(&t, 0.5, 100).unwrap()),
+        ];
+        for b in &backends {
+            let m = b.scores(&[NodeId(0)]).unwrap();
+            assert_eq!(m.node_count(), 4);
+        }
+    }
+}

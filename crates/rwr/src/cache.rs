@@ -1,0 +1,444 @@
+//! Shared per-query-node RWR row cache.
+//!
+//! An RWR row `r(i, ·)` is a pure function of the backend — the transition
+//! operator, restart `c`, iteration budget and tolerance — and of the single
+//! query node `i`; it does **not** depend on the other queries batched
+//! alongside it (the batch-independence contract of
+//! [`crate::backend::ScoreBackend`]). That makes completed rows safe to reuse
+//! across queries, which is where serving workloads win: repository queries
+//! are community hubs, so real query streams repeat nodes constantly.
+//!
+//! [`RwrRowCache`] is the store: sharded (`NodeId % shards` → one mutex per
+//! shard, so concurrent workers rarely contend), bytes-budgeted (each shard
+//! owns `budget / shards` bytes and LRU-evicts by a global logical clock when
+//! full) and keyed by `NodeId` alone — the cache must therefore live no wider
+//! than one backend. **Invalidation rule: one cache per
+//! `(transition, RwrConfig, score variant)`; rebuild the graph or retune the
+//! solver → drop the cache.** As defense in depth, lookups whose stored row
+//! length disagrees with the caller's expected node count miss instead of
+//! returning a stale-shaped row.
+//!
+//! [`scores_with_cache`] is the assembly loop `individual_scores` uses: probe
+//! the cache for every query, batch **only the missing nodes** through one
+//! backend solve, insert the fresh rows, and stitch the [`ScoreMatrix`]
+//! together in the caller's query order. Rows are `Arc`-shared between the
+//! cache and in-flight results, so eviction never copies or invalidates a
+//! row a reader still holds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ceps_graph::NodeId;
+
+use crate::backend::ScoreBackend;
+use crate::{Result, RwrError, ScoreMatrix};
+
+/// Fixed per-row bookkeeping charge (map entry, `Arc` header, tick) added to
+/// the `8 × len` payload when budgeting.
+const ROW_OVERHEAD_BYTES: usize = 64;
+
+/// Default shard count — enough to keep a handful of workers from
+/// serialising on one mutex without fragmenting small budgets.
+pub const DEFAULT_SHARDS: usize = 16;
+
+#[derive(Debug)]
+struct CachedRow {
+    row: Arc<Vec<f64>>,
+    /// Last-touch tick from the cache-wide logical clock; smallest = LRU.
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    rows: HashMap<u32, CachedRow>,
+    bytes: usize,
+}
+
+impl Shard {
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .rows
+            .iter()
+            .min_by_key(|(_, r)| r.tick)
+            .map(|(&k, _)| k);
+        match victim {
+            Some(k) => {
+                if let Some(dead) = self.rows.remove(&k) {
+                    self.bytes -= row_bytes(dead.row.len());
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn row_bytes(len: usize) -> usize {
+    len * std::mem::size_of::<f64>() + ROW_OVERHEAD_BYTES
+}
+
+/// Counters describing cache behaviour since construction (or [`RwrRowCache::clear`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that had to fall through to the backend.
+    pub misses: u64,
+    /// Rows removed to make room for newer ones.
+    pub evictions: u64,
+    /// Rows accepted into the store.
+    pub insertions: u64,
+    /// Rows refused because they exceed a whole shard's budget on their own.
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when the cache was never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, bytes-budgeted, LRU-evicting store of RWR rows keyed by query
+/// [`NodeId`].
+///
+/// Cheap to share: wrap in `Arc` and clone the handle across workers. All
+/// methods take `&self`; internal mutation is per-shard `Mutex` plus atomics.
+#[derive(Debug)]
+pub struct RwrRowCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte ceiling (total budget / shard count).
+    shard_budget: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl RwrRowCache {
+    /// Creates a cache with `byte_budget` total capacity across
+    /// [`DEFAULT_SHARDS`] shards. A zero budget is legal and caches nothing.
+    pub fn new(byte_budget: usize) -> Self {
+        Self::with_shards(byte_budget, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to ≥ 1). The
+    /// budget splits evenly: each shard may hold `byte_budget / shards` bytes.
+    pub fn with_shards(byte_budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        RwrRowCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: byte_budget / shards,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, node: NodeId) -> &Mutex<Shard> {
+        &self.shards[node.index() % self.shards.len()]
+    }
+
+    /// Looks up the row for `node`, refreshing its LRU tick on hit.
+    ///
+    /// A stored row whose length differs from `expected_len` (a cache handle
+    /// that outlived its graph) is treated as a miss, not returned.
+    pub fn get(&self, node: NodeId, expected_len: usize) -> Option<Arc<Vec<f64>>> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(node).lock().unwrap();
+        let hit = shard.rows.get_mut(&node.0).and_then(|entry| {
+            if entry.row.len() == expected_len {
+                entry.tick = tick;
+                Some(Arc::clone(&entry.row))
+            } else {
+                None
+            }
+        });
+        drop(shard);
+        match hit {
+            Some(row) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(row)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the row for `node`, evicting least-recently
+    /// used rows in its shard until the shard fits its budget.
+    ///
+    /// Rows that alone exceed the per-shard budget are rejected outright —
+    /// admitting one would evict the whole shard and still not fit.
+    pub fn insert(&self, node: NodeId, row: Arc<Vec<f64>>) {
+        let incoming = row_bytes(row.len());
+        if incoming > self.shard_budget {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard(node).lock().unwrap();
+            if let Some(old) = shard.rows.remove(&node.0) {
+                shard.bytes -= row_bytes(old.row.len());
+            }
+            while shard.bytes + incoming > self.shard_budget {
+                if shard.evict_lru() {
+                    evicted += 1;
+                } else {
+                    break;
+                }
+            }
+            shard.bytes += incoming;
+            shard.rows.insert(node.0, CachedRow { row, tick });
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of rows currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().rows.len())
+            .sum()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
+    /// Total byte budget (per-shard budget × shard count).
+    pub fn byte_budget(&self) -> usize {
+        self.shard_budget * self.shards.len()
+    }
+
+    /// Drops every resident row and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            shard.rows.clear();
+            shard.bytes = 0;
+        }
+        for counter in [
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.insertions,
+            &self.rejected,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Solves `queries` against `backend`, serving rows from `cache` where
+/// possible and batching **only the missing nodes** through one backend call.
+///
+/// The returned matrix is row-for-row bitwise identical to
+/// `backend.scores(queries)` run cold: hits were produced by the same
+/// batch-independent backend earlier, and misses are produced by it now.
+/// Duplicate query nodes are solved once and the row is reused.
+///
+/// # Errors
+/// [`RwrError::NoQueries`] on an empty slice, plus whatever the backend
+/// solve over the missing nodes returns.
+pub fn scores_with_cache(
+    backend: &dyn ScoreBackend,
+    cache: &RwrRowCache,
+    queries: &[NodeId],
+) -> Result<ScoreMatrix> {
+    if queries.is_empty() {
+        return Err(RwrError::NoQueries);
+    }
+    let n = backend.node_count();
+
+    // Probe every query once; collect the distinct misses in first-seen order.
+    let mut resolved: HashMap<u32, Arc<Vec<f64>>> = HashMap::with_capacity(queries.len());
+    let mut missing: Vec<NodeId> = Vec::new();
+    for &q in queries {
+        if resolved.contains_key(&q.0) || missing.contains(&q) {
+            continue;
+        }
+        match cache.get(q, n) {
+            Some(row) => {
+                resolved.insert(q.0, row);
+            }
+            None => missing.push(q),
+        }
+    }
+
+    if !missing.is_empty() {
+        let solved = backend.scores(&missing)?;
+        for (i, &q) in missing.iter().enumerate() {
+            let row = Arc::new(solved.row(i).to_vec());
+            cache.insert(q, Arc::clone(&row));
+            resolved.insert(q.0, row);
+        }
+    }
+
+    let rows: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| resolved[&q.0].as_ref().clone())
+        .collect();
+    ScoreMatrix::new(queries.to_vec(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::IterativeScores;
+    use crate::RwrConfig;
+    use ceps_graph::{normalize::Normalization, GraphBuilder, Transition};
+
+    fn backend(n: u32) -> IterativeScores {
+        let mut b = GraphBuilder::new();
+        for v in 0..n {
+            b.add_edge(NodeId(v), NodeId((v + 1) % n), 1.0 + f64::from(v))
+                .unwrap();
+            b.add_edge(NodeId(v), NodeId((v + 3) % n), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = Arc::new(Transition::new(&g, Normalization::ColumnStochastic));
+        IterativeScores::new(
+            t,
+            RwrConfig {
+                threads: 1,
+                tolerance: Some(1e-10),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_row() {
+        let cache = RwrRowCache::new(1 << 20);
+        let row = Arc::new(vec![1.0, 2.0, 3.0]);
+        cache.insert(NodeId(7), Arc::clone(&row));
+        let got = cache.get(NodeId(7), 3).unwrap();
+        assert!(Arc::ptr_eq(&got, &row));
+        // Wrong expected length is a defended miss, not a stale hit.
+        assert!(cache.get(NodeId(7), 4).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_row_within_budget() {
+        // One shard; room for exactly two 4-element rows.
+        let cache = RwrRowCache::with_shards(2 * row_bytes(4), 1);
+        let mk = |v: f64| Arc::new(vec![v; 4]);
+        cache.insert(NodeId(1), mk(1.0));
+        cache.insert(NodeId(2), mk(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(NodeId(1), 4).is_some());
+        cache.insert(NodeId(3), mk(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(NodeId(2), 4).is_none(), "LRU row evicted");
+        assert!(cache.get(NodeId(1), 4).is_some());
+        assert!(cache.get(NodeId(3), 4).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.bytes() <= cache.byte_budget());
+    }
+
+    #[test]
+    fn oversized_rows_are_rejected_not_thrashed() {
+        let cache = RwrRowCache::with_shards(row_bytes(4), 1);
+        cache.insert(NodeId(0), Arc::new(vec![0.0; 64]));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected, 1);
+        // A zero-budget cache degrades to pass-through the same way.
+        let none = RwrRowCache::new(0);
+        none.insert(NodeId(0), Arc::new(vec![0.0; 1]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn cached_scores_are_bitwise_equal_to_cold() {
+        let be = backend(12);
+        let cache = RwrRowCache::new(1 << 20);
+        let warm = [NodeId(0), NodeId(4), NodeId(8)];
+        let first = scores_with_cache(&be, &cache, &warm).unwrap();
+        assert_eq!(first, be.scores(&warm).unwrap());
+
+        // Overlapping second batch: 0 and 8 hit, 2 misses cold.
+        let mixed = [NodeId(8), NodeId(2), NodeId(0)];
+        let second = scores_with_cache(&be, &cache, &mixed).unwrap();
+        assert_eq!(second, be.scores(&mixed).unwrap());
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+    }
+
+    #[test]
+    fn duplicate_queries_solve_once_and_repeat_rows() {
+        let be = backend(8);
+        let cache = RwrRowCache::new(1 << 20);
+        let queries = [NodeId(3), NodeId(3), NodeId(5), NodeId(3)];
+        let m = scores_with_cache(&be, &cache, &queries).unwrap();
+        assert_eq!(m.query_count(), 4);
+        assert_eq!(m.row(0), m.row(1));
+        assert_eq!(m.row(0), m.row(3));
+        assert_eq!(m, be.scores(&queries).unwrap());
+        // Only the two distinct nodes were solved and inserted.
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn thrashing_budget_still_matches_cold() {
+        let be = backend(16);
+        // Budget fits a single 16-node row: every batch evicts the last.
+        let cache = RwrRowCache::with_shards(row_bytes(16), 1);
+        for round in 0..4u32 {
+            let queries = [NodeId(round), NodeId((round + 5) % 16)];
+            let m = scores_with_cache(&be, &cache, &queries).unwrap();
+            assert_eq!(m, be.scores(&queries).unwrap());
+        }
+        assert!(cache.stats().evictions > 0, "budget was supposed to thrash");
+        assert!(cache.bytes() <= cache.byte_budget());
+    }
+
+    #[test]
+    fn empty_query_slice_is_rejected() {
+        let be = backend(4);
+        let cache = RwrRowCache::new(1 << 16);
+        assert!(matches!(
+            scores_with_cache(&be, &cache, &[]),
+            Err(RwrError::NoQueries)
+        ));
+    }
+}

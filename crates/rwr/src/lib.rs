@@ -38,7 +38,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod blockwise;
+pub mod cache;
 pub mod combine;
 pub mod edge_scores;
 mod error;
@@ -49,6 +51,8 @@ mod scores;
 mod solver;
 pub mod variants;
 
+pub use backend::{IterativeScores, PushScores, ScoreBackend};
+pub use cache::{scores_with_cache, CacheStats, RwrRowCache};
 pub use error::RwrError;
 pub use scores::ScoreMatrix;
 pub use solver::{RwrConfig, RwrEngine, SolveStats};

@@ -2,13 +2,25 @@
 //!
 //! This crate exists to host the workspace-level integration tests (`tests/`)
 //! and runnable examples (`examples/`). It re-exports the member crates under
-//! short names so examples read naturally:
+//! short names, and [`prelude`] gives examples a one-import surface over the
+//! whole pipeline — engine, config, serving layer, graph building and the
+//! unified [`CepsError`]:
 //!
 //! ```
 //! use ceps_repro::prelude::*;
 //!
-//! let graph = ceps_datagen::CoauthorConfig::tiny().seed(7).generate().into_graph();
-//! assert!(graph.node_count() > 0);
+//! fn center_piece() -> Result<(), CepsError> {
+//!     let mut b = GraphBuilder::new();
+//!     for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+//!         b.add_edge(NodeId(x), NodeId(y), 1.0)?;
+//!     }
+//!     let engine = CepsEngine::new(b.build()?, CepsConfig::default().budget(2))?;
+//!     let service = CepsService::new(engine, 16 << 20);
+//!     let result = service.run(&[NodeId(0), NodeId(4)])?;
+//!     assert!(result.subgraph.contains(NodeId(2)));
+//!     Ok(())
+//! }
+//! center_piece().unwrap();
 //! ```
 
 pub use ceps_baselines;
@@ -19,10 +31,107 @@ pub use ceps_partition;
 pub use ceps_rwr;
 pub use ceps_viz;
 
+use std::fmt;
+
+/// One error type over every workspace crate, so examples and integration
+/// tests can use a single `Result<_, CepsError>` with `?` across layers.
+///
+/// Each member crate keeps its own typed error (re-exported here as the
+/// variant payload); this enum only adds the `From` conversions.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CepsError {
+    /// Graph substrate errors ([`ceps_graph`]).
+    Graph(ceps_graph::GraphError),
+    /// RWR solver and cache errors ([`ceps_rwr`]).
+    Rwr(ceps_rwr::RwrError),
+    /// Partitioner errors ([`ceps_partition`]).
+    Partition(ceps_partition::PartitionError),
+    /// Pipeline errors ([`ceps_core`]).
+    Core(ceps_core::CepsError),
+    /// Baseline-method errors ([`ceps_baselines`]).
+    Baseline(ceps_baselines::BaselineError),
+}
+
+impl fmt::Display for CepsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CepsError::Graph(e) => write!(f, "graph error: {e}"),
+            CepsError::Rwr(e) => write!(f, "rwr error: {e}"),
+            CepsError::Partition(e) => write!(f, "partition error: {e}"),
+            CepsError::Core(e) => write!(f, "ceps error: {e}"),
+            CepsError::Baseline(e) => write!(f, "baseline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CepsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CepsError::Graph(e) => Some(e),
+            CepsError::Rwr(e) => Some(e),
+            CepsError::Partition(e) => Some(e),
+            CepsError::Core(e) => Some(e),
+            CepsError::Baseline(e) => Some(e),
+        }
+    }
+}
+
+impl From<ceps_graph::GraphError> for CepsError {
+    fn from(e: ceps_graph::GraphError) -> Self {
+        CepsError::Graph(e)
+    }
+}
+
+impl From<ceps_rwr::RwrError> for CepsError {
+    fn from(e: ceps_rwr::RwrError) -> Self {
+        CepsError::Rwr(e)
+    }
+}
+
+impl From<ceps_partition::PartitionError> for CepsError {
+    fn from(e: ceps_partition::PartitionError) -> Self {
+        CepsError::Partition(e)
+    }
+}
+
+impl From<ceps_core::CepsError> for CepsError {
+    fn from(e: ceps_core::CepsError) -> Self {
+        CepsError::Core(e)
+    }
+}
+
+impl From<ceps_baselines::BaselineError> for CepsError {
+    fn from(e: ceps_baselines::BaselineError) -> Self {
+        CepsError::Baseline(e)
+    }
+}
+
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use ceps_core::{CepsConfig, CepsEngine, CepsResult, QueryType};
+    pub use crate::CepsError;
+    pub use ceps_core::{
+        CepsConfig, CepsEngine, CepsResult, CepsService, FastCeps, QueryType, ScoreMethod,
+        ServeOutcome,
+    };
     pub use ceps_datagen::{CoauthorConfig, CoauthorGraph, QueryRepository};
-    pub use ceps_graph::{CsrGraph, GraphBuilder, NodeId};
-    pub use ceps_rwr::{RwrConfig, RwrEngine};
+    pub use ceps_graph::{CsrGraph, GraphBuilder, IntoSharedGraph, NodeId};
+    pub use ceps_rwr::{CacheStats, RwrConfig, RwrEngine, RwrRowCache, ScoreBackend};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_error_converts_from_every_layer() {
+        use std::error::Error;
+        let from_graph: CepsError = ceps_graph::GraphError::EmptyGraph.into();
+        let from_rwr: CepsError = ceps_rwr::RwrError::NoQueries.into();
+        let from_core: CepsError = ceps_core::CepsError::NoQueries.into();
+        for e in [&from_graph, &from_rwr, &from_core] {
+            assert!(e.source().is_some());
+            assert!(!e.to_string().is_empty());
+        }
+    }
 }
