@@ -87,6 +87,7 @@ pub fn connection_subgraph(
         return Err(BaselineError::SourceEqualsSink { node: source });
     }
 
+    let _span = ceps_obs::span("baselines.connection_subgraph");
     let pins = [
         Pin {
             node: source,

@@ -57,6 +57,7 @@ pub fn solve_voltages(
         pinned[p.node.index()] = true;
     }
 
+    let _span = ceps_obs::span("baselines.solve_voltages");
     for it in 0..max_iterations {
         let mut delta: f64 = 0.0;
         for u in 0..n {
@@ -78,9 +79,19 @@ pub fn solve_voltages(
             v[u] = nv;
         }
         if delta < tol {
+            ceps_obs::debug!(
+                "voltage solve converged after {} sweeps (delta {delta:.2e})",
+                it + 1
+            );
+            if ceps_obs::enabled() {
+                ceps_obs::record("baselines.voltage_sweeps", (it + 1) as f64);
+            }
             return Ok(v);
         }
         if it + 1 == max_iterations {
+            ceps_obs::warn!(
+                "voltage solve hit the sweep limit ({max_iterations}) at residual {delta:.2e}"
+            );
             return Err(BaselineError::NoConvergence {
                 iterations: max_iterations,
                 residual: delta,

@@ -1,0 +1,58 @@
+//! Microbenchmark: `ceps-obs` instrumentation overhead.
+//!
+//! The disabled path is the one every production query pays, so it is the
+//! one pinned here: with no recorder installed, `span()` enter/exit and
+//! `counter()` must cost one relaxed atomic load and a branch (single-digit
+//! nanoseconds). The enabled path is measured alongside for contrast — it
+//! pays a timestamp pair, a thread-local push/pop and a sharded-map update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    // Disabled path: the cost added to every uninstrumented run.
+    ceps_obs::uninstall_recorder();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let guard = ceps_obs::span(black_box("bench.disabled"));
+            black_box(&guard);
+        });
+    });
+    group.bench_function("counter_disabled", |b| {
+        b.iter(|| ceps_obs::counter(black_box("bench.counter"), 1));
+    });
+    group.bench_function("record_disabled", |b| {
+        b.iter(|| ceps_obs::record(black_box("bench.hist"), 1.5));
+    });
+
+    // Enabled path: what `--profile` runs pay per span.
+    ceps_obs::install_recorder();
+    ceps_obs::reset();
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let guard = ceps_obs::span(black_box("bench.enabled"));
+            black_box(&guard);
+        });
+    });
+    group.bench_function("span_enabled_nested", |b| {
+        b.iter(|| {
+            let outer = ceps_obs::span(black_box("bench.outer"));
+            let inner = ceps_obs::span(black_box("bench.inner"));
+            black_box((&outer, &inner));
+        });
+    });
+    group.bench_function("counter_enabled", |b| {
+        b.iter(|| ceps_obs::counter(black_box("bench.counter"), 1));
+    });
+    group.bench_function("record_enabled", |b| {
+        b.iter(|| ceps_obs::record(black_box("bench.hist"), 1.5));
+    });
+    ceps_obs::uninstall_recorder();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -8,7 +8,11 @@
 //!
 //! Prints each figure as an aligned table and writes CSV + JSON into the
 //! output directory (default `results/`). `--quick` shrinks the sweeps for
-//! smoke runs.
+//! smoke runs. `--profile` installs the `ceps-obs` recorder and writes the
+//! aggregated span/counter snapshot to `OBS_profile.json` in the output
+//! directory. Progress lines go to stderr via the `ceps-obs` logger
+//! (`CEPS_LOG=warn` silences them); stdout carries only tables and result
+//! paths.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +34,7 @@ struct Options {
     quick: bool,
     threads: usize,
     repeat: Option<f64>,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         repeat: None,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +70,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--quick" => opts.quick = true,
+            "--profile" => opts.profile = true,
             "--repeat" => {
                 let v = args.next().ok_or("--repeat needs a value")?;
                 let r: f64 = v.parse().map_err(|_| format!("bad repeat rate {v:?}"))?;
@@ -85,34 +92,52 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Run metadata (git SHA, thread count, preset, timestamp) embedded in
+/// every emitted JSON artifact so results are attributable and diffable.
+fn run_meta(opts: &Options) -> serde_json::Value {
+    let m = ceps_obs::RunMeta::collect(&opts.scale.to_string(), "experiments");
+    serde_json::json!({
+        "git_sha": m.git_sha,
+        "threads": opts.threads,
+        "preset": m.preset,
+        "timestamp": m.timestamp,
+    })
+}
+
 fn main() -> ExitCode {
+    // Progress narration defaults to Info for this chatty binary; CEPS_LOG
+    // still overrides (e.g. CEPS_LOG=warn for quiet CI logs).
+    ceps_obs::init_log_default(ceps_obs::Level::Info);
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            ceps_obs::error!("error: {e}");
             eprintln!(
                 "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|all]... \
                  [--scale tiny|small|medium|large|paper] [--trials N] [--seed S] \
-                 [--out DIR] [--quick] [--threads N] [--repeat R]"
+                 [--out DIR] [--quick] [--threads N] [--repeat R] [--profile]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if opts.profile {
+        ceps_obs::install_recorder();
+        ceps_obs::reset();
+    }
 
     let wants =
         |f: &str| opts.figures.iter().any(|x| x == f) || opts.figures.iter().any(|x| x == "all");
 
-    println!("# CePS experiment run");
-    println!(
-        "scale = {}, seed = {}, output = {}",
+    ceps_obs::info!(
+        "experiment run: scale = {}, seed = {}, output = {}",
         opts.scale,
         opts.seed,
         opts.out.display()
     );
     let t0 = Instant::now();
     let workload = Workload::build(opts.scale, opts.seed);
-    println!(
-        "graph: {} nodes, {} edges (generated in {:.2?})\n",
+    ceps_obs::info!(
+        "graph: {} nodes, {} edges (generated in {:.2?})",
         workload.node_count(),
         workload.edge_count(),
         t0.elapsed()
@@ -158,7 +183,7 @@ fn main() -> ExitCode {
         let (a0, b0) = fig4::run(&workload, &params0);
         println!("{}", a0.render());
         println!("{}", b0.render());
-        println!("(fig4 took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("fig4 took {:.2?}", t.elapsed());
         tables.push(a);
         tables.push(b);
         tables.push(a0);
@@ -183,7 +208,7 @@ fn main() -> ExitCode {
         println!("{}", out.eratio_self.render());
         println!("{}", out.nratio_cross.render());
         println!("{}", out.eratio_cross.render());
-        println!("(fig5 took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("fig5 took {:.2?}", t.elapsed());
         tables.push(out.nratio_self);
         tables.push(out.eratio_self);
         tables.push(out.nratio_cross);
@@ -208,7 +233,7 @@ fn main() -> ExitCode {
         println!("{}", out.time_vs_partitions.render());
         println!("{}", out.headline.render());
         println!("{}", out.offline.render());
-        println!("(fig6 took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("fig6 took {:.2?}", t.elapsed());
         tables.push(out.quality_vs_time);
         tables.push(out.time_vs_partitions);
         tables.push(out.headline);
@@ -231,7 +256,7 @@ fn main() -> ExitCode {
         let out = injection::run(&workload, &params);
         println!("{}", out.recall.render());
         println!("{}", out.top1.render());
-        println!("(inject took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("inject took {:.2?}", t.elapsed());
         tables.push(out.recall);
         tables.push(out.top1);
     }
@@ -251,7 +276,7 @@ fn main() -> ExitCode {
         let t = Instant::now();
         let table = baselines::run(&workload, &params);
         println!("{}", table.render());
-        println!("(baselines took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("baselines took {:.2?}", t.elapsed());
         tables.push(table);
     }
 
@@ -270,7 +295,7 @@ fn main() -> ExitCode {
         let t = Instant::now();
         let table = ablation::run(&workload, &params);
         println!("{}", table.render());
-        println!("(ablation took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("ablation took {:.2?}", t.elapsed());
         tables.push(table);
     }
 
@@ -290,7 +315,7 @@ fn main() -> ExitCode {
         let t = Instant::now();
         let table = rwr_bench::run(&workload, &params);
         println!("{}", table.render());
-        println!("(rwr took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("rwr took {:.2?}", t.elapsed());
         // The kernel benchmark gets its own JSON artifact (CI uploads it),
         // in addition to riding along in the combined experiments.json.
         let meta = serde_json::json!({
@@ -300,11 +325,12 @@ fn main() -> ExitCode {
             "trials": params.trials,
             "nodes": workload.node_count(),
             "edges": workload.edge_count(),
+            "run": run_meta(&opts),
         });
         match write_json(&opts.out, "BENCH_rwr", &meta, std::slice::from_ref(&table)) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
-                eprintln!("error writing JSON: {e}");
+                ceps_obs::error!("error writing JSON: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -327,9 +353,10 @@ fn main() -> ExitCode {
             }
         }
         let t = Instant::now();
-        let table = serve::run(&workload, &params);
+        let (table, stage_table) = serve::run(&workload, &params);
         println!("{}", table.render());
-        println!("(serve took {:.2?})\n", t.elapsed());
+        println!("{}", stage_table.render());
+        ceps_obs::info!("serve took {:.2?}", t.elapsed());
         // The serving benchmark gets its own JSON artifact (CI uploads it),
         // like the RWR kernel benchmark.
         let meta = serde_json::json!({
@@ -341,15 +368,18 @@ fn main() -> ExitCode {
             "cache_bytes": params.cache_bytes,
             "nodes": workload.node_count(),
             "edges": workload.edge_count(),
+            "run": run_meta(&opts),
         });
-        match write_json(&opts.out, "BENCH_serve", &meta, std::slice::from_ref(&table)) {
+        let serve_tables = [table.clone(), stage_table.clone()];
+        match write_json(&opts.out, "BENCH_serve", &meta, &serve_tables) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
-                eprintln!("error writing JSON: {e}");
+                ceps_obs::error!("error writing JSON: {e}");
                 return ExitCode::FAILURE;
             }
         }
         tables.push(table);
+        tables.push(stage_table);
     }
 
     if opts.figures.iter().any(|x| x == "scaling") {
@@ -375,7 +405,7 @@ fn main() -> ExitCode {
         let t = Instant::now();
         let table = scaling::run(&params);
         println!("{}", table.render());
-        println!("(scaling took {:.2?})\n", t.elapsed());
+        ceps_obs::info!("scaling took {:.2?}", t.elapsed());
         tables.push(table);
     }
 
@@ -384,7 +414,7 @@ fn main() -> ExitCode {
         match t.write_csv(&opts.out) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
-                eprintln!("error writing CSV: {e}");
+                ceps_obs::error!("error writing CSV: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -396,15 +426,30 @@ fn main() -> ExitCode {
             "nodes": workload.node_count(),
             "edges": workload.edge_count(),
             "quick": opts.quick,
+            "run": run_meta(&opts),
         });
         match write_json(&opts.out, "experiments", &meta, &tables) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
-                eprintln!("error writing JSON: {e}");
+                ceps_obs::error!("error writing JSON: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    println!("\ntotal {:.2?}", t0.elapsed());
+    if opts.profile {
+        let mut meta = ceps_obs::RunMeta::collect(&opts.scale.to_string(), "experiments");
+        meta.threads = opts.threads;
+        let path = opts.out.join("OBS_profile.json");
+        let write = std::fs::create_dir_all(&opts.out)
+            .and_then(|()| std::fs::write(&path, ceps_obs::snapshot().to_json(&meta)));
+        match write {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                ceps_obs::error!("error writing profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ceps_obs::info!("total {:.2?}", t0.elapsed());
     ExitCode::SUCCESS
 }

@@ -95,14 +95,18 @@ pub fn sample_stream(
 
 /// Runs the benchmark over `workload`'s graph.
 ///
-/// Columns: repeat rate, no-cache and cached wall-clock (ms), the
-/// throughput speedup `nocache_ms / cached_ms`, cached-arm hit rate, and
-/// cached-arm latency percentiles (ms).
+/// Returns two tables. The first has one row per repeat rate with the
+/// throughput comparison: no-cache and cached wall-clock (ms), the
+/// speedup `nocache_ms / cached_ms`, cached-arm hit rate, and cached-arm
+/// latency percentiles (ms). The second breaks each arm's mean
+/// per-request latency into pipeline stages (scores / combine / extract,
+/// ms) — the cached-vs-cold columns show which stage the row cache
+/// actually removes.
 ///
 /// # Panics
 /// Panics if the two arms disagree on a sampled request's subgraph, or if
 /// a stream fails to serve.
-pub fn run(workload: &Workload, params: &ServeParams) -> Table {
+pub fn run(workload: &Workload, params: &ServeParams) -> (Table, Table) {
     let cfg = CepsConfig::default()
         .budget(params.budget)
         .alpha(params.alpha)
@@ -120,6 +124,18 @@ pub fn run(workload: &Workload, params: &ServeParams) -> Table {
             "p50_ms".into(),
             "p95_ms".into(),
             "p99_ms".into(),
+        ],
+    );
+    let mut stages = Table::new(
+        "BENCH serve stages: mean per-request stage time, cold vs cached (ms)",
+        vec![
+            "repeat".into(),
+            "cold_scores_ms".into(),
+            "cold_combine_ms".into(),
+            "cold_extract_ms".into(),
+            "cached_scores_ms".into(),
+            "cached_combine_ms".into(),
+            "cached_extract_ms".into(),
         ],
     );
 
@@ -162,8 +178,19 @@ pub fn run(workload: &Workload, params: &ServeParams) -> Table {
             warm_out.latency_percentile_ms(95.0),
             warm_out.latency_percentile_ms(99.0),
         ]);
+        let cold_stages = cold_out.mean_stage_ms();
+        let warm_stages = warm_out.mean_stage_ms();
+        stages.push_row(vec![
+            repeat,
+            cold_stages.scores_ms,
+            cold_stages.combine_ms,
+            cold_stages.extract_ms,
+            warm_stages.scores_ms,
+            warm_stages.combine_ms,
+            warm_stages.extract_ms,
+        ]);
     }
-    table
+    (table, stages)
 }
 
 #[cfg(test)]
@@ -202,7 +229,7 @@ mod tests {
             budget: 5,
             ..Default::default()
         };
-        let t = run(&w, &params);
+        let (t, stages) = run(&w, &params);
         assert_eq!(t.rows.len(), 2);
         for row in &t.rows {
             assert!(row[1] > 0.0 && row[2] > 0.0, "wall clocks positive");
@@ -212,5 +239,12 @@ mod tests {
         }
         // The warmed high-repeat row must actually hit.
         assert!(t.rows[1][4] > 0.0);
+        // Stage breakdown: one row per repeat rate, scores dominates the
+        // cold arm and every stage time is non-negative.
+        assert_eq!(stages.rows.len(), 2);
+        for row in &stages.rows {
+            assert!(row[1] > 0.0, "cold scores stage measured");
+            assert!(row[1..].iter().all(|&v| v >= 0.0));
+        }
     }
 }

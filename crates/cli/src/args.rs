@@ -49,6 +49,11 @@ pub enum Command {
         push: Option<f64>,
         /// RWR worker threads.
         threads: usize,
+        /// Record per-stage spans/counters and print the profile tree.
+        profile: bool,
+        /// Where to write the `ceps-obs/v1` snapshot (default
+        /// `results/OBS_profile.json`); only used with `--profile`.
+        profile_out: Option<PathBuf>,
     },
     /// `ceps partition` — k-way partition a graph.
     Partition {
@@ -86,6 +91,11 @@ pub enum Command {
         threads: usize,
         /// Emit JSON instead of text.
         json: bool,
+        /// Record per-stage spans/counters and print the profile tree.
+        profile: bool,
+        /// Where to write the `ceps-obs/v1` snapshot (default
+        /// `results/OBS_profile.json`); only used with `--profile`.
+        profile_out: Option<PathBuf>,
     },
     /// `ceps autok` — infer the softAND coefficient for a query set.
     AutoK {
@@ -124,9 +134,11 @@ USAGE:
   ceps query    --graph FILE [--labels FILE] --queries \"a,b,...\"
                 [--type and|or|softand:K] [--budget N] [--alpha A]
                 [--dot FILE] [--json] [--push EPS] [--threads N]
+                [--profile] [--profile-out FILE]
   ceps serve    --graph FILE [--requests N] [--queries-per Q] [--workers W]
                 [--repeat R] [--budget N] [--alpha A] [--cache-mb M]
                 [--seed N] [--threads N] [--json]
+                [--profile] [--profile-out FILE]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
                 [--threads N]
@@ -142,8 +154,8 @@ fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         if !key.starts_with("--") {
             return Err(CliError(format!("unexpected argument {key:?}")));
         }
-        if key == "--json" {
-            flags.insert("json".to_string(), "true".to_string());
+        if key == "--json" || key == "--profile" {
+            flags.insert(key[2..].to_string(), "true".to_string());
             i += 1;
             continue;
         }
@@ -242,15 +254,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     })
                     .transpose()?,
                 threads: num(&flags, "threads", 1usize)?,
+                profile: flags.contains_key("profile"),
+                profile_out: flags.get("profile-out").map(PathBuf::from),
             })
         }
         "serve" => {
             let flags = take_flags(rest)?;
             let repeat: f64 = num(&flags, "repeat", 0.5f64)?;
             if !(0.0..=1.0).contains(&repeat) {
-                return Err(CliError(format!(
-                    "--repeat {repeat} must lie in [0, 1]"
-                )));
+                return Err(CliError(format!("--repeat {repeat} must lie in [0, 1]")));
             }
             Ok(Command::Serve {
                 graph: PathBuf::from(required(&flags, "graph")?),
@@ -264,6 +276,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: num(&flags, "seed", 0u64)?,
                 threads: num(&flags, "threads", 1usize)?,
                 json: flags.contains_key("json"),
+                profile: flags.contains_key("profile"),
+                profile_out: flags.get("profile-out").map(PathBuf::from),
             })
         }
         "autok" => {
@@ -382,6 +396,49 @@ mod tests {
     }
 
     #[test]
+    fn profile_flags_parse_on_query_and_serve() {
+        let c = parse(&v(&["query", "--graph", "g", "--queries", "0,1"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Query {
+                profile: false,
+                profile_out: None,
+                ..
+            }
+        ));
+        let c = parse(&v(&[
+            "query",
+            "--graph",
+            "g",
+            "--queries",
+            "0,1",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(matches!(c, Command::Query { profile: true, .. }));
+        let c = parse(&v(&[
+            "serve",
+            "--graph",
+            "g",
+            "--profile",
+            "--profile-out",
+            "/tmp/p.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                profile,
+                profile_out,
+                ..
+            } => {
+                assert!(profile);
+                assert_eq!(profile_out, Some(PathBuf::from("/tmp/p.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn serve_defaults_and_bounds() {
         let c = parse(&v(&["serve", "--graph", "g"])).unwrap();
         match c {
@@ -404,7 +461,14 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let c = parse(&v(&[
-            "serve", "--graph", "g", "--repeat", "0.9", "--cache-mb", "0", "--json",
+            "serve",
+            "--graph",
+            "g",
+            "--repeat",
+            "0.9",
+            "--cache-mb",
+            "0",
+            "--json",
         ]))
         .unwrap();
         assert!(matches!(

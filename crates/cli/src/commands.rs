@@ -36,6 +36,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             json,
             push,
             threads,
+            profile,
+            profile_out,
         } => query(
             &graph,
             labels.as_deref(),
@@ -48,6 +50,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 json,
                 push,
                 threads,
+                profile,
+                profile_out,
             },
         ),
         Command::Partition {
@@ -75,6 +79,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             seed,
             threads,
             json,
+            profile,
+            profile_out,
         } => serve(
             &graph,
             ServeOptions {
@@ -88,6 +94,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 seed,
                 threads,
                 json,
+                profile,
+                profile_out,
             },
         ),
         Command::Import {
@@ -211,6 +219,28 @@ struct QueryOptions {
     json: bool,
     push: Option<f64>,
     threads: usize,
+    profile: bool,
+    profile_out: Option<std::path::PathBuf>,
+}
+
+/// Default snapshot path for `--profile` without `--profile-out`.
+const DEFAULT_PROFILE_OUT: &str = "results/OBS_profile.json";
+
+/// Serializes the current `ceps-obs` snapshot (schema `ceps-obs/v1`) to
+/// `path` (or [`DEFAULT_PROFILE_OUT`]), creating parent directories.
+fn write_profile(path: Option<&Path>, label: &str) -> Result<std::path::PathBuf, CliError> {
+    let path = path.map_or_else(
+        || std::path::PathBuf::from(DEFAULT_PROFILE_OUT),
+        Path::to_path_buf,
+    );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let meta = ceps_obs::RunMeta::collect("cli", label);
+    fs::write(&path, ceps_obs::snapshot().to_json(&meta))?;
+    Ok(path)
 }
 
 fn query(
@@ -227,6 +257,8 @@ fn query(
         json,
         push,
         threads,
+        profile,
+        profile_out,
     } = opts;
     let dot = dot.as_deref();
     let graph = load_graph(graph_path)?;
@@ -242,7 +274,17 @@ fn query(
         cfg = cfg.push_scores(epsilon);
     }
     let engine = CepsEngine::new(&graph, cfg)?;
-    let result = engine.run(&query_nodes)?;
+    if profile {
+        ceps_obs::install_recorder();
+        ceps_obs::reset();
+    }
+    let started = std::time::Instant::now();
+    let run_out = {
+        let _root = ceps_obs::span("query");
+        engine.run_timed(&query_nodes)
+    };
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (result, stages) = run_out?;
     let nratio = eval::node_ratio(&result.combined, &result.subgraph);
 
     if let Some(dot_path) = dot {
@@ -292,9 +334,19 @@ fn query(
             "alpha": alpha,
             "k": result.k,
             "nratio": nratio,
+            "total_ms": total_ms,
+            "stage_ms": serde_json::json!({
+                "scores": stages.scores_ms,
+                "combine": stages.combine_ms,
+                "extract": stages.extract_ms,
+            }),
             "subgraph": members,
             "paths": paths,
         });
+        if profile {
+            // Stdout stays pure JSON; the snapshot goes to the file only.
+            write_profile(profile_out.as_deref(), "query")?;
+        }
         return Ok(format!(
             "{}\n",
             serde_json::to_string_pretty(&doc).map_err(|e| CliError(format!("json error: {e}")))?
@@ -325,6 +377,19 @@ fn query(
     }
     out.push_str("\nwhy (discovery order):\n");
     out.push_str(&ceps_core::explain::render(&result, labels.as_ref()));
+    if profile {
+        out.push_str(&format!(
+            "\nprofile: end-to-end {total_ms:.3} ms \
+             (scores {:.3} + combine {:.3} + extract {:.3} = {:.3} ms)\n",
+            stages.scores_ms,
+            stages.combine_ms,
+            stages.extract_ms,
+            stages.total_ms(),
+        ));
+        out.push_str(&ceps_obs::snapshot().render_tree());
+        let written = write_profile(profile_out.as_deref(), "query")?;
+        out.push_str(&format!("profile written to {}\n", written.display()));
+    }
     Ok(out)
 }
 
@@ -373,6 +438,8 @@ struct ServeOptions {
     seed: u64,
     threads: usize,
     json: bool,
+    profile: bool,
+    profile_out: Option<std::path::PathBuf>,
 }
 
 /// splitmix64 — a tiny deterministic generator for the synthetic stream, so
@@ -449,7 +516,12 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
         opts.repeat,
         opts.seed,
     );
+    if opts.profile {
+        ceps_obs::install_recorder();
+        ceps_obs::reset();
+    }
     let outcome = service.serve_stream(&stream, opts.workers)?;
+    let mean_stages = outcome.mean_stage_ms();
 
     if opts.json {
         let latency = serde_json::json!({
@@ -466,7 +538,15 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
             "throughput_qps": outcome.throughput_qps(),
             "hit_rate": outcome.hit_rate(),
             "latency_ms": latency,
+            "mean_stage_ms": serde_json::json!({
+                "scores": mean_stages.scores_ms,
+                "combine": mean_stages.combine_ms,
+                "extract": mean_stages.extract_ms,
+            }),
         });
+        if opts.profile {
+            write_profile(opts.profile_out.as_deref(), "serve")?;
+        }
         return Ok(format!(
             "{}\n",
             serde_json::to_string_pretty(&doc).map_err(|e| CliError(format!("json error: {e}")))?
@@ -494,6 +574,16 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
             opts.cache_mb,
         )),
         None => out.push_str("cache: disabled\n"),
+    }
+    out.push_str(&format!(
+        "mean stage time per request: scores {:.3} ms, combine {:.3} ms, extract {:.3} ms\n",
+        mean_stages.scores_ms, mean_stages.combine_ms, mean_stages.extract_ms,
+    ));
+    if opts.profile {
+        out.push('\n');
+        out.push_str(&ceps_obs::snapshot().render_tree());
+        let written = write_profile(opts.profile_out.as_deref(), "serve")?;
+        out.push_str(&format!("profile written to {}\n", written.display()));
     }
     Ok(out)
 }
@@ -589,6 +679,8 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            profile: false,
+            profile_out: None,
         })
         .unwrap();
         assert!(out.contains("AND query"));
@@ -605,6 +697,8 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            profile: false,
+            profile_out: None,
         })
         .unwrap();
         assert!(out.contains("OR query"));
@@ -625,6 +719,8 @@ mod tests {
             json: true,
             push: None,
             threads: 1,
+            profile: false,
+            profile_out: None,
         })
         .unwrap();
         let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -632,6 +728,37 @@ mod tests {
         assert!(doc["subgraph"].as_array().unwrap().len() >= 2);
         let dot = fs::read_to_string(dot_path).unwrap();
         assert!(dot.starts_with("graph"));
+    }
+
+    #[test]
+    fn query_profile_prints_tree_and_writes_snapshot() {
+        let (g, l) = generated();
+        let profile_path = tmp("obs_profile.json");
+        let out = execute(Command::Query {
+            graph: g,
+            labels: Some(l),
+            queries: "0,30".into(),
+            query_type: QueryType::And,
+            budget: 5,
+            alpha: 0.5,
+            dot: None,
+            json: false,
+            push: None,
+            threads: 1,
+            profile: true,
+            profile_out: Some(profile_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("profile: end-to-end"));
+        assert!(out.contains("stage.individual_scores"));
+        assert!(out.contains("stage.combine"));
+        assert!(out.contains("stage.extract"));
+        assert!(out.contains("profile written to"));
+        let json = fs::read_to_string(profile_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc["schema"], "ceps-obs/v1");
+        assert!(!doc["spans"].as_array().unwrap().is_empty());
+        ceps_obs::uninstall_recorder();
     }
 
     #[test]
@@ -664,6 +791,8 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            profile: false,
+            profile_out: None,
         })
         .unwrap_err();
         assert!(err.0.contains("unknown author"));
@@ -713,6 +842,8 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            profile: false,
+            profile_out: None,
         })
         .unwrap();
         assert!(out.contains("Ada Lovelace"), "center-piece missing: {out}");
@@ -733,6 +864,8 @@ mod tests {
             seed: 1,
             threads: 1,
             json: false,
+            profile: false,
+            profile_out: None,
         })
         .unwrap();
         assert!(out.contains("served 10 requests"));
@@ -750,6 +883,8 @@ mod tests {
             seed: 1,
             threads: 1,
             json: true,
+            profile: false,
+            profile_out: None,
         })
         .unwrap();
         let doc: serde_json::Value = serde_json::from_str(&out).unwrap();

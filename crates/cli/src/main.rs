@@ -7,7 +7,7 @@ fn main() -> ExitCode {
     let cmd = match ceps_cli::parse(&args) {
         Ok(cmd) => cmd,
         Err(e) => {
-            eprintln!("error: {e}");
+            ceps_obs::error!("error: {e}");
             eprintln!("{}", ceps_cli::args::USAGE);
             return ExitCode::FAILURE;
         }
@@ -18,7 +18,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
+            ceps_obs::error!("error: {e}");
             ExitCode::FAILURE
         }
     }

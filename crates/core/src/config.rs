@@ -63,9 +63,7 @@ impl ScoreMethod {
         rwr: RwrConfig,
     ) -> Result<Arc<dyn ScoreBackend>> {
         Ok(match *self {
-            ScoreMethod::Iterative => {
-                Arc::new(IterativeScores::new(Arc::clone(transition), rwr)?)
-            }
+            ScoreMethod::Iterative => Arc::new(IterativeScores::new(Arc::clone(transition), rwr)?),
             ScoreMethod::Push { epsilon } => {
                 if !(epsilon.is_finite() && epsilon > 0.0) {
                     return Err(CepsError::BadPushEpsilon { epsilon });

@@ -182,6 +182,13 @@ pub fn extract(params: ExtractParams<'_>) -> ExtractOutcome {
         debug_assert!(in_h[pd.index()], "every round must consume pd");
     }
 
+    if ceps_obs::enabled() {
+        ceps_obs::counter("extract.rounds", destinations.len() as u64);
+        ceps_obs::counter("extract.paths", paths.len() as u64);
+        ceps_obs::counter("extract.orphans", orphans.len() as u64);
+        ceps_obs::counter("extract.nodes_added", added as u64);
+    }
+
     ExtractOutcome {
         subgraph,
         destinations,

@@ -276,6 +276,10 @@ pub fn discover_key_path_in_cone(
     for (p, &v) in candidates.iter().enumerate() {
         ws.pos_of[v as usize] = p as u32;
     }
+    if ceps_obs::enabled() {
+        // Candidate-prune effectiveness: sweep size vs. the whole graph.
+        ceps_obs::record("extract.candidates", m as f64);
+    }
 
     // Bucket the recorded edges by destination position (counting sort):
     // the DP wants, per candidate, its downhill in-edges as positions.
@@ -386,6 +390,18 @@ pub fn discover_key_path_in_cone(
         if masked {
             occ[p] = pocc;
         }
+    }
+
+    if ceps_obs::enabled() {
+        // Live DP slots after relaxation — the sparse-relaxation win over
+        // the dense m × width table.
+        let slots: u64 = if masked {
+            occ.iter().map(|&bits| u64::from(bits.count_ones())).sum()
+        } else {
+            dp.iter().filter(|&&v| v != NEG).count() as u64
+        };
+        ceps_obs::counter("extract.dp_slots", slots);
+        ceps_obs::counter("extract.dp_calls", 1);
     }
 
     // Best s >= 1 by goodness-per-new-node at the destination.

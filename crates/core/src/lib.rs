@@ -69,7 +69,7 @@ pub use config::{CepsConfig, CombineMethod, ScoreMethod};
 pub use error::CepsError;
 pub use extract::{ExtractOutcome, KeyPath, SharingRule};
 pub use fast::{FastCeps, FastCepsResult};
-pub use pipeline::{CepsEngine, CepsResult};
+pub use pipeline::{CepsEngine, CepsResult, StageTimes};
 pub use query::QueryType;
 pub use serve::{CepsService, ServeOutcome};
 

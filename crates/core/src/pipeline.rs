@@ -66,6 +66,50 @@ pub struct CepsResult {
     pub orphan_destinations: Vec<NodeId>,
 }
 
+/// Wall-clock breakdown of one pipeline run across the Table 1 stages.
+///
+/// Produced by [`CepsEngine::run_timed`] and
+/// [`crate::serve::CepsService::run_timed`]; always measured (the numbers
+/// do not require an installed `ceps-obs` recorder) so serving harnesses
+/// can report stage-level latency without turning profiling on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// Step 1 — individual RWR scores (cache assembly included when the
+    /// run came through a [`crate::serve::CepsService`]).
+    pub scores_ms: f64,
+    /// Step 2 — score combination (Eqs. 6–9 / Eq. 21).
+    pub combine_ms: f64,
+    /// Step 3 — EXTRACT (Tables 3–4).
+    pub extract_ms: f64,
+}
+
+impl StageTimes {
+    /// Sum of the stage times, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.scores_ms + self.combine_ms + self.extract_ms
+    }
+
+    /// Element-wise accumulation (used when summing over a stream).
+    pub fn accumulate(&mut self, other: &StageTimes) {
+        self.scores_ms += other.scores_ms;
+        self.combine_ms += other.combine_ms;
+        self.extract_ms += other.extract_ms;
+    }
+
+    /// Element-wise mean over `n` requests (zero requests → all zeros).
+    pub fn mean_over(&self, n: usize) -> StageTimes {
+        if n == 0 {
+            return StageTimes::default();
+        }
+        let d = n as f64;
+        StageTimes {
+            scores_ms: self.scores_ms / d,
+            combine_ms: self.combine_ms / d,
+            extract_ms: self.extract_ms / d,
+        }
+    }
+}
+
 impl CepsResult {
     /// Total extracted goodness `CF(H) = Σ_{j ∈ H} r(Q, j)` (Sec. 5,
     /// "EXTRACTED GOODNESS").
@@ -166,12 +210,26 @@ impl CepsEngine {
     /// [`CepsError::DuplicateQuery`], [`CepsError::BadSoftAndK`], bad node
     /// ids) and propagated solver errors.
     pub fn run(&self, queries: &[NodeId]) -> Result<CepsResult> {
+        Ok(self.run_timed(queries)?.0)
+    }
+
+    /// Like [`run`](CepsEngine::run), also returning the per-stage wall
+    /// times. Each stage runs under a `ceps-obs` span
+    /// (`stage.individual_scores` / `stage.combine` / `stage.extract`), so
+    /// an installed recorder sees the same breakdown hierarchically.
+    ///
+    /// # Errors
+    /// As in [`run`](CepsEngine::run).
+    pub fn run_timed(&self, queries: &[NodeId]) -> Result<(CepsResult, StageTimes)> {
         self.validate_queries(queries)?;
         self.config.validate(queries.len())?;
 
         // Step 1: individual score calculation (Eq. 4).
-        let scores = self.solve_scores(queries)?;
-        self.run_with_scores(queries, scores)
+        let (scores, t_scores) =
+            ceps_obs::timed("stage.individual_scores", || self.solve_scores(queries));
+        let (result, mut times) = self.run_with_scores_timed(queries, scores?)?;
+        times.scores_ms = t_scores.as_secs_f64() * 1e3;
+        Ok((result, times))
     }
 
     /// Steps 2–3 over an already-solved score matrix `R`.
@@ -186,6 +244,20 @@ impl CepsEngine {
     /// [`CepsError::ScoreShapeMismatch`] when `scores` does not match
     /// `queries` and the graph.
     pub fn run_with_scores(&self, queries: &[NodeId], scores: ScoreMatrix) -> Result<CepsResult> {
+        Ok(self.run_with_scores_timed(queries, scores)?.0)
+    }
+
+    /// Like [`run_with_scores`](CepsEngine::run_with_scores), also
+    /// returning the per-stage wall times (`scores_ms` stays 0 — Step 1
+    /// happened outside this call).
+    ///
+    /// # Errors
+    /// As in [`run_with_scores`](CepsEngine::run_with_scores).
+    pub fn run_with_scores_timed(
+        &self,
+        queries: &[NodeId],
+        scores: ScoreMatrix,
+    ) -> Result<(CepsResult, StageTimes)> {
         self.validate_queries(queries)?;
         self.config.validate(queries.len())?;
         if scores.query_count() != queries.len() || scores.node_count() != self.graph.node_count() {
@@ -199,34 +271,46 @@ impl CepsEngine {
 
         // Step 2: combining individual scores (Eqs. 6-9 or Eq. 21).
         let k = self.config.query.soft_and_k(queries.len())?;
-        let combined = self.combine(&scores, k)?;
+        let (combined, t_combine) = ceps_obs::timed("stage.combine", || self.combine(&scores, k));
+        let combined = combined?;
 
         // Step 3: EXTRACT (Tables 3-4).
         let len = self.config.effective_path_len(k);
+        let (outcome, t_extract) = ceps_obs::timed("stage.extract", || {
+            extract(ExtractParams {
+                graph: &self.graph,
+                scores: &scores,
+                combined: &combined,
+                k,
+                budget: self.config.budget,
+                max_path_len: len,
+                sharing: SharingRule::FreeSharedNodes,
+            })
+        });
         let ExtractOutcome {
             subgraph,
             destinations,
             paths,
             orphan_destinations,
-        } = extract(ExtractParams {
-            graph: &self.graph,
-            scores: &scores,
-            combined: &combined,
-            k,
-            budget: self.config.budget,
-            max_path_len: len,
-            sharing: SharingRule::FreeSharedNodes,
-        });
+        } = outcome;
 
-        Ok(CepsResult {
-            subgraph,
-            scores,
-            combined,
-            k,
-            destinations,
-            paths,
-            orphan_destinations,
-        })
+        let times = StageTimes {
+            scores_ms: 0.0,
+            combine_ms: t_combine.as_secs_f64() * 1e3,
+            extract_ms: t_extract.as_secs_f64() * 1e3,
+        };
+        Ok((
+            CepsResult {
+                subgraph,
+                scores,
+                combined,
+                k,
+                destinations,
+                paths,
+                orphan_destinations,
+            },
+            times,
+        ))
     }
 
     /// Step 1 only: the individual score matrix `R` for a query set,

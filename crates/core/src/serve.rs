@@ -34,7 +34,7 @@ use std::time::Instant;
 use ceps_graph::NodeId;
 use ceps_rwr::{scores_with_cache, CacheStats, RwrRowCache, ScoreMatrix};
 
-use crate::pipeline::{CepsEngine, CepsResult};
+use crate::pipeline::{CepsEngine, CepsResult, StageTimes};
 use crate::Result;
 
 /// A cloneable, thread-safe CePS query server: an engine plus a shared
@@ -106,10 +106,26 @@ impl CepsService {
     /// # Errors
     /// As in [`CepsEngine::run`].
     pub fn run(&self, queries: &[NodeId]) -> Result<CepsResult> {
+        Ok(self.run_timed(queries)?.0)
+    }
+
+    /// Like [`run`](CepsService::run), also returning the per-stage wall
+    /// times (`scores_ms` covers the whole Step 1 assembly: cache probes
+    /// plus the batched solve over misses). The request runs under a
+    /// `serve.request` span with the stage spans nested inside it.
+    ///
+    /// # Errors
+    /// As in [`CepsEngine::run`].
+    pub fn run_timed(&self, queries: &[NodeId]) -> Result<(CepsResult, StageTimes)> {
+        let _span = ceps_obs::span("serve.request");
         self.engine.validate_queries(queries)?;
         self.engine.config().validate(queries.len())?;
-        let scores = self.individual_scores(queries)?;
-        self.engine.run_with_scores(queries, scores)
+        let (scores, t_scores) = ceps_obs::timed("stage.individual_scores", || {
+            self.individual_scores(queries)
+        });
+        let (result, mut times) = self.engine.run_with_scores_timed(queries, scores?)?;
+        times.scores_ms = t_scores.as_secs_f64() * 1e3;
+        Ok((result, times))
     }
 
     /// Serves every query set in `stream` across `workers` scoped threads
@@ -135,6 +151,7 @@ impl CepsService {
                 .map(|_| {
                     s.spawn(|_| {
                         let mut latencies = Vec::new();
+                        let mut stages = StageTimes::default();
                         let mut first_err = None;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -142,8 +159,11 @@ impl CepsService {
                                 break;
                             };
                             let t0 = Instant::now();
-                            match self.run(queries) {
-                                Ok(_) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
+                            match self.run_timed(queries) {
+                                Ok((_, t)) => {
+                                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                                    stages.accumulate(&t);
+                                }
                                 Err(e) => {
                                     if first_err.is_none() {
                                         first_err = Some(e);
@@ -151,7 +171,7 @@ impl CepsService {
                                 }
                             }
                         }
-                        (latencies, first_err)
+                        (latencies, stages, first_err)
                     })
                 })
                 .collect();
@@ -164,11 +184,13 @@ impl CepsService {
 
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let mut latencies_ms = Vec::with_capacity(stream.len());
-        for (lats, err) in per_worker {
+        let mut stages = StageTimes::default();
+        for (lats, worker_stages, err) in per_worker {
             if let Some(e) = err {
                 return Err(e);
             }
             latencies_ms.extend(lats);
+            stages.accumulate(&worker_stages);
         }
         latencies_ms.sort_by(f64::total_cmp);
 
@@ -186,6 +208,7 @@ impl CepsService {
             workers,
             wall_ms,
             latencies_ms,
+            stages,
             cache,
         })
     }
@@ -202,6 +225,10 @@ pub struct ServeOutcome {
     pub wall_ms: f64,
     /// Per-query latencies in milliseconds, sorted ascending.
     pub latencies_ms: Vec<f64>,
+    /// Summed per-stage wall times across all completed requests — the
+    /// stage-level latency breakdown (CPU-time sum, not wall-clock: with
+    /// multiple workers it exceeds `wall_ms`).
+    pub stages: StageTimes,
     /// Cache-counter deltas over the run (`None` when uncached).
     pub cache: Option<CacheStats>,
 }
@@ -216,15 +243,28 @@ impl ServeOutcome {
         }
     }
 
-    /// The `p`-th latency percentile (nearest-rank, `0 < p <= 100`), or
-    /// 0 when nothing completed.
+    /// The `p`-th latency percentile (nearest-rank), or 0 when nothing
+    /// completed. `p` is clamped into `[0, 100]` — `p <= 0` returns the
+    /// minimum, `p >= 100` (and non-finite `p`) the maximum — so the
+    /// result is never `NaN` and never indexes out of bounds.
     pub fn latency_percentile_ms(&self, p: f64) -> f64 {
         if self.latencies_ms.is_empty() {
             return 0.0;
         }
         let n = self.latencies_ms.len();
+        let p = if p.is_finite() {
+            p.clamp(0.0, 100.0)
+        } else {
+            100.0
+        };
         let rank = ((p / 100.0) * n as f64).ceil() as usize;
         self.latencies_ms[rank.clamp(1, n) - 1]
+    }
+
+    /// Mean per-request stage times — [`ServeOutcome::stages`] divided by
+    /// [`ServeOutcome::completed`] (all zeros when nothing completed).
+    pub fn mean_stage_ms(&self) -> StageTimes {
+        self.stages.mean_over(self.completed)
     }
 
     /// Cache hit rate over the run (0 when uncached).
@@ -320,6 +360,59 @@ mod tests {
         let cache = out.cache.unwrap();
         assert_eq!(cache.hits + cache.misses, 24, "every query row probed");
         assert!(out.hit_rate() > 0.0, "repeated nodes must hit");
+    }
+
+    #[test]
+    fn serve_stream_reports_stage_breakdown() {
+        let service = CepsService::new(engine(), 1 << 20);
+        let stream: Vec<Vec<NodeId>> = (0..6).map(|i| vec![NodeId(i), NodeId(i + 7)]).collect();
+        let out = service.serve_stream(&stream, 2).unwrap();
+        assert!(out.stages.scores_ms > 0.0, "Step 1 took measurable time");
+        assert!(out.stages.combine_ms >= 0.0 && out.stages.extract_ms >= 0.0);
+        let mean = out.mean_stage_ms();
+        assert!((mean.total_ms() - out.stages.total_ms() / 6.0).abs() < 1e-9);
+        // The per-stage sum accounts for most of each request's latency.
+        let latency_sum: f64 = out.latencies_ms.iter().sum();
+        assert!(out.stages.total_ms() <= latency_sum);
+    }
+
+    #[test]
+    fn latency_percentile_clamps_out_of_range_p() {
+        let out = ServeOutcome {
+            completed: 4,
+            workers: 1,
+            wall_ms: 10.0,
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            stages: StageTimes::default(),
+            cache: None,
+        };
+        assert_eq!(out.latency_percentile_ms(0.0), 1.0, "p=0 is the minimum");
+        assert_eq!(out.latency_percentile_ms(-5.0), 1.0);
+        assert_eq!(out.latency_percentile_ms(100.0), 4.0);
+        assert_eq!(out.latency_percentile_ms(250.0), 4.0, "p>100 clamps");
+        assert_eq!(out.latency_percentile_ms(f64::NAN), 4.0);
+        assert_eq!(out.latency_percentile_ms(f64::INFINITY), 4.0);
+        assert_eq!(out.latency_percentile_ms(50.0), 2.0);
+        assert!(!out.latency_percentile_ms(33.3).is_nan());
+    }
+
+    #[test]
+    fn empty_outcome_is_nan_free() {
+        let out = ServeOutcome {
+            completed: 0,
+            workers: 1,
+            wall_ms: 0.0,
+            latencies_ms: vec![],
+            stages: StageTimes::default(),
+            cache: None,
+        };
+        for p in [-1.0, 0.0, 50.0, 100.0, 1e9, f64::NAN] {
+            let v = out.latency_percentile_ms(p);
+            assert_eq!(v, 0.0, "zero requests → 0, got {v} at p={p}");
+        }
+        assert_eq!(out.throughput_qps(), 0.0);
+        assert_eq!(out.mean_stage_ms(), StageTimes::default());
+        assert_eq!(out.hit_rate(), 0.0);
     }
 
     #[test]

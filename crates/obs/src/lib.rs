@@ -1,0 +1,46 @@
+//! # ceps-obs — observability core for the CePS workspace
+//!
+//! A zero-dependency instrumentation layer shared by every crate in the
+//! workspace. It provides three primitives plus a leveled logger:
+//!
+//! * **Spans** — hierarchical timed regions. [`span`] returns an RAII guard
+//!   that pushes a frame onto a thread-local stack; on drop the elapsed time
+//!   is aggregated into a lock-sharded global registry keyed by the full
+//!   span path (e.g. `"query/stage.combine"`). Each path accumulates call
+//!   count, total time, and *self* time (total minus time spent in child
+//!   spans).
+//! * **Counters** — monotonic `u64` accumulators ([`counter`]).
+//! * **Histograms** — fixed-bucket log₂-scale distributions over `f64`
+//!   values ([`record`]); 64 buckets spanning `[2⁻³², 2³²)` with under- and
+//!   overflow clamped to the edge buckets.
+//!
+//! All three are **compiled-in no-ops until a recorder is installed**: the
+//! hot path pays exactly one relaxed atomic load and a branch when
+//! observability is off (see `benches/obs_overhead.rs` in `ceps-bench` for
+//! the pinned cost). Call [`install_recorder`] to start collecting,
+//! [`snapshot`] to drain an aggregated [`MetricsSnapshot`], and [`reset`]
+//! to clear between runs. Instrumentation never alters computation:
+//! pipeline output is bitwise-identical with the recorder on or off.
+//!
+//! The logger ([`error!`]/[`warn!`]/[`info!`]/[`debug!`]) writes to stderr
+//! so stdout stays reserved for command output; verbosity comes from the
+//! `CEPS_LOG` environment variable (`warn` by default).
+//!
+//! Like the `shims/` crates, this is implemented in-repo with no external
+//! dependencies so the workspace stays hermetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod logger;
+mod meta;
+mod registry;
+mod snapshot;
+
+pub use logger::{init_log_default, log, log_enabled, set_log_level, Level};
+pub use meta::{git_sha, now_iso8601, RunMeta};
+pub use registry::{
+    counter, enabled, install_recorder, record, reset, snapshot, span, timed, uninstall_recorder,
+    Span,
+};
+pub use snapshot::{HistogramStat, MetricsSnapshot, SpanStat};

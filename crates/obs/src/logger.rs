@@ -1,0 +1,175 @@
+//! Leveled stderr logger controlled by the `CEPS_LOG` environment variable.
+//!
+//! Binaries log through [`error!`](crate::error!) / [`warn!`](crate::warn!)
+//! / [`info!`](crate::info!) / [`debug!`](crate::debug!) instead of raw
+//! `eprintln!` so stdout stays reserved for command output and verbosity is
+//! uniform across the workspace. Errors always print; the default threshold
+//! is `warn` unless a binary opts into a chattier default with
+//! [`init_log_default`]. `CEPS_LOG=warn|info|debug` (or `error`) overrides
+//! either default.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from always-on to most verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-facing failures. Always printed.
+    Error = 0,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 1,
+    /// Progress notes (files written, phase timings).
+    Info = 2,
+    /// High-volume diagnostics (per-level partitioner stats, solver steps).
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+const UNSET: u8 = u8::MAX;
+static THRESHOLD: AtomicU8 = AtomicU8::new(UNSET);
+
+fn parse(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" | "trace" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+fn env_level(default: Level) -> Level {
+    std::env::var("CEPS_LOG")
+        .ok()
+        .and_then(|s| parse(&s))
+        .unwrap_or(default)
+}
+
+fn threshold() -> Level {
+    match THRESHOLD.load(Ordering::Relaxed) {
+        UNSET => {
+            let level = env_level(Level::Warn);
+            THRESHOLD.store(level as u8, Ordering::Relaxed);
+            level
+        }
+        v => Level::from_u8(v),
+    }
+}
+
+/// Initializes the threshold from `CEPS_LOG`, falling back to `default`
+/// when the variable is unset or unparsable. Binaries that want chatty
+/// progress by default (e.g. `experiments`) call this with
+/// [`Level::Info`]; everything else inherits the `warn` default lazily.
+pub fn init_log_default(default: Level) {
+    THRESHOLD.store(env_level(default) as u8, Ordering::Relaxed);
+}
+
+/// Overrides the threshold directly, ignoring `CEPS_LOG`. Meant for tests.
+pub fn set_log_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// Returns whether a message at `level` would currently be printed.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= threshold() as u8
+}
+
+/// Prints one message to stderr if `level` passes the threshold. Prefer
+/// the [`error!`](crate::error!)-family macros over calling this directly.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if log_enabled(level) {
+        eprintln!("[ceps {:<5}] {}", level.as_str(), args);
+    }
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax. Always printed.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Error, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Warn, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Info, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Debug, ::core::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_gate() {
+        set_log_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_log_level(Level::Debug);
+        assert!(log_enabled(Level::Debug));
+        set_log_level(Level::Error);
+        assert!(log_enabled(Level::Error));
+        assert!(!log_enabled(Level::Warn));
+        // Restore the lazy default for other tests in this binary.
+        set_log_level(Level::Warn);
+    }
+
+    #[test]
+    fn parse_accepts_known_names_only() {
+        assert_eq!(parse("info"), Some(Level::Info));
+        assert_eq!(parse(" DEBUG "), Some(Level::Debug));
+        assert_eq!(parse("warning"), Some(Level::Warn));
+        assert_eq!(parse("quiet"), None);
+        assert_eq!(parse(""), None);
+    }
+
+    #[test]
+    fn macros_compile_at_every_level() {
+        set_log_level(Level::Error);
+        crate::error!("e {}", 1);
+        crate::warn!("w {}", 2);
+        crate::info!("i {}", 3);
+        crate::debug!("d {}", 4);
+        set_log_level(Level::Warn);
+    }
+}

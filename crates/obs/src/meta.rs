@@ -1,0 +1,121 @@
+//! Run metadata attached to every emitted `OBS_*.json` / `BENCH_*.json`
+//! artifact so trajectories stay attributable across PRs: git SHA, thread
+//! count, preset name and an ISO-8601 timestamp — collected without any
+//! external dependency.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identifying metadata for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Short commit SHA of the working tree (or `"unknown"`).
+    pub git_sha: String,
+    /// Worker threads available to the run.
+    pub threads: usize,
+    /// Workload preset name (`tiny`/`small`/`medium`/...), or a free-form
+    /// tag when no preset applies.
+    pub preset: String,
+    /// UTC timestamp in ISO-8601 (`YYYY-MM-DDTHH:MM:SSZ`).
+    pub timestamp: String,
+    /// What produced the snapshot (`"query"`, `"serve"`, `"experiments"`).
+    pub label: String,
+}
+
+impl RunMeta {
+    /// Collects metadata for the current process: git SHA via
+    /// `git rev-parse` (falling back to `GITHUB_SHA`, then `"unknown"`),
+    /// available parallelism, and the wall clock.
+    pub fn collect(preset: &str, label: &str) -> RunMeta {
+        RunMeta {
+            git_sha: git_sha(),
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            preset: preset.to_string(),
+            timestamp: now_iso8601(),
+            label: label.to_string(),
+        }
+    }
+}
+
+/// Best-effort short commit SHA: `git rev-parse --short=12 HEAD`, then the
+/// `GITHUB_SHA` environment variable (truncated), then `"unknown"`.
+pub fn git_sha() -> String {
+    let from_git = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    if let Some(sha) = from_git {
+        return sha;
+    }
+    match std::env::var("GITHUB_SHA") {
+        Ok(sha) if !sha.trim().is_empty() => sha.trim().chars().take(12).collect(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Current UTC wall clock as `YYYY-MM-DDTHH:MM:SSZ`, derived from
+/// [`SystemTime`] with the standard civil-from-days calendar conversion.
+pub fn now_iso8601() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (year, month, day) = civil_from_days((secs / 86_400) as i64);
+    let rem = secs % 86_400;
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+/// Proleptic-Gregorian date for a day count since 1970-01-01 (Howard
+/// Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = yoe as i64 + era * 400 + i64::from(month <= 2);
+    (year, month, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn timestamp_shape_is_iso8601() {
+        let ts = now_iso8601();
+        assert_eq!(ts.len(), 20, "unexpected shape: {ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+        assert!(ts.ends_with('Z'));
+    }
+
+    #[test]
+    fn collect_populates_every_field() {
+        let meta = RunMeta::collect("tiny", "test");
+        assert!(!meta.git_sha.is_empty());
+        assert!(meta.threads >= 1);
+        assert_eq!(meta.preset, "tiny");
+        assert_eq!(meta.label, "test");
+        assert!(meta.timestamp.ends_with('Z'));
+    }
+}

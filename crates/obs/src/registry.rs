@@ -1,0 +1,442 @@
+//! Span stack, lock-sharded aggregation registry, counters and histograms.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::snapshot::{HistogramStat, MetricsSnapshot, SpanStat};
+
+/// Global on/off gate. The only cost instrumented code pays when
+/// observability is off is one relaxed load of this flag plus a branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Returns `true` once a recorder is installed. Use this to gate telemetry
+/// whose *computation* is non-trivial (e.g. popcounts over DP occupancy
+/// masks) so the disabled path stays a single branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts collecting spans, counters and histograms into the global
+/// registry. Previously accumulated data is kept; call [`reset`] to clear.
+pub fn install_recorder() {
+    registry();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stops collecting. Already-open spans still close cleanly (the
+/// thread-local stack stays balanced) and their timings are recorded.
+pub fn uninstall_recorder() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all aggregated spans, counters and histograms.
+pub fn reset() {
+    registry().clear();
+}
+
+/// Drains a consistent copy of everything aggregated so far.
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+const SHARDS: usize = 8;
+const HIST_BUCKETS: usize = 64;
+
+/// FNV-1a over the key bytes, used only to pick a shard.
+fn shard_of(key: &[u8]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+#[derive(Debug, Clone)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for SpanAgg {
+    fn default() -> Self {
+        SpanAgg {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// Bucket `i` covers `[2^(i-32), 2^(i-31))`; non-positive and subnormal
+/// values fall into bucket 0, huge values clamp into the last bucket.
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let e = v.log2().floor() as i64;
+    (e + 32).clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+/// Exclusive upper bound of bucket `i`.
+pub(crate) fn bucket_upper(i: usize) -> f64 {
+    2f64.powi(i as i32 - 31)
+}
+
+#[derive(Default)]
+struct Shard {
+    spans: HashMap<String, SpanAgg>,
+    counters: HashMap<&'static str, u64>,
+    histograms: HashMap<&'static str, Histogram>,
+}
+
+struct Registry {
+    shards: [Mutex<Shard>; SHARDS],
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+    })
+}
+
+impl Registry {
+    fn shard(&self, key: &[u8]) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[shard_of(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn record_span(&self, path: String, total_ns: u64, self_ns: u64) {
+        let mut shard = self.shard(path.as_bytes());
+        let agg = shard.spans.entry(path).or_default();
+        agg.count += 1;
+        agg.total_ns += total_ns;
+        agg.self_ns += self_ns;
+        agg.min_ns = agg.min_ns.min(total_ns);
+        agg.max_ns = agg.max_ns.max(total_ns);
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        let mut shard = self.shard(name.as_bytes());
+        *shard.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn record_value(&self, name: &'static str, value: f64) {
+        let mut shard = self.shard(name.as_bytes());
+        let hist = shard.histograms.entry(name).or_default();
+        hist.count += 1;
+        if value.is_finite() {
+            hist.sum += value;
+            hist.min = hist.min.min(value);
+            hist.max = hist.max.max(value);
+        }
+        hist.buckets[bucket_index(value)] += 1;
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            shard.spans.clear();
+            shard.counters.clear();
+            shard.histograms.clear();
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut spans = Vec::new();
+        let mut counters = Vec::new();
+        let mut histograms = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (path, agg) in &shard.spans {
+                spans.push(SpanStat {
+                    path: path.clone(),
+                    count: agg.count,
+                    total_ns: agg.total_ns,
+                    self_ns: agg.self_ns,
+                    min_ns: if agg.count == 0 { 0 } else { agg.min_ns },
+                    max_ns: agg.max_ns,
+                });
+            }
+            for (&name, &value) in &shard.counters {
+                counters.push((name.to_string(), value));
+            }
+            for (&name, hist) in &shard.histograms {
+                let buckets = hist
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| (bucket_upper(i), c))
+                    .collect();
+                histograms.push(HistogramStat {
+                    name: name.to_string(),
+                    count: hist.count,
+                    sum: hist.sum,
+                    min: if hist.min.is_finite() { hist.min } else { 0.0 },
+                    max: if hist.max.is_finite() { hist.max } else { 0.0 },
+                    buckets,
+                });
+            }
+        }
+        spans.sort_by(|a, b| a.path.cmp(&b.path));
+        counters.sort();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+}
+
+struct Frame {
+    path: String,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for a timed region. Created by [`span`]; records on drop.
+#[must_use = "a span measures the region it is alive for — bind it to a guard variable"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name`, nested under the innermost span already open
+/// on this thread (paths join with `/`). No-op unless a recorder is
+/// installed.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { start: None };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> Span {
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{}", parent.path, name),
+            None => name.to_string(),
+        };
+        stack.push(Frame { path, child_ns: 0 });
+    });
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let frame = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack.pop();
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += total_ns;
+            }
+            frame
+        });
+        if let Some(frame) = frame {
+            registry().record_span(
+                frame.path,
+                total_ns,
+                total_ns.saturating_sub(frame.child_ns),
+            );
+        }
+    }
+}
+
+/// Adds `delta` to the monotonic counter `name`. No-op when disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().add_counter(name, delta);
+}
+
+/// Records one observation of `value` into the histogram `name`. No-op when
+/// disabled. Non-finite values count toward `count` but are excluded from
+/// `sum`/`min`/`max` and land in the underflow bucket.
+#[inline]
+pub fn record(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().record_value(name, value);
+}
+
+/// Runs `f` under a span named `name` and returns its result together with
+/// the measured wall time. The duration is measured even when the recorder
+/// is off, so callers can use it for always-on reporting (e.g. stage
+/// latency breakdowns) without double-timing.
+#[inline]
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = {
+        let _guard = span(name);
+        f()
+    };
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and enabled flag are process-global; tests that touch
+    /// them serialize on this lock.
+    pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_primitives_record_nothing() {
+        let _guard = test_lock();
+        uninstall_recorder();
+        reset();
+        {
+            let _s = span("never");
+            counter("never.count", 3);
+            record("never.hist", 1.0);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_split_self_time() {
+        let _guard = test_lock();
+        install_recorder();
+        reset();
+        {
+            let _outer = span("outer");
+            std::hint::black_box(busy(200));
+            {
+                let _inner = span("inner");
+                std::hint::black_box(busy(200));
+            }
+        }
+        uninstall_recorder();
+        let snap = snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns, "parent covers child");
+        assert!(
+            outer.self_ns <= outer.total_ns,
+            "self time excludes child time"
+        );
+        assert!(outer.min_ns <= outer.max_ns);
+    }
+
+    #[test]
+    fn counters_accumulate_and_histograms_bucket() {
+        let _guard = test_lock();
+        install_recorder();
+        reset();
+        counter("c.a", 2);
+        counter("c.a", 3);
+        counter("c.b", 1);
+        record("h", 0.5);
+        record("h", 4.0);
+        record("h", 4.5);
+        record("h", f64::NAN);
+        uninstall_recorder();
+        let snap = snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("c.a".to_string(), 5), ("c.b".to_string(), 1)]
+        );
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 9.0).abs() < 1e-12);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 4.5);
+        // 0.5 and NaN share the low buckets; 4.0 and 4.5 share one bucket.
+        let total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert!(h.buckets.iter().any(|&(ub, c)| c == 2 && ub == 8.0));
+    }
+
+    #[test]
+    fn timed_returns_duration_even_when_disabled() {
+        let _guard = test_lock();
+        uninstall_recorder();
+        let (out, dur) = timed("t", || busy(100));
+        assert!(out > 0);
+        assert!(dur.as_nanos() > 0 || dur.is_zero()); // just types/flow; no panic
+        assert!(snapshot().spans.iter().all(|s| s.path != "t"));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_clamped() {
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        let mut prev = 0;
+        for e in -40..40 {
+            let idx = bucket_index(2f64.powi(e) * 1.5);
+            assert!(idx >= prev, "bucket index must be monotone in the value");
+            assert!(idx < HIST_BUCKETS);
+            prev = idx;
+        }
+        // A value sits strictly below its bucket's upper bound.
+        let v = 100.0;
+        assert!(v < bucket_upper(bucket_index(v)));
+    }
+
+    fn busy(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc | 1
+    }
+}

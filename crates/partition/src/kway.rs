@@ -145,8 +145,16 @@ pub fn partition_graph(graph: &CsrGraph, config: &PartitionConfig) -> Result<Par
         });
     }
 
+    let _span = ceps_obs::span("partition.kway");
     let target = (config.coarsest_factor * config.k).max(32);
     let hierarchy = coarsen(graph, target, config.seed);
+    ceps_obs::debug!(
+        "partition: coarsened {} nodes to {} across {} levels (k = {})",
+        n,
+        hierarchy.coarsest().graph.node_count(),
+        hierarchy.levels.len(),
+        config.k
+    );
 
     // Initial partition on the coarsest graph.
     let coarsest = hierarchy.coarsest();
@@ -183,10 +191,21 @@ pub fn partition_graph(graph: &CsrGraph, config: &PartitionConfig) -> Result<Par
         );
     }
 
-    Ok(Partitioning {
+    let result = Partitioning {
         assignment,
         k: config.k,
-    })
+    };
+    // Gated by hand: edge_cut is O(E), too costly to compute for a
+    // discarded message.
+    if ceps_obs::log_enabled(ceps_obs::Level::Debug) {
+        ceps_obs::debug!(
+            "partition: {} parts, edge cut {:.1}, balance {:.3}",
+            config.k,
+            result.edge_cut(graph),
+            result.balance()
+        );
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -169,10 +169,12 @@ impl RwrRowCache {
         match hit {
             Some(row) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                ceps_obs::counter("rwr.cache.hits", 1);
                 Some(row)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                ceps_obs::counter("rwr.cache.misses", 1);
                 None
             }
         }
@@ -187,6 +189,7 @@ impl RwrRowCache {
         let incoming = row_bytes(row.len());
         if incoming > self.shard_budget {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            ceps_obs::counter("rwr.cache.rejected", 1);
             return;
         }
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -207,8 +210,10 @@ impl RwrRowCache {
             shard.rows.insert(node.0, CachedRow { row, tick });
         }
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        ceps_obs::counter("rwr.cache.insertions", 1);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            ceps_obs::counter("rwr.cache.evictions", evicted);
         }
     }
 
@@ -284,6 +289,7 @@ pub fn scores_with_cache(
     if queries.is_empty() {
         return Err(RwrError::NoQueries);
     }
+    let _span = ceps_obs::span("rwr.scores_with_cache");
     let n = backend.node_count();
 
     // Probe every query once; collect the distinct misses in first-seen order.

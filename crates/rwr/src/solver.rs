@@ -103,6 +103,7 @@ impl<'t> RwrEngine<'t> {
     /// Stationary distribution `r(i, ·)` for a single query node.
     pub fn solve_single(&self, q: NodeId) -> Result<(Vec<f64>, SolveStats)> {
         self.check_node(q)?;
+        let _span = ceps_obs::span("rwr.solve_single");
         let n = self.transition.node_count();
         let c = self.config.c;
         let restart = 1.0 - c;
@@ -131,6 +132,12 @@ impl<'t> RwrEngine<'t> {
                     break;
                 }
             }
+        }
+        if ceps_obs::enabled() {
+            ceps_obs::counter("rwr.solves", 1);
+            ceps_obs::counter("rwr.columns", 1);
+            ceps_obs::record("rwr.iterations", stats.iterations as f64);
+            ceps_obs::record("rwr.exit_residual", stats.final_delta);
         }
         Ok((x, stats))
     }
@@ -162,6 +169,7 @@ impl<'t> RwrEngine<'t> {
         for &q in queries {
             self.check_node(q)?;
         }
+        let _span = ceps_obs::span("rwr.solve_block");
         let n = self.transition.node_count();
         let q_count = queries.len();
         let c = self.config.c;
@@ -226,6 +234,17 @@ impl<'t> RwrEngine<'t> {
                         active -= 1;
                     }
                 }
+            }
+        }
+
+        if ceps_obs::enabled() {
+            ceps_obs::counter("rwr.solves", 1);
+            ceps_obs::counter("rwr.columns", q_count as u64);
+            let early = frozen.iter().filter(|&&f| f).count();
+            ceps_obs::counter("rwr.frozen_columns", early as u64);
+            for s in &stats {
+                ceps_obs::record("rwr.iterations", s.iterations as f64);
+                ceps_obs::record("rwr.exit_residual", s.final_delta);
             }
         }
 

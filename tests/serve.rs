@@ -82,7 +82,10 @@ fn concurrent_serving_matches_serial_engine() {
         .collect();
     let outcome = service.serve_stream(&stream, 4).unwrap();
     assert_eq!(outcome.completed, stream.len());
-    assert!(outcome.hit_rate() > 0.0, "hub-drawn stream must repeat rows");
+    assert!(
+        outcome.hit_rate() > 0.0,
+        "hub-drawn stream must repeat rows"
+    );
 
     for queries in &stream {
         assert_eq!(
