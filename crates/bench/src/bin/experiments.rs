@@ -1,9 +1,10 @@
 //! Experiment driver: regenerates every figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [fig4] [fig5] [fig6] [cases] [all]
+//! experiments [fig4] [fig5] [fig6] [cases] [all] [check]
 //!             [--scale tiny|small|medium|large|paper]
 //!             [--trials N] [--seed S] [--out DIR] [--quick]
+//!             [--baseline DIR] [--current DIR] [--tolerance F]
 //! ```
 //!
 //! Prints each figure as an aligned table and writes CSV + JSON into the
@@ -13,6 +14,12 @@
 //! directory. Progress lines go to stderr via the `ceps-obs` logger
 //! (`CEPS_LOG=warn` silences them); stdout carries only tables and result
 //! paths.
+//!
+//! `check` runs the perf-regression gate instead of any benchmark: it
+//! compares `BENCH_rwr.json` / `BENCH_serve.json` under `--current`
+//! (default: the `--out` directory) against the committed baselines under
+//! `--baseline` (default `results/`), prints a pass/fail table, and exits
+//! non-zero on regression. `--tolerance F` scales every band by `F`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +42,9 @@ struct Options {
     threads: usize,
     repeat: Option<f64>,
     profile: bool,
+    baseline: PathBuf,
+    current: Option<PathBuf>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -48,12 +58,15 @@ fn parse_args() -> Result<Options, String> {
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         repeat: None,
         profile: false,
+        baseline: PathBuf::from("results"),
+        current: None,
+        tolerance: 1.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "fig4" | "fig5" | "fig6" | "cases" | "inject" | "ablation" | "baselines"
-            | "scaling" | "rwr" | "serve" | "all" => opts.figures.push(arg),
+            | "scaling" | "rwr" | "serve" | "check" | "all" => opts.figures.push(arg),
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
@@ -82,6 +95,20 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--baseline" => {
+                opts.baseline = PathBuf::from(args.next().ok_or("--baseline needs a value")?);
+            }
+            "--current" => {
+                opts.current = Some(PathBuf::from(args.next().ok_or("--current needs a value")?));
+            }
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                let t: f64 = v.parse().map_err(|_| format!("bad tolerance {v:?}"))?;
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(format!("tolerance {t} must be a positive multiplier"));
+                }
+                opts.tolerance = t;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -113,9 +140,10 @@ fn main() -> ExitCode {
         Err(e) => {
             ceps_obs::error!("error: {e}");
             eprintln!(
-                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|all]... \
+                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|check|all]... \
                  [--scale tiny|small|medium|large|paper] [--trials N] [--seed S] \
-                 [--out DIR] [--quick] [--threads N] [--repeat R] [--profile]"
+                 [--out DIR] [--quick] [--threads N] [--repeat R] [--profile] \
+                 [--baseline DIR] [--current DIR] [--tolerance F]"
             );
             return ExitCode::FAILURE;
         }
@@ -123,6 +151,25 @@ fn main() -> ExitCode {
     if opts.profile {
         ceps_obs::install_recorder();
         ceps_obs::reset();
+    }
+
+    // The regression gate never builds a workload: it only diffs already
+    // emitted artifacts, so handle it before anything expensive. Like
+    // `scaling`, it is opt-in and not part of `all`.
+    if opts.figures.iter().any(|x| x == "check") {
+        let current = opts.current.clone().unwrap_or_else(|| opts.out.clone());
+        let report = ceps_bench::regression::check(
+            &opts.baseline,
+            &current,
+            &ceps_bench::regression::default_gates(),
+            opts.tolerance,
+        );
+        print!("{}", report.render());
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let wants =

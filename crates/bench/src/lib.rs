@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod regression;
 pub mod report;
 pub mod workload;
 

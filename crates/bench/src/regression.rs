@@ -1,0 +1,440 @@
+//! Performance-regression gate over committed benchmark baselines.
+//!
+//! CI (and developers, via `experiments -- check`) compare the headline
+//! numbers of a fresh `BENCH_rwr.json` / `BENCH_serve.json` run against
+//! the baselines committed under `results/`. The gate is **one-sided**:
+//! only a drop below `baseline - tolerance` fails; improvements always
+//! pass (and are the signal to reseed the baseline).
+//!
+//! Benchmarks on shared CI runners are noisy, so the default bands are
+//! deliberately wide (40% relative on speedups) and the thread-count
+//! sensitive `par_speedup` column is excluded entirely. The `--tolerance`
+//! flag scales every band uniformly for machines noisier (or quieter)
+//! than the default assumption.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde_json::Value;
+
+/// How far below the baseline a metric may drift before failing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Relative band: pass while `current >= baseline * (1 - f)`.
+    Rel(f64),
+    /// Absolute band: pass while `current >= baseline - d`.
+    Abs(f64),
+}
+
+impl Tolerance {
+    /// The lowest passing value for `baseline`, with every band scaled
+    /// by `scale` (the `--tolerance` multiplier).
+    fn floor(self, baseline: f64, scale: f64) -> f64 {
+        match self {
+            Tolerance::Rel(f) => baseline * (1.0 - f * scale),
+            Tolerance::Abs(d) => baseline - d * scale,
+        }
+    }
+}
+
+/// One gated metric: a column of a benchmark table plus its band.
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// Column name in the benchmark table (e.g. `"block_speedup"`).
+    pub column: String,
+    /// Allowed drop below baseline.
+    pub tolerance: Tolerance,
+}
+
+/// One gated artifact: a JSON file and the metrics checked inside it.
+#[derive(Debug, Clone)]
+pub struct GateSpec {
+    /// Artifact file name, identical under both directories
+    /// (e.g. `"BENCH_rwr.json"`).
+    pub artifact: String,
+    /// Metrics to compare, looked up by column name.
+    pub metrics: Vec<MetricSpec>,
+}
+
+/// The default gate set: RWR kernel and serving-throughput headlines.
+///
+/// `par_speedup` is intentionally absent — it depends on the runner's
+/// core count, which the baseline cannot pin.
+pub fn default_gates() -> Vec<GateSpec> {
+    vec![
+        GateSpec {
+            artifact: "BENCH_rwr.json".into(),
+            metrics: vec![MetricSpec {
+                column: "block_speedup".into(),
+                tolerance: Tolerance::Rel(0.40),
+            }],
+        },
+        GateSpec {
+            artifact: "BENCH_serve.json".into(),
+            metrics: vec![
+                MetricSpec {
+                    column: "speedup".into(),
+                    tolerance: Tolerance::Rel(0.40),
+                },
+                MetricSpec {
+                    column: "hit_rate".into(),
+                    tolerance: Tolerance::Abs(0.10),
+                },
+            ],
+        },
+    ]
+}
+
+/// One comparison line of the gate report.
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    /// Artifact file name.
+    pub artifact: String,
+    /// Metric column name.
+    pub metric: String,
+    /// First-column value of the row (the sweep's x-axis).
+    pub x: f64,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value, if the current artifact has a matching row.
+    pub current: Option<f64>,
+    /// Lowest passing value under the (scaled) tolerance band.
+    pub floor: f64,
+    /// Whether this line passes.
+    pub pass: bool,
+}
+
+/// Outcome of a full gate run: per-metric rows plus structural failures
+/// (missing artifacts, tables, or columns).
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// One line per compared (artifact, metric, row).
+    pub rows: Vec<CheckRow>,
+    /// Failures that prevented a comparison (missing file/column/row).
+    pub errors: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every row passed and nothing was missing.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && !self.rows.is_empty() && self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Renders the pass/fail table plus any structural errors.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## Regression gate");
+        let header = format!(
+            "  {:<16}  {:<13}  {:>6}  {:>10}  {:>10}  {:>10}  {}",
+            "artifact", "metric", "x", "baseline", "current", "floor", "status"
+        );
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "  {}", "-".repeat(header.len() - 2));
+        for r in &self.rows {
+            let current = r
+                .current
+                .map_or_else(|| "missing".into(), |v| format!("{v:.4}"));
+            let _ = writeln!(
+                out,
+                "  {:<16}  {:<13}  {:>6}  {:>10.4}  {:>10}  {:>10.4}  {}",
+                r.artifact,
+                r.metric,
+                r.x,
+                r.baseline,
+                current,
+                r.floor,
+                if r.pass { "ok" } else { "FAIL" }
+            );
+        }
+        for e in &self.errors {
+            let _ = writeln!(out, "  FAIL: {e}");
+        }
+        let _ = writeln!(
+            out,
+            "  => {}",
+            if self.passed() {
+                "pass"
+            } else {
+                "REGRESSION DETECTED"
+            }
+        );
+        out
+    }
+}
+
+/// A benchmark table pulled out of a `{meta, tables}` JSON artifact.
+struct LoadedTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+fn load_tables(path: &Path) -> Result<Vec<LoadedTable>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    let tables = doc
+        .get("tables")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: no \"tables\" array", path.display()))?;
+    let mut out = Vec::new();
+    for t in tables {
+        let columns: Vec<String> = t
+            .get("columns")
+            .and_then(Value::as_array)
+            .map(|cs| {
+                cs.iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let rows: Vec<Vec<f64>> = t
+            .get("rows")
+            .and_then(Value::as_array)
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(Value::as_array)
+                    .map(|r| r.iter().filter_map(Value::as_f64).collect())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(LoadedTable { columns, rows });
+    }
+    Ok(out)
+}
+
+/// Finds the first table containing `column`, returning the column index.
+fn find_column<'t>(tables: &'t [LoadedTable], column: &str) -> Option<(&'t LoadedTable, usize)> {
+    tables.iter().find_map(|t| {
+        t.columns
+            .iter()
+            .position(|c| c == column)
+            .map(|idx| (t, idx))
+    })
+}
+
+/// X values are sweep knobs (budgets, repeat rates) serialized through
+/// f64; exact equality is too brittle across serialize round-trips.
+fn same_x(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Compares the artifacts under `current_dir` against `baseline_dir`.
+///
+/// Every baseline row must have a matching current row (matched on the
+/// first column) whose gated metrics sit above the tolerance floor.
+/// Missing artifacts, columns, or rows count as failures — a gate that
+/// silently skips an absent benchmark would pass on a broken build.
+pub fn check(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    gates: &[GateSpec],
+    tolerance_scale: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for gate in gates {
+        let baseline = match load_tables(&baseline_dir.join(&gate.artifact)) {
+            Ok(t) => t,
+            Err(e) => {
+                report.errors.push(format!("baseline {e}"));
+                continue;
+            }
+        };
+        let current = match load_tables(&current_dir.join(&gate.artifact)) {
+            Ok(t) => t,
+            Err(e) => {
+                report.errors.push(format!("current {e}"));
+                continue;
+            }
+        };
+        for metric in &gate.metrics {
+            let Some((base_table, base_idx)) = find_column(&baseline, &metric.column) else {
+                report.errors.push(format!(
+                    "baseline {}: no column {:?}",
+                    gate.artifact, metric.column
+                ));
+                continue;
+            };
+            let Some((cur_table, cur_idx)) = find_column(&current, &metric.column) else {
+                report.errors.push(format!(
+                    "current {}: no column {:?}",
+                    gate.artifact, metric.column
+                ));
+                continue;
+            };
+            for base_row in &base_table.rows {
+                let (Some(&x), Some(&base_val)) = (base_row.first(), base_row.get(base_idx)) else {
+                    continue;
+                };
+                let current_val = cur_table
+                    .rows
+                    .iter()
+                    .find(|r| r.first().is_some_and(|&cx| same_x(cx, x)))
+                    .and_then(|r| r.get(cur_idx))
+                    .copied();
+                let floor = metric.tolerance.floor(base_val, tolerance_scale);
+                let pass = current_val.is_some_and(|v| v >= floor);
+                report.rows.push(CheckRow {
+                    artifact: gate.artifact.clone(),
+                    metric: metric.column.clone(),
+                    x,
+                    baseline: base_val,
+                    current: current_val,
+                    floor,
+                    pass,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write_artifact(dir: &Path, name: &str, speedup_by_q: &[(f64, f64)]) {
+        std::fs::create_dir_all(dir).unwrap();
+        let rows: Vec<Vec<f64>> = speedup_by_q
+            .iter()
+            .map(|&(q, s)| vec![q, 10.0 / s, 10.0, s])
+            .collect();
+        let table = serde_json::json!({
+            "title": "BENCH rwr: batched block kernel vs scalar loop",
+            "columns": vec!["Q", "block_ms", "unbatched_ms", "block_speedup"],
+            "rows": rows,
+        });
+        let doc = serde_json::json!({
+            "meta": serde_json::json!({"seed": 42u64}),
+            "tables": vec![table],
+        });
+        std::fs::write(dir.join(name), serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+    }
+
+    fn rwr_gate() -> Vec<GateSpec> {
+        vec![GateSpec {
+            artifact: "BENCH_rwr.json".into(),
+            metrics: vec![MetricSpec {
+                column: "block_speedup".into(),
+                tolerance: Tolerance::Rel(0.40),
+            }],
+        }]
+    }
+
+    fn tmp(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ceps_gate_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let base = tmp("id_base");
+        let cur = tmp("id_cur");
+        write_artifact(&base, "BENCH_rwr.json", &[(2.0, 1.2), (5.0, 2.5)]);
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 1.2), (5.0, 2.5)]);
+        let report = check(&base, &cur, &rwr_gate(), 1.0);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.rows.len(), 2);
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn improvement_and_in_band_drift_pass() {
+        let base = tmp("drift_base");
+        let cur = tmp("drift_cur");
+        write_artifact(&base, "BENCH_rwr.json", &[(2.0, 2.0)]);
+        // 2.0 with a 40% relative band: floor = 1.2; 1.3 drifts but passes,
+        // and improvements are always fine.
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 1.3)]);
+        assert!(check(&base, &cur, &rwr_gate(), 1.0).passed());
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 9.0)]);
+        assert!(check(&base, &cur, &rwr_gate(), 1.0).passed());
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn perturbation_beyond_tolerance_fails() {
+        let base = tmp("perturb_base");
+        let cur = tmp("perturb_cur");
+        write_artifact(&base, "BENCH_rwr.json", &[(2.0, 2.0), (5.0, 2.5)]);
+        // floor for baseline 2.0 at 40% rel is 1.2 — 1.1 regresses.
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 1.1), (5.0, 2.5)]);
+        let report = check(&base, &cur, &rwr_gate(), 1.0);
+        assert!(!report.passed());
+        let failing: Vec<&CheckRow> = report.rows.iter().filter(|r| !r.pass).collect();
+        assert_eq!(failing.len(), 1);
+        assert!(same_x(failing[0].x, 2.0));
+        assert!(report.render().contains("FAIL"));
+        assert!(report.render().contains("REGRESSION DETECTED"));
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn tolerance_scale_widens_the_band() {
+        let base = tmp("scale_base");
+        let cur = tmp("scale_cur");
+        write_artifact(&base, "BENCH_rwr.json", &[(2.0, 2.0)]);
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 1.1)]);
+        assert!(!check(&base, &cur, &rwr_gate(), 1.0).passed());
+        // Doubling the band (80% rel) lowers the floor to 0.4.
+        assert!(check(&base, &cur, &rwr_gate(), 2.0).passed());
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn missing_artifact_row_or_column_fail() {
+        let base = tmp("miss_base");
+        let cur = tmp("miss_cur");
+        write_artifact(&base, "BENCH_rwr.json", &[(2.0, 2.0), (5.0, 2.5)]);
+
+        // Missing current artifact.
+        std::fs::create_dir_all(&cur).unwrap();
+        let report = check(&base, &cur, &rwr_gate(), 1.0);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("current"));
+
+        // Missing row (current lost the Q=5 sweep point).
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 2.0)]);
+        let report = check(&base, &cur, &rwr_gate(), 1.0);
+        assert!(!report.passed());
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| same_x(r.x, 5.0) && r.current.is_none() && !r.pass));
+
+        // Missing column.
+        let mut gates = rwr_gate();
+        gates[0].metrics[0].column = "no_such_metric".into();
+        let report = check(&base, &cur, &gates, 1.0);
+        assert!(!report.passed());
+        assert!(report.errors.iter().any(|e| e.contains("no_such_metric")));
+
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn empty_report_does_not_pass() {
+        assert!(!GateReport::default().passed());
+    }
+
+    #[test]
+    fn default_gates_cover_headlines_and_skip_par_speedup() {
+        let gates = default_gates();
+        let all: Vec<&str> = gates
+            .iter()
+            .flat_map(|g| g.metrics.iter().map(|m| m.column.as_str()))
+            .collect();
+        assert!(all.contains(&"block_speedup"));
+        assert!(all.contains(&"speedup"));
+        assert!(all.contains(&"hit_rate"));
+        assert!(!all.contains(&"par_speedup"));
+    }
+}

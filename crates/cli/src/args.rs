@@ -96,6 +96,17 @@ pub enum Command {
         /// Where to write the `ceps-obs/v1` snapshot (default
         /// `results/OBS_profile.json`); only used with `--profile`.
         profile_out: Option<PathBuf>,
+        /// Where to write the live Prometheus exposition file; enables the
+        /// background metrics exporter (a `.jsonl` event stream is written
+        /// next to it).
+        metrics_out: Option<PathBuf>,
+        /// Exporter flush interval in milliseconds.
+        metrics_interval_ms: u64,
+        /// Where to write sampled `ceps-trace/v1` request traces; enables
+        /// per-request tracing.
+        trace_out: Option<PathBuf>,
+        /// Head-sampling rate for traces, in `[0, 1]`.
+        trace_sample: f64,
     },
     /// `ceps autok` — infer the softAND coefficient for a query set.
     AutoK {
@@ -139,6 +150,8 @@ USAGE:
                 [--repeat R] [--budget N] [--alpha A] [--cache-mb M]
                 [--seed N] [--threads N] [--json]
                 [--profile] [--profile-out FILE]
+                [--metrics-out FILE.prom] [--metrics-interval MS]
+                [--trace-out FILE.jsonl] [--trace-sample RATE]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
                 [--threads N]
@@ -264,6 +277,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if !(0.0..=1.0).contains(&repeat) {
                 return Err(CliError(format!("--repeat {repeat} must lie in [0, 1]")));
             }
+            let trace_sample: f64 = num(&flags, "trace-sample", 1.0f64)?;
+            if !(0.0..=1.0).contains(&trace_sample) {
+                return Err(CliError(format!(
+                    "--trace-sample {trace_sample} must lie in [0, 1]"
+                )));
+            }
+            let metrics_interval_ms: u64 = num(&flags, "metrics-interval", 500u64)?;
+            if metrics_interval_ms == 0 {
+                return Err(CliError("--metrics-interval must be at least 1 ms".into()));
+            }
             Ok(Command::Serve {
                 graph: PathBuf::from(required(&flags, "graph")?),
                 requests: num(&flags, "requests", 64usize)?,
@@ -278,6 +301,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 json: flags.contains_key("json"),
                 profile: flags.contains_key("profile"),
                 profile_out: flags.get("profile-out").map(PathBuf::from),
+                metrics_out: flags.get("metrics-out").map(PathBuf::from),
+                metrics_interval_ms,
+                trace_out: flags.get("trace-out").map(PathBuf::from),
+                trace_sample,
             })
         }
         "autok" => {
@@ -484,6 +511,67 @@ mod tests {
             .0
             .contains("--repeat"));
         assert!(parse(&v(&["serve"])).unwrap_err().0.contains("--graph"));
+    }
+
+    #[test]
+    fn serve_telemetry_flags_parse_with_defaults_and_bounds() {
+        let c = parse(&v(&["serve", "--graph", "g"])).unwrap();
+        match c {
+            Command::Serve {
+                metrics_out,
+                metrics_interval_ms,
+                trace_out,
+                trace_sample,
+                ..
+            } => {
+                assert!(metrics_out.is_none());
+                assert_eq!(metrics_interval_ms, 500);
+                assert!(trace_out.is_none());
+                assert_eq!(trace_sample, 1.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&[
+            "serve",
+            "--graph",
+            "g",
+            "--metrics-out",
+            "m.prom",
+            "--metrics-interval",
+            "250",
+            "--trace-out",
+            "t.jsonl",
+            "--trace-sample",
+            "0.1",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                metrics_out,
+                metrics_interval_ms,
+                trace_out,
+                trace_sample,
+                ..
+            } => {
+                assert_eq!(metrics_out, Some(PathBuf::from("m.prom")));
+                assert_eq!(metrics_interval_ms, 250);
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+                assert_eq!(trace_sample, 0.1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(&v(&["serve", "--graph", "g", "--trace-sample", "1.5"]))
+                .unwrap_err()
+                .0
+                .contains("--trace-sample")
+        );
+        assert!(
+            parse(&v(&["serve", "--graph", "g", "--metrics-interval", "0"]))
+                .unwrap_err()
+                .0
+                .contains("--metrics-interval")
+        );
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             json,
             profile,
             profile_out,
+            metrics_out,
+            metrics_interval_ms,
+            trace_out,
+            trace_sample,
         } => serve(
             &graph,
             ServeOptions {
@@ -96,6 +100,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 json,
                 profile,
                 profile_out,
+                metrics_out,
+                metrics_interval_ms,
+                trace_out,
+                trace_sample,
             },
         ),
         Command::Import {
@@ -440,6 +448,21 @@ struct ServeOptions {
     json: bool,
     profile: bool,
     profile_out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
+    metrics_interval_ms: u64,
+    trace_out: Option<std::path::PathBuf>,
+    trace_sample: f64,
+}
+
+/// The `ceps-metrics/v1` event stream lives next to the Prometheus file:
+/// same stem, `.jsonl` extension (`.events.jsonl` if the metrics path
+/// itself ends in `.jsonl`, so the two sinks never collide).
+fn metrics_events_path(prom: &Path) -> std::path::PathBuf {
+    if prom.extension().is_some_and(|e| e == "jsonl") {
+        prom.with_extension("events.jsonl")
+    } else {
+        prom.with_extension("jsonl")
+    }
 }
 
 /// splitmix64 — a tiny deterministic generator for the synthetic stream, so
@@ -516,11 +539,37 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
         opts.repeat,
         opts.seed,
     );
-    if opts.profile {
+    // Both --profile and --metrics-out need the registry live; no recorder
+    // (and no exporter thread) exists unless one of them asked for it.
+    if opts.profile || opts.metrics_out.is_some() {
         ceps_obs::install_recorder();
         ceps_obs::reset();
     }
-    let outcome = service.serve_stream(&stream, opts.workers)?;
+    let exporter = opts
+        .metrics_out
+        .as_ref()
+        .map(|prom| {
+            let cfg = ceps_obs::ExporterConfig::new(opts.metrics_interval_ms)
+                .prom(prom.clone())
+                .events(metrics_events_path(prom));
+            ceps_obs::MetricsExporter::start(cfg)
+                .map_err(|e| CliError(format!("cannot start metrics exporter: {e}")))
+        })
+        .transpose()?;
+    let tracer = opts
+        .trace_out
+        .as_ref()
+        .map(|path| {
+            ceps_core::RequestTracer::to_file(path, opts.trace_sample)
+                .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))
+        })
+        .transpose()?;
+
+    let served = service.serve_stream_traced(&stream, opts.workers, tracer.as_ref());
+    // Stop the exporter before reporting (even on error): the drop performs
+    // one final flush, so the .prom file matches the final registry state.
+    drop(exporter);
+    let outcome = served?;
     let mean_stages = outcome.mean_stage_ms();
 
     if opts.json {
@@ -579,6 +628,21 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
         "mean stage time per request: scores {:.3} ms, combine {:.3} ms, extract {:.3} ms\n",
         mean_stages.scores_ms, mean_stages.combine_ms, mean_stages.extract_ms,
     ));
+    if let Some(prom) = &opts.metrics_out {
+        out.push_str(&format!(
+            "metrics written to {} (events: {})\n",
+            prom.display(),
+            metrics_events_path(prom).display(),
+        ));
+    }
+    if let (Some(path), Some(tracer)) = (&opts.trace_out, &tracer) {
+        out.push_str(&format!(
+            "traces written to {} ({} lines, head rate {})\n",
+            path.display(),
+            tracer.written(),
+            tracer.sample_rate(),
+        ));
+    }
     if opts.profile {
         out.push('\n');
         out.push_str(&ceps_obs::snapshot().render_tree());
@@ -638,6 +702,13 @@ mod tests {
         let dir = std::env::temp_dir().join("ceps_cli_tests");
         fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Serializes tests that install/uninstall the global `ceps-obs`
+    /// recorder (they would otherwise reset each other's counters).
+    fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn generated() -> (PathBuf, PathBuf) {
@@ -732,6 +803,7 @@ mod tests {
 
     #[test]
     fn query_profile_prints_tree_and_writes_snapshot() {
+        let _guard = recorder_lock();
         let (g, l) = generated();
         let profile_path = tmp("obs_profile.json");
         let out = execute(Command::Query {
@@ -866,6 +938,10 @@ mod tests {
             json: false,
             profile: false,
             profile_out: None,
+            metrics_out: None,
+            metrics_interval_ms: 500,
+            trace_out: None,
+            trace_sample: 1.0,
         })
         .unwrap();
         assert!(out.contains("served 10 requests"));
@@ -885,12 +961,86 @@ mod tests {
             json: true,
             profile: false,
             profile_out: None,
+            metrics_out: None,
+            metrics_interval_ms: 500,
+            trace_out: None,
+            trace_sample: 1.0,
         })
         .unwrap();
         let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(doc["requests"], 6);
         assert_eq!(doc["hit_rate"], 0.0);
         assert!(doc["latency_ms"]["p50"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn serve_writes_metrics_and_traces() {
+        let _guard = recorder_lock();
+        let (g, _) = generated();
+        let prom = tmp("serve_metrics.prom");
+        let events = tmp("serve_metrics.jsonl");
+        let traces = tmp("serve_traces.jsonl");
+        let _ = fs::remove_file(&events);
+        let out = execute(Command::Serve {
+            graph: g,
+            requests: 8,
+            queries_per: 2,
+            workers: 2,
+            repeat: 0.8,
+            budget: 4,
+            alpha: 0.5,
+            cache_mb: 16,
+            seed: 1,
+            threads: 1,
+            json: false,
+            profile: false,
+            profile_out: None,
+            metrics_out: Some(prom.clone()),
+            metrics_interval_ms: 20,
+            trace_out: Some(traces.clone()),
+            trace_sample: 1.0,
+        })
+        .unwrap();
+        assert!(out.contains("metrics written to"));
+        assert!(out.contains("traces written to"));
+
+        // Final flush on exporter drop: the .prom reflects the full run.
+        let text = fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE ceps_serve_requests counter"));
+        assert!(text.contains("ceps_serve_requests 8"), "{text}");
+        assert!(text.contains("# TYPE ceps_serve_latency_ms histogram"));
+        assert!(text.contains("ceps_serve_latency_ms_count 8"));
+
+        let events_text = fs::read_to_string(&events).unwrap();
+        assert!(!events_text.is_empty());
+        for line in events_text.lines() {
+            assert!(line.starts_with("{\"schema\": \"ceps-metrics/v1\""));
+        }
+
+        let trace_text = fs::read_to_string(&traces).unwrap();
+        assert_eq!(trace_text.lines().count(), 8, "rate 1.0 → one per request");
+        for line in trace_text.lines() {
+            let doc: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(doc["schema"], "ceps-trace/v1");
+            assert_eq!(doc["outcome"], "ok");
+        }
+        ceps_obs::uninstall_recorder();
+    }
+
+    #[test]
+    fn metrics_events_path_never_collides() {
+        assert_eq!(
+            metrics_events_path(Path::new("m.prom")),
+            PathBuf::from("m.jsonl")
+        );
+        assert_eq!(
+            metrics_events_path(Path::new("dir/metrics")),
+            PathBuf::from("dir/metrics.jsonl")
+        );
+        assert_eq!(
+            metrics_events_path(Path::new("m.jsonl")),
+            PathBuf::from("m.events.jsonl")
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod fast;
 mod pipeline;
 mod query;
 pub mod serve;
+pub mod telemetry;
 
 pub use auto_k::{infer_soft_and_k, KInference};
 pub use config::{CepsConfig, CombineMethod, ScoreMethod};
@@ -71,7 +72,8 @@ pub use extract::{ExtractOutcome, KeyPath, SharingRule};
 pub use fast::{FastCeps, FastCepsResult};
 pub use pipeline::{CepsEngine, CepsResult, StageTimes};
 pub use query::QueryType;
-pub use serve::{CepsService, ServeOutcome};
+pub use serve::{CepsService, RequestMetrics, ServeOutcome};
+pub use telemetry::{RequestTrace, RequestTracer, SampleKind};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CepsError>;

@@ -32,9 +32,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ceps_graph::NodeId;
-use ceps_rwr::{scores_with_cache, CacheStats, RwrRowCache, ScoreMatrix};
+use ceps_rwr::{
+    scores_with_cache, scores_with_cache_counted, CacheStats, RwrRowCache, ScoreMatrix,
+};
 
 use crate::pipeline::{CepsEngine, CepsResult, StageTimes};
+use crate::telemetry::{RequestTrace, RequestTracer};
 use crate::Result;
 
 /// A cloneable, thread-safe CePS query server: an engine plus a shared
@@ -117,15 +120,41 @@ impl CepsService {
     /// # Errors
     /// As in [`CepsEngine::run`].
     pub fn run_timed(&self, queries: &[NodeId]) -> Result<(CepsResult, StageTimes)> {
+        self.run_instrumented(queries).map(|(r, m)| (r, m.stages))
+    }
+
+    /// Like [`run_timed`](CepsService::run_timed), additionally reporting
+    /// this request's own cache outcome — how many of its distinct query
+    /// rows were warm vs solved cold (always 0/0 when running uncached).
+    /// This is what per-request tracing records; the global
+    /// [`cache_stats`](CepsService::cache_stats) counters cannot attribute
+    /// warmth to a single request in a concurrent stream.
+    ///
+    /// # Errors
+    /// As in [`CepsEngine::run`].
+    pub fn run_instrumented(&self, queries: &[NodeId]) -> Result<(CepsResult, RequestMetrics)> {
         let _span = ceps_obs::span("serve.request");
         self.engine.validate_queries(queries)?;
         self.engine.config().validate(queries.len())?;
-        let (scores, t_scores) = ceps_obs::timed("stage.individual_scores", || {
-            self.individual_scores(queries)
+        let (step1, t_scores) = ceps_obs::timed("stage.individual_scores", || match &self.cache {
+            Some(cache) => {
+                let (m, l) =
+                    scores_with_cache_counted(self.engine.backend().as_ref(), cache, queries)?;
+                Ok((m, l.hits, l.misses))
+            }
+            None => self.engine.individual_scores(queries).map(|m| (m, 0, 0)),
         });
-        let (result, mut times) = self.engine.run_with_scores_timed(queries, scores?)?;
+        let (scores, cache_hits, cache_misses) = step1?;
+        let (result, mut times) = self.engine.run_with_scores_timed(queries, scores)?;
         times.scores_ms = t_scores.as_secs_f64() * 1e3;
-        Ok((result, times))
+        Ok((
+            result,
+            RequestMetrics {
+                stages: times,
+                cache_hits,
+                cache_misses,
+            },
+        ))
     }
 
     /// Serves every query set in `stream` across `workers` scoped threads
@@ -141,6 +170,29 @@ impl CepsService {
     /// The first query-set error a worker hits (remaining sets still
     /// drain; their results are discarded).
     pub fn serve_stream(&self, stream: &[Vec<NodeId>], workers: usize) -> Result<ServeOutcome> {
+        self.serve_stream_traced(stream, workers, None)
+    }
+
+    /// [`serve_stream`](CepsService::serve_stream) with an optional
+    /// per-request [`RequestTracer`]: each request gets a deterministic id
+    /// (its stream index) and, when sampled, one `ceps-trace/v1` JSONL
+    /// line recording worker, latency, stage times, this request's cache
+    /// hits/misses, budget, extracted path count and outcome. Errored
+    /// requests are traced too (zeroed stages, `outcome: "error"`).
+    ///
+    /// Every completed request also feeds the live registry — the
+    /// `serve.requests` counter and the `serve.latency_ms` histogram — so
+    /// an attached [`ceps_obs::MetricsExporter`] sees traffic as it
+    /// happens (no-ops unless a recorder is installed).
+    ///
+    /// # Errors
+    /// As in [`serve_stream`](CepsService::serve_stream).
+    pub fn serve_stream_traced(
+        &self,
+        stream: &[Vec<NodeId>],
+        workers: usize,
+        tracer: Option<&RequestTracer>,
+    ) -> Result<ServeOutcome> {
         let workers = workers.max(1).min(stream.len().max(1));
         let before = self.cache_stats().unwrap_or_default();
         let cursor = AtomicUsize::new(0);
@@ -148,8 +200,9 @@ impl CepsService {
 
         let per_worker = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|_| {
+                .map(|w| {
+                    let cursor = &cursor;
+                    s.spawn(move |_| {
                         let mut latencies = Vec::new();
                         let mut stages = StageTimes::default();
                         let mut first_err = None;
@@ -159,12 +212,44 @@ impl CepsService {
                                 break;
                             };
                             let t0 = Instant::now();
-                            match self.run_timed(queries) {
-                                Ok((_, t)) => {
-                                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
-                                    stages.accumulate(&t);
+                            match self.run_instrumented(queries) {
+                                Ok((result, metrics)) => {
+                                    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+                                    latencies.push(latency_ms);
+                                    stages.accumulate(&metrics.stages);
+                                    ceps_obs::counter("serve.requests", 1);
+                                    ceps_obs::record("serve.latency_ms", latency_ms);
+                                    if let Some(tracer) = tracer {
+                                        tracer.record(&RequestTrace {
+                                            request_id: i as u64,
+                                            worker: w,
+                                            queries: queries.len(),
+                                            latency_ms,
+                                            stages: metrics.stages,
+                                            cache_hits: metrics.cache_hits,
+                                            cache_misses: metrics.cache_misses,
+                                            budget: self.engine.config().budget,
+                                            paths: result.paths.len(),
+                                            error: None,
+                                        });
+                                    }
                                 }
                                 Err(e) => {
+                                    ceps_obs::counter("serve.errors", 1);
+                                    if let Some(tracer) = tracer {
+                                        tracer.record(&RequestTrace {
+                                            request_id: i as u64,
+                                            worker: w,
+                                            queries: queries.len(),
+                                            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                            stages: StageTimes::default(),
+                                            cache_hits: 0,
+                                            cache_misses: 0,
+                                            budget: self.engine.config().budget,
+                                            paths: 0,
+                                            error: Some(e.to_string()),
+                                        });
+                                    }
                                     if first_err.is_none() {
                                         first_err = Some(e);
                                     }
@@ -192,7 +277,6 @@ impl CepsService {
             latencies_ms.extend(lats);
             stages.accumulate(&worker_stages);
         }
-        latencies_ms.sort_by(f64::total_cmp);
 
         let after = self.cache_stats().unwrap_or_default();
         let cache = self.cache.as_ref().map(|_| CacheStats {
@@ -203,15 +287,26 @@ impl CepsService {
             rejected: after.rejected - before.rejected,
         });
 
-        Ok(ServeOutcome {
-            completed: latencies_ms.len(),
+        Ok(ServeOutcome::new(
             workers,
             wall_ms,
             latencies_ms,
             stages,
             cache,
-        })
+        ))
     }
+}
+
+/// One request's own measurements, as returned by
+/// [`CepsService::run_instrumented`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RequestMetrics {
+    /// Per-stage wall times for this request.
+    pub stages: StageTimes,
+    /// Distinct query rows this request found warm in the shared cache.
+    pub cache_hits: u64,
+    /// Distinct query rows this request solved cold.
+    pub cache_misses: u64,
 }
 
 /// What one [`CepsService::serve_stream`] run measured.
@@ -223,7 +318,13 @@ pub struct ServeOutcome {
     pub workers: usize,
     /// Wall-clock time for the whole stream, milliseconds.
     pub wall_ms: f64,
-    /// Per-query latencies in milliseconds, sorted ascending.
+    /// Per-query latencies in milliseconds, **sorted ascending**.
+    ///
+    /// Invariant: [`ServeOutcome::latency_percentile_ms`] indexes this
+    /// vector by nearest rank and is only correct when it is sorted.
+    /// [`ServeOutcome::new`] establishes the order (worker completion
+    /// order is nondeterministic under concurrency); construct outcomes
+    /// through it rather than with a struct literal.
     pub latencies_ms: Vec<f64>,
     /// Summed per-stage wall times across all completed requests — the
     /// stage-level latency breakdown (CPU-time sum, not wall-clock: with
@@ -234,6 +335,28 @@ pub struct ServeOutcome {
 }
 
 impl ServeOutcome {
+    /// Builds an outcome from raw per-request measurements, sorting
+    /// `latencies_ms` to establish the invariant
+    /// [`latency_percentile_ms`](ServeOutcome::latency_percentile_ms)
+    /// depends on. `completed` is derived from the latency count.
+    pub fn new(
+        workers: usize,
+        wall_ms: f64,
+        mut latencies_ms: Vec<f64>,
+        stages: StageTimes,
+        cache: Option<CacheStats>,
+    ) -> Self {
+        latencies_ms.sort_by(f64::total_cmp);
+        ServeOutcome {
+            completed: latencies_ms.len(),
+            workers,
+            wall_ms,
+            latencies_ms,
+            stages,
+            cache,
+        }
+    }
+
     /// Queries per second over the wall clock.
     pub fn throughput_qps(&self) -> f64 {
         if self.wall_ms <= 0.0 {
@@ -413,6 +536,103 @@ mod tests {
         assert_eq!(out.throughput_qps(), 0.0);
         assert_eq!(out.mean_stage_ms(), StageTimes::default());
         assert_eq!(out.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn outcome_constructor_sorts_unsorted_latencies() {
+        // Multi-worker completion order is nondeterministic; feed the
+        // constructor a deliberately unsorted vector and check percentiles
+        // come out as if it had been sorted.
+        let out = ServeOutcome::new(
+            2,
+            10.0,
+            vec![4.0, 1.0, 3.0, 2.0],
+            StageTimes::default(),
+            None,
+        );
+        assert_eq!(out.completed, 4);
+        assert_eq!(out.latencies_ms, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out.latency_percentile_ms(0.0), 1.0);
+        assert_eq!(out.latency_percentile_ms(50.0), 2.0);
+        assert_eq!(out.latency_percentile_ms(100.0), 4.0);
+    }
+
+    #[test]
+    fn traced_stream_emits_one_line_per_request_at_full_rate() {
+        use crate::telemetry::RequestTracer;
+
+        let service = CepsService::new(engine(), 1 << 20);
+        let stream: Vec<Vec<NodeId>> = (0..8)
+            .map(|i| vec![NodeId(i % 15), NodeId((i + 4) % 15)])
+            .collect();
+        let buf = crate::telemetry::tests::SharedBuf::default();
+        let tracer = RequestTracer::new(Box::new(buf.clone()), 1.0);
+        let out = service
+            .serve_stream_traced(&stream, 2, Some(&tracer))
+            .unwrap();
+        assert_eq!(out.completed, 8);
+        assert_eq!(tracer.written(), 8, "rate 1.0 keeps every request");
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 8);
+        // Every stream index appears exactly once, whatever the worker
+        // interleaving was.
+        for i in 0..8 {
+            assert_eq!(
+                lines
+                    .iter()
+                    .filter(|l| l.contains(&format!("\"request_id\": {i},")))
+                    .count(),
+                1,
+                "request {i} traced once"
+            );
+        }
+        for line in &lines {
+            assert!(line.starts_with("{\"schema\": \"ceps-trace/v1\""));
+            assert!(line.contains("\"outcome\": \"ok\""));
+            assert!(line.contains("\"queries\": 2"));
+            assert!(line.contains("\"budget\": 4"));
+        }
+    }
+
+    #[test]
+    fn traced_stream_records_errors_and_cache_warmth() {
+        use crate::telemetry::RequestTracer;
+
+        let service = CepsService::new(engine(), 1 << 20);
+        // Same queries twice: second request is fully warm. Then a bad one.
+        let stream = vec![
+            vec![NodeId(1), NodeId(6)],
+            vec![NodeId(1), NodeId(6)],
+            vec![NodeId(999)],
+        ];
+        let buf = crate::telemetry::tests::SharedBuf::default();
+        let tracer = RequestTracer::new(Box::new(buf.clone()), 1.0);
+        let err = service.serve_stream_traced(&stream, 1, Some(&tracer));
+        assert!(err.is_err(), "bad node surfaces as stream error");
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 3, "errored requests are traced too");
+        assert!(lines[0].contains("\"cache_hits\": 0, \"cache_misses\": 2"));
+        assert!(lines[1].contains("\"cache_hits\": 2, \"cache_misses\": 0"));
+        assert!(lines[2].contains("\"outcome\": \"error\""));
+        assert!(lines[2].contains("\"error\": "));
+    }
+
+    #[test]
+    fn run_instrumented_matches_run_timed_and_counts_cache() {
+        let service = CepsService::new(engine(), 1 << 20);
+        let queries = [NodeId(2), NodeId(9)];
+        let (cold, m_cold) = service.run_instrumented(&queries).unwrap();
+        assert_eq!((m_cold.cache_hits, m_cold.cache_misses), (0, 2));
+        let (warm, m_warm) = service.run_instrumented(&queries).unwrap();
+        assert_eq!((m_warm.cache_hits, m_warm.cache_misses), (2, 0));
+        assert_eq!(cold.scores, warm.scores);
+        let (timed, stages) = service.run_timed(&queries).unwrap();
+        assert_eq!(timed.scores, cold.scores);
+        assert!(stages.scores_ms >= 0.0);
+        // Uncached service reports 0/0, not a phantom miss count.
+        let uncached = CepsService::uncached(engine());
+        let (_, m) = uncached.run_instrumented(&queries).unwrap();
+        assert_eq!((m.cache_hits, m.cache_misses), (0, 0));
     }
 
     #[test]

@@ -36,11 +36,16 @@ mod logger;
 mod meta;
 mod registry;
 mod snapshot;
+mod window;
 
-pub use logger::{init_log_default, log, log_enabled, set_log_level, Level};
+pub use logger::{init_log_default, log, log_enabled, set_log_level, set_log_off, Level};
 pub use meta::{git_sha, now_iso8601, RunMeta};
 pub use registry::{
     counter, enabled, install_recorder, record, reset, snapshot, span, timed, uninstall_recorder,
     Span,
 };
 pub use snapshot::{HistogramStat, MetricsSnapshot, SpanStat};
+pub use window::{
+    metrics_event_json, to_prometheus, CounterRate, ExporterConfig, Histogram, HistogramWindow,
+    MetricsExporter, WindowDelta, WindowedMetrics,
+};

@@ -3,10 +3,12 @@
 //! Binaries log through [`error!`](crate::error!) / [`warn!`](crate::warn!)
 //! / [`info!`](crate::info!) / [`debug!`](crate::debug!) instead of raw
 //! `eprintln!` so stdout stays reserved for command output and verbosity is
-//! uniform across the workspace. Errors always print; the default threshold
-//! is `warn` unless a binary opts into a chattier default with
-//! [`init_log_default`]. `CEPS_LOG=warn|info|debug` (or `error`) overrides
-//! either default.
+//! uniform across the workspace. Errors print by default; the default
+//! threshold is `warn` unless a binary opts into a chattier default with
+//! [`init_log_default`]. `CEPS_LOG=error|warn|info|debug` (numeric `0..=3`
+//! in the same order) overrides either default, and `CEPS_LOG=off` (or
+//! `none`) silences everything *including errors* — useful when stderr
+//! carries machine-read output such as JSONL telemetry.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -33,45 +35,42 @@ impl Level {
             Level::Debug => "debug",
         }
     }
-
-    fn from_u8(v: u8) -> Level {
-        match v {
-            0 => Level::Error,
-            1 => Level::Warn,
-            2 => Level::Info,
-            _ => Level::Debug,
-        }
-    }
 }
 
 const UNSET: u8 = u8::MAX;
+/// Threshold sentinel above every [`Level`]: nothing prints, not even
+/// errors (`CEPS_LOG=off|none`).
+const OFF: u8 = 4;
 static THRESHOLD: AtomicU8 = AtomicU8::new(UNSET);
 
-fn parse(s: &str) -> Option<Level> {
+/// Parses a `CEPS_LOG` value into a threshold: a level name, its numeric
+/// rank `0..=3`, or the `off`/`none` sentinel.
+fn parse(s: &str) -> Option<u8> {
     match s.trim().to_ascii_lowercase().as_str() {
-        "error" => Some(Level::Error),
-        "warn" | "warning" => Some(Level::Warn),
-        "info" => Some(Level::Info),
-        "debug" | "trace" => Some(Level::Debug),
+        "off" | "none" => Some(OFF),
+        "error" | "0" => Some(Level::Error as u8),
+        "warn" | "warning" | "1" => Some(Level::Warn as u8),
+        "info" | "2" => Some(Level::Info as u8),
+        "debug" | "trace" | "3" => Some(Level::Debug as u8),
         _ => None,
     }
 }
 
-fn env_level(default: Level) -> Level {
+fn env_threshold(default: u8) -> u8 {
     std::env::var("CEPS_LOG")
         .ok()
         .and_then(|s| parse(&s))
         .unwrap_or(default)
 }
 
-fn threshold() -> Level {
+fn threshold() -> u8 {
     match THRESHOLD.load(Ordering::Relaxed) {
         UNSET => {
-            let level = env_level(Level::Warn);
-            THRESHOLD.store(level as u8, Ordering::Relaxed);
-            level
+            let t = env_threshold(Level::Warn as u8);
+            THRESHOLD.store(t, Ordering::Relaxed);
+            t
         }
-        v => Level::from_u8(v),
+        v => v,
     }
 }
 
@@ -80,7 +79,7 @@ fn threshold() -> Level {
 /// progress by default (e.g. `experiments`) call this with
 /// [`Level::Info`]; everything else inherits the `warn` default lazily.
 pub fn init_log_default(default: Level) {
-    THRESHOLD.store(env_level(default) as u8, Ordering::Relaxed);
+    THRESHOLD.store(env_threshold(default as u8), Ordering::Relaxed);
 }
 
 /// Overrides the threshold directly, ignoring `CEPS_LOG`. Meant for tests.
@@ -88,10 +87,17 @@ pub fn set_log_level(level: Level) {
     THRESHOLD.store(level as u8, Ordering::Relaxed);
 }
 
+/// Silences all logging, including errors — the programmatic equivalent of
+/// `CEPS_LOG=off`. Undo with [`set_log_level`] or [`init_log_default`].
+pub fn set_log_off() {
+    THRESHOLD.store(OFF, Ordering::Relaxed);
+}
+
 /// Returns whether a message at `level` would currently be printed.
 #[inline]
 pub fn log_enabled(level: Level) -> bool {
-    level as u8 <= threshold() as u8
+    let t = threshold();
+    t != OFF && level as u8 <= t
 }
 
 /// Prints one message to stderr if `level` passes the threshold. Prefer
@@ -137,9 +143,17 @@ macro_rules! debug {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that mutate the global `THRESHOLD`.
+    fn test_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn levels_order_and_gate() {
+        let _guard = test_lock();
         set_log_level(Level::Warn);
         assert!(log_enabled(Level::Error));
         assert!(log_enabled(Level::Warn));
@@ -156,15 +170,42 @@ mod tests {
 
     #[test]
     fn parse_accepts_known_names_only() {
-        assert_eq!(parse("info"), Some(Level::Info));
-        assert_eq!(parse(" DEBUG "), Some(Level::Debug));
-        assert_eq!(parse("warning"), Some(Level::Warn));
+        assert_eq!(parse("info"), Some(Level::Info as u8));
+        assert_eq!(parse(" DEBUG "), Some(Level::Debug as u8));
+        assert_eq!(parse("warning"), Some(Level::Warn as u8));
         assert_eq!(parse("quiet"), None);
         assert_eq!(parse(""), None);
     }
 
     #[test]
+    fn parse_accepts_off_none_and_numeric_levels() {
+        assert_eq!(parse("off"), Some(OFF));
+        assert_eq!(parse(" NONE "), Some(OFF));
+        assert_eq!(parse("0"), Some(Level::Error as u8));
+        assert_eq!(parse("1"), Some(Level::Warn as u8));
+        assert_eq!(parse("2"), Some(Level::Info as u8));
+        assert_eq!(parse("3"), Some(Level::Debug as u8));
+        assert_eq!(parse("4"), None, "out-of-range numerics rejected");
+        assert_eq!(parse("-1"), None);
+        assert_eq!(parse("00"), None);
+    }
+
+    #[test]
+    fn off_silences_even_errors() {
+        let _guard = test_lock();
+        set_log_off();
+        assert!(!log_enabled(Level::Error));
+        assert!(!log_enabled(Level::Debug));
+        // Safe to call while off: must not print (nothing to assert on
+        // stderr, but this exercises the gate in `log`).
+        crate::error!("suppressed");
+        set_log_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+    }
+
+    #[test]
     fn macros_compile_at_every_level() {
+        let _guard = test_lock();
         set_log_level(Level::Error);
         crate::error!("e {}", 1);
         crate::warn!("w {}", 2);

@@ -44,7 +44,7 @@ pub fn snapshot() -> MetricsSnapshot {
 }
 
 const SHARDS: usize = 8;
-const HIST_BUCKETS: usize = 64;
+pub(crate) const HIST_BUCKETS: usize = 64;
 
 /// FNV-1a over the key bytes, used only to pick a shard.
 fn shard_of(key: &[u8]) -> usize {
@@ -100,7 +100,7 @@ impl Default for Histogram {
 
 /// Bucket `i` covers `[2^(i-32), 2^(i-31))`; non-positive and subnormal
 /// values fall into bucket 0, huge values clamp into the last bucket.
-fn bucket_index(v: f64) -> usize {
+pub(crate) fn bucket_index(v: f64) -> usize {
     if !v.is_finite() || v <= 0.0 {
         return 0;
     }

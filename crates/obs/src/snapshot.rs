@@ -29,6 +29,44 @@
 //! non-empty log₂ buckets with their exclusive upper bound `le`. The file
 //! is written next to `BENCH_*.json` under `results/` so per-stage cost
 //! trajectories stay diffable across PRs.
+//!
+//! # JSONL schema (`ceps-metrics/v1`)
+//!
+//! One object per line, appended by
+//! [`MetricsExporter`](crate::MetricsExporter) on every flush:
+//!
+//! ```json
+//! {"schema": "ceps-metrics/v1", "seq": 3, "unix_ms": 1767225600000,
+//!  "interval_ms": 250, "window_s": 2.0,
+//!  "counters": {"serve.requests": 128},
+//!  "rates": {"serve.requests": 64.0},
+//!  "histograms": [
+//!    {"name": "serve.latency_ms", "total_count": 128, "count": 16,
+//!     "per_s": 8.0, "mean": 1.9, "p50": 1.7, "p90": 2.9, "p99": 3.6}
+//!  ],
+//!  "spans": [{"path": "serve.request", "count": 128, "total_ms": 240.0}]}
+//! ```
+//!
+//! `counters` and `total_count` are cumulative since recorder install;
+//! `rates`, `count`, `per_s` and the percentiles cover only the exporter's
+//! snapshot window (`window_s` seconds). Until two snapshots exist,
+//! `rates` is empty and histogram stats fall back to cumulative values.
+//!
+//! # JSONL schema (`ceps-trace/v1`)
+//!
+//! One object per sampled `serve_stream` request, appended by
+//! `ceps_core::RequestTracer` (`ceps serve --trace-out`):
+//!
+//! ```json
+//! {"schema": "ceps-trace/v1", "request_id": 42, "worker": 1,
+//!  "queries": 3, "latency_ms": 2.4, "scores_ms": 1.5, "combine_ms": 0.2,
+//!  "extract_ms": 0.6, "cache_hits": 2, "cache_misses": 1, "budget": 20,
+//!  "paths": 17, "sampled": "head", "outcome": "ok"}
+//! ```
+//!
+//! `sampled` is `"head"` (request id hashed under the `--trace-sample`
+//! rate) or `"tail"` (latency above the tracer's windowed p99 estimate —
+//! slow requests are always kept). `outcome` is `"ok"` or `"error"`.
 
 use std::fmt::Write as _;
 
@@ -88,6 +126,14 @@ impl HistogramStat {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimates the `p`-th percentile from the log₂ bucket counts, using
+    /// the same estimator as [`Histogram`](crate::Histogram): nearest-rank
+    /// bucket selection, linear interpolation inside the bucket, clamped
+    /// to the observed `[min, max]`. Returns 0 when empty.
+    pub fn percentile_from_buckets(&self, p: f64) -> f64 {
+        crate::window::estimate_percentile(&self.buckets, self.count, self.min, self.max, p)
     }
 }
 
@@ -267,7 +313,7 @@ impl MetricsSnapshot {
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -289,7 +335,7 @@ fn json_str(s: &str) -> String {
 
 /// Formats an `f64` so it is always a valid JSON number (non-finite values
 /// collapse to 0).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

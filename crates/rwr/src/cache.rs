@@ -286,6 +286,33 @@ pub fn scores_with_cache(
     cache: &RwrRowCache,
     queries: &[NodeId],
 ) -> Result<ScoreMatrix> {
+    scores_with_cache_counted(backend, cache, queries).map(|(m, _)| m)
+}
+
+/// Per-call cache outcome from [`scores_with_cache_counted`]: how many of
+/// one request's **distinct** query nodes were served from the cache and
+/// how many had to be solved. Duplicated query nodes count once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLookups {
+    /// Distinct query nodes served from the cache.
+    pub hits: u64,
+    /// Distinct query nodes batched through the backend solve.
+    pub misses: u64,
+}
+
+/// [`scores_with_cache`] plus this call's own [`CacheLookups`].
+///
+/// The cache's global [`CacheStats`] aggregate across all callers, which
+/// makes them useless for attributing warmth to a single request in a
+/// concurrent stream; per-request tracing wants the local tally.
+///
+/// # Errors
+/// Same contract as [`scores_with_cache`].
+pub fn scores_with_cache_counted(
+    backend: &dyn ScoreBackend,
+    cache: &RwrRowCache,
+    queries: &[NodeId],
+) -> Result<(ScoreMatrix, CacheLookups)> {
     if queries.is_empty() {
         return Err(RwrError::NoQueries);
     }
@@ -307,6 +334,11 @@ pub fn scores_with_cache(
         }
     }
 
+    let lookups = CacheLookups {
+        hits: resolved.len() as u64,
+        misses: missing.len() as u64,
+    };
+
     if !missing.is_empty() {
         let solved = backend.scores(&missing)?;
         for (i, &q) in missing.iter().enumerate() {
@@ -320,7 +352,7 @@ pub fn scores_with_cache(
         .iter()
         .map(|q| resolved[&q.0].as_ref().clone())
         .collect();
-    ScoreMatrix::new(queries.to_vec(), rows)
+    ScoreMatrix::new(queries.to_vec(), rows).map(|m| (m, lookups))
 }
 
 #[cfg(test)]
@@ -436,6 +468,22 @@ mod tests {
         }
         assert!(cache.stats().evictions > 0, "budget was supposed to thrash");
         assert!(cache.bytes() <= cache.byte_budget());
+    }
+
+    #[test]
+    fn counted_variant_reports_this_calls_lookups_only() {
+        let be = backend(12);
+        let cache = RwrRowCache::new(1 << 20);
+        let (_, first) = scores_with_cache_counted(&be, &cache, &[NodeId(0), NodeId(4)]).unwrap();
+        assert_eq!(first, CacheLookups { hits: 0, misses: 2 });
+        // Second request: one warm node, one cold, one duplicate (counted
+        // once) — the local tally ignores the first call's traffic.
+        let (m, second) =
+            scores_with_cache_counted(&be, &cache, &[NodeId(4), NodeId(7), NodeId(4)]).unwrap();
+        assert_eq!(second, CacheLookups { hits: 1, misses: 1 });
+        assert_eq!(m.query_count(), 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 3), "global stats keep aggregating");
     }
 
     #[test]

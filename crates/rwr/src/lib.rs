@@ -52,7 +52,9 @@ mod solver;
 pub mod variants;
 
 pub use backend::{IterativeScores, PushScores, ScoreBackend};
-pub use cache::{scores_with_cache, CacheStats, RwrRowCache};
+pub use cache::{
+    scores_with_cache, scores_with_cache_counted, CacheLookups, CacheStats, RwrRowCache,
+};
 pub use error::RwrError;
 pub use scores::ScoreMatrix;
 pub use solver::{RwrConfig, RwrEngine, SolveStats};
