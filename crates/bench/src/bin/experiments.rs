@@ -362,19 +362,25 @@ fn main() -> ExitCode {
         let t = Instant::now();
         let table = rwr_bench::run(&workload, &params);
         println!("{}", table.render());
+        let scaling = rwr_bench::thread_scaling(&workload, &params);
+        println!("{}", scaling.render());
         ceps_obs::info!("rwr took {:.2?}", t.elapsed());
         // The kernel benchmark gets its own JSON artifact (CI uploads it),
         // in addition to riding along in the combined experiments.json.
+        // The headline table goes first: the regression gate resolves its
+        // columns from the first table that has them.
         let meta = serde_json::json!({
             "scale": opts.scale.to_string(),
             "seed": opts.seed,
             "threads": params.threads,
+            "scaling_threads": params.scaling_threads,
             "trials": params.trials,
             "nodes": workload.node_count(),
             "edges": workload.edge_count(),
             "run": run_meta(&opts),
         });
-        match write_json(&opts.out, "BENCH_rwr", &meta, std::slice::from_ref(&table)) {
+        let artifact = [table.clone(), scaling.clone()];
+        match write_json(&opts.out, "BENCH_rwr", &meta, &artifact) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
                 ceps_obs::error!("error writing JSON: {e}");
@@ -382,6 +388,7 @@ fn main() -> ExitCode {
             }
         }
         tables.push(table);
+        tables.push(scaling);
     }
 
     if wants("serve") {

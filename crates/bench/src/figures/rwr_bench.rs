@@ -1,19 +1,28 @@
 //! RWR kernel benchmark — the proof artifact for the batched block-SpMM
 //! solver: per query count `Q`, wall-clock of the scalar per-source loop
 //! ([`RwrEngine::solve_many_unbatched`]), the batched block kernel
-//! (`threads = 1`), and the thread-parallel block kernel, plus the speedup
-//! of each batched variant over the scalar loop.
+//! (`threads = 1`), and the pooled thread-parallel block kernel, plus the
+//! speedup of each batched variant over the scalar loop.
 //!
 //! The batched kernel's win is cache reuse: each CSR entry is loaded once
 //! per iteration and folded into all `Q` columns, instead of `Q` separate
-//! sweeps over the adjacency arrays. The parallel variant additionally
-//! row-chunks the product across scoped workers, so its column only
-//! improves on multi-core machines.
+//! sweeps over the adjacency arrays. The parallel variant dispatches the
+//! product through a persistent nnz-balanced worker pool
+//! ([`ceps_pool::WorkerPool`]) — workers are spawned once per engine and
+//! re-barriered per iteration — and falls back to the sequential kernel
+//! whenever `nnz × Q` is below the pool's work threshold, so `par_speedup`
+//! never drops below `block_speedup` on small presets.
+//!
+//! [`thread_scaling`] measures the pooled kernel itself: it forces the
+//! parallel path (`min_work = 0`) at several worker counts, which is the
+//! honest picture of dispatch overhead on the current machine.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ceps_graph::{normalize::Normalization, Transition};
-use ceps_rwr::{RwrConfig, RwrEngine};
+use ceps_pool::PoolHandle;
+use ceps_rwr::{RwrConfig, RwrEngine, ScratchPool};
 
 use crate::report::Table;
 use crate::workload::Workload;
@@ -25,8 +34,10 @@ pub struct RwrBenchParams {
     pub query_counts: Vec<usize>,
     /// Timed repetitions per cell; the minimum is reported.
     pub trials: usize,
-    /// Worker threads for the parallel column.
+    /// Worker threads for the parallel column (`0` = auto).
     pub threads: usize,
+    /// Worker counts swept by [`thread_scaling`].
+    pub scaling_threads: Vec<usize>,
     /// Normalization exponent (degree penalization, Eq. 10).
     pub alpha: f64,
     /// Query-sampling seed.
@@ -38,7 +49,8 @@ impl Default for RwrBenchParams {
         RwrBenchParams {
             query_counts: vec![2, 5, 10],
             trials: 3,
-            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            threads: 0,
+            scaling_threads: vec![1, 2, 4],
             alpha: 0.5,
             seed: 42,
         }
@@ -113,6 +125,59 @@ pub fn run(workload: &Workload, params: &RwrBenchParams) -> Table {
     table
 }
 
+/// Thread-scaling sweep over the **forced-parallel** pooled kernel.
+///
+/// For each worker count in `params.scaling_threads` and each query count,
+/// solves through a pool with `min_work = 0` — no sequential fallback — so
+/// the numbers isolate what the persistent pool itself costs and buys.
+/// `speedup` columns are relative to the sweep's own 1-thread row (the
+/// first entry of `scaling_threads` is forced to 1).
+pub fn thread_scaling(workload: &Workload, params: &RwrBenchParams) -> Table {
+    let transition = Transition::new(
+        &workload.data.graph,
+        Normalization::DegreePenalized {
+            alpha: params.alpha,
+        },
+    );
+    let mut threads_sweep = params.scaling_threads.clone();
+    if threads_sweep.first() != Some(&1) {
+        threads_sweep.insert(0, 1);
+    }
+    let mut columns = vec!["threads".to_string()];
+    for &q in &params.query_counts {
+        columns.push(format!("q{q}_ms"));
+    }
+    for &q in &params.query_counts {
+        columns.push(format!("q{q}_speedup"));
+    }
+    let mut table = Table::new(
+        "BENCH rwr: thread scaling (pooled kernel, forced parallel)",
+        columns,
+    );
+    let mut base_ms: Vec<f64> = Vec::new();
+    for &t in &threads_sweep {
+        let pooled = pooled_engine(&transition, t, 0);
+        let mut row = vec![t as f64];
+        for (i, &q) in params.query_counts.iter().enumerate() {
+            let queries = workload.repository.sample(q, params.seed ^ i as u64);
+            // Pooled results must match the sequential kernel bitwise.
+            let reference = engine(&transition, 1).solve_many(&queries).unwrap();
+            assert_eq!(reference, pooled.solve_many(&queries).unwrap());
+            row.push(time_ms(params.trials, || {
+                pooled.solve_many(&queries).unwrap();
+            }));
+        }
+        if t == 1 {
+            base_ms = row[1..].to_vec();
+        }
+        for i in 0..params.query_counts.len() {
+            row.push(base_ms[i] / row[1 + i]);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
 fn engine(transition: &Transition, threads: usize) -> RwrEngine<'_> {
     let cfg = RwrConfig {
         threads,
@@ -121,10 +186,47 @@ fn engine(transition: &Transition, threads: usize) -> RwrEngine<'_> {
     RwrEngine::new(transition, cfg).unwrap()
 }
 
+/// An engine dispatching through a pool with an explicit work threshold
+/// (`min_work = 0` forces the parallel path regardless of problem size).
+fn pooled_engine(transition: &Transition, threads: usize, min_work: usize) -> RwrEngine<'_> {
+    let cfg = RwrConfig {
+        threads,
+        ..Default::default()
+    };
+    RwrEngine::with_pool(
+        transition,
+        cfg,
+        PoolHandle::with_min_work(threads, min_work),
+        Arc::new(ScratchPool::new()),
+    )
+    .unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Scale;
+
+    #[test]
+    fn thread_scaling_sweeps_worker_counts() {
+        let w = Workload::build(Scale::Tiny, 7);
+        let params = RwrBenchParams {
+            query_counts: vec![2],
+            trials: 1,
+            scaling_threads: vec![1, 2],
+            ..Default::default()
+        };
+        let t = thread_scaling(&w, &params);
+        assert_eq!(t.columns, vec!["threads", "q2_ms", "q2_speedup"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], 1.0);
+        assert_eq!(t.rows[1][0], 2.0);
+        assert_eq!(t.rows[0][2], 1.0, "base row speedup is 1 by definition");
+        for row in &t.rows {
+            assert!(row[1] > 0.0);
+            assert!(row[2].is_finite() && row[2] > 0.0);
+        }
+    }
 
     #[test]
     fn produces_one_row_per_query_count() {

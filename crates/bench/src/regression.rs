@@ -7,10 +7,13 @@
 //! pass (and are the signal to reseed the baseline).
 //!
 //! Benchmarks on shared CI runners are noisy, so the default bands are
-//! deliberately wide (40% relative on speedups) and the thread-count
-//! sensitive `par_speedup` column is excluded entirely. The `--tolerance`
-//! flag scales every band uniformly for machines noisier (or quieter)
-//! than the default assumption.
+//! deliberately wide (40% relative on speedups). The `--tolerance` flag
+//! scales every band uniformly for machines noisier (or quieter) than the
+//! default assumption. Metrics can additionally pin an absolute floor
+//! (never pass below it, whatever the baseline) and a minimum x — the
+//! `par_speedup` gate uses both: with the pool's sequential fallback the
+//! parallel path must never lose to the batched kernel at `Q ≥ 5`, on any
+//! core count, so it is gated with a hard `1.0` floor there.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -44,6 +47,39 @@ pub struct MetricSpec {
     pub column: String,
     /// Allowed drop below baseline.
     pub tolerance: Tolerance,
+    /// Only gate rows whose x (first column) is at least this; `None`
+    /// gates every row. Lets a metric skip sweep points where it is not
+    /// meaningful (e.g. `par_speedup` at tiny `Q`).
+    pub min_x: Option<f64>,
+    /// Absolute floor the current value must clear regardless of how low
+    /// the baseline (and its tolerance band) sit. The effective floor is
+    /// the max of this and the tolerance floor; `--tolerance` scaling
+    /// never relaxes it.
+    pub floor: Option<f64>,
+}
+
+impl MetricSpec {
+    /// A spec gating every row of `column` with `tolerance` alone.
+    pub fn new(column: impl Into<String>, tolerance: Tolerance) -> Self {
+        MetricSpec {
+            column: column.into(),
+            tolerance,
+            min_x: None,
+            floor: None,
+        }
+    }
+
+    /// Restricts the gate to rows with x ≥ `min_x`.
+    pub fn min_x(mut self, min_x: f64) -> Self {
+        self.min_x = Some(min_x);
+        self
+    }
+
+    /// Adds an absolute floor under the tolerance band.
+    pub fn floor(mut self, floor: f64) -> Self {
+        self.floor = Some(floor);
+        self
+    }
 }
 
 /// One gated artifact: a JSON file and the metrics checked inside it.
@@ -58,28 +94,26 @@ pub struct GateSpec {
 
 /// The default gate set: RWR kernel and serving-throughput headlines.
 ///
-/// `par_speedup` is intentionally absent — it depends on the runner's
-/// core count, which the baseline cannot pin.
+/// `par_speedup` is core-count sensitive, so its baseline band is the
+/// usual wide 40%; what actually protects it is the absolute `1.0` floor
+/// at `Q ≥ 5` — with the pool's sequential fallback, the parallel path
+/// must never lose to the batched kernel there, on any machine.
 pub fn default_gates() -> Vec<GateSpec> {
     vec![
         GateSpec {
             artifact: "BENCH_rwr.json".into(),
-            metrics: vec![MetricSpec {
-                column: "block_speedup".into(),
-                tolerance: Tolerance::Rel(0.40),
-            }],
+            metrics: vec![
+                MetricSpec::new("block_speedup", Tolerance::Rel(0.40)),
+                MetricSpec::new("par_speedup", Tolerance::Rel(0.40))
+                    .min_x(5.0)
+                    .floor(1.0),
+            ],
         },
         GateSpec {
             artifact: "BENCH_serve.json".into(),
             metrics: vec![
-                MetricSpec {
-                    column: "speedup".into(),
-                    tolerance: Tolerance::Rel(0.40),
-                },
-                MetricSpec {
-                    column: "hit_rate".into(),
-                    tolerance: Tolerance::Abs(0.10),
-                },
+                MetricSpec::new("speedup", Tolerance::Rel(0.40)),
+                MetricSpec::new("hit_rate", Tolerance::Abs(0.10)),
             ],
         },
     ]
@@ -267,13 +301,17 @@ pub fn check(
                 let (Some(&x), Some(&base_val)) = (base_row.first(), base_row.get(base_idx)) else {
                     continue;
                 };
+                if metric.min_x.is_some_and(|m| x < m) {
+                    continue;
+                }
                 let current_val = cur_table
                     .rows
                     .iter()
                     .find(|r| r.first().is_some_and(|&cx| same_x(cx, x)))
                     .and_then(|r| r.get(cur_idx))
                     .copied();
-                let floor = metric.tolerance.floor(base_val, tolerance_scale);
+                let band = metric.tolerance.floor(base_val, tolerance_scale);
+                let floor = metric.floor.map_or(band, |f| band.max(f));
                 let pass = current_val.is_some_and(|v| v >= floor);
                 report.rows.push(CheckRow {
                     artifact: gate.artifact.clone(),
@@ -316,10 +354,7 @@ mod tests {
     fn rwr_gate() -> Vec<GateSpec> {
         vec![GateSpec {
             artifact: "BENCH_rwr.json".into(),
-            metrics: vec![MetricSpec {
-                column: "block_speedup".into(),
-                tolerance: Tolerance::Rel(0.40),
-            }],
+            metrics: vec![MetricSpec::new("block_speedup", Tolerance::Rel(0.40))],
         }]
     }
 
@@ -426,15 +461,57 @@ mod tests {
     }
 
     #[test]
-    fn default_gates_cover_headlines_and_skip_par_speedup() {
+    fn min_x_restricts_gated_rows() {
+        let base = tmp("minx_base");
+        let cur = tmp("minx_cur");
+        write_artifact(&base, "BENCH_rwr.json", &[(2.0, 2.0), (5.0, 2.5)]);
+        // Q=2 collapses but the gate only watches Q >= 5.
+        write_artifact(&cur, "BENCH_rwr.json", &[(2.0, 0.1), (5.0, 2.5)]);
+        let mut gates = rwr_gate();
+        gates[0].metrics[0] = gates[0].metrics[0].clone().min_x(5.0);
+        let report = check(&base, &cur, &gates, 1.0);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.rows.len(), 1, "Q=2 row skipped");
+        assert!(same_x(report.rows[0].x, 5.0));
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn absolute_floor_binds_below_the_tolerance_band() {
+        let base = tmp("floor_base");
+        let cur = tmp("floor_cur");
+        // Baseline 1.3 with a 40% band puts the relative floor at 0.78 —
+        // but the absolute floor 1.0 still rejects 0.9.
+        write_artifact(&base, "BENCH_rwr.json", &[(5.0, 1.3)]);
+        write_artifact(&cur, "BENCH_rwr.json", &[(5.0, 0.9)]);
+        let mut gates = rwr_gate();
+        gates[0].metrics[0] = gates[0].metrics[0].clone().floor(1.0);
+        let report = check(&base, &cur, &gates, 1.0);
+        assert!(!report.passed(), "{}", report.render());
+        assert_eq!(report.rows[0].floor, 1.0);
+        // Scaling the tolerance cannot relax the absolute floor.
+        assert!(!check(&base, &cur, &gates, 10.0).passed());
+        // 1.05 clears it.
+        write_artifact(&cur, "BENCH_rwr.json", &[(5.0, 1.05)]);
+        assert!(check(&base, &cur, &gates, 1.0).passed());
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn default_gates_cover_headlines_including_par_speedup() {
         let gates = default_gates();
-        let all: Vec<&str> = gates
+        let all: Vec<&MetricSpec> = gates.iter().flat_map(|g| g.metrics.iter()).collect();
+        let names: Vec<&str> = all.iter().map(|m| m.column.as_str()).collect();
+        assert!(names.contains(&"block_speedup"));
+        assert!(names.contains(&"speedup"));
+        assert!(names.contains(&"hit_rate"));
+        let par = all
             .iter()
-            .flat_map(|g| g.metrics.iter().map(|m| m.column.as_str()))
-            .collect();
-        assert!(all.contains(&"block_speedup"));
-        assert!(all.contains(&"speedup"));
-        assert!(all.contains(&"hit_rate"));
-        assert!(!all.contains(&"par_speedup"));
+            .find(|m| m.column == "par_speedup")
+            .expect("par_speedup is gated");
+        assert_eq!(par.min_x, Some(5.0), "only gated at Q >= 5");
+        assert_eq!(par.floor, Some(1.0), "parallel must never lose to block");
     }
 }

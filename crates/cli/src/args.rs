@@ -47,7 +47,7 @@ pub enum Command {
         json: bool,
         /// Forward-push threshold (None = power iteration).
         push: Option<f64>,
-        /// RWR worker threads.
+        /// RWR worker threads (`0` = auto: all available cores).
         threads: usize,
         /// Record per-stage spans/counters and print the profile tree.
         profile: bool,
@@ -87,7 +87,7 @@ pub enum Command {
         cache_mb: usize,
         /// Stream seed.
         seed: u64,
-        /// RWR worker threads per solve.
+        /// RWR worker threads per solve (`0` = auto).
         threads: usize,
         /// Emit JSON instead of text.
         json: bool,
@@ -118,7 +118,7 @@ pub enum Command {
         queries: String,
         /// Normalization exponent.
         alpha: f64,
-        /// Worker threads for the RWR solves.
+        /// Worker threads for the RWR solves (`0` = auto).
         threads: usize,
     },
     /// `ceps import` — convert tab-separated co-author pairs to the
@@ -157,6 +157,10 @@ USAGE:
                 [--threads N]
   ceps import   --pairs FILE --out FILE --labels-out FILE
   ceps help
+
+  --threads N uses a persistent worker pool for the RWR solves; 0 = auto
+  (all available cores, default 1). Small solves fall back to the
+  sequential kernel automatically, so 0 is safe on any graph.
 ";
 
 fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {

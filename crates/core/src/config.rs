@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use ceps_graph::{CsrGraph, Transition};
 use ceps_partition::{partition_graph, PartitionConfig};
+use ceps_pool::PoolHandle;
 use ceps_rwr::blockwise::BlockwiseRwr;
 use ceps_rwr::precomputed::PrecomputedRwr;
 use ceps_rwr::{IterativeScores, PushScores, RwrConfig, ScoreBackend};
@@ -51,7 +52,9 @@ impl ScoreMethod {
     /// Builds the [`ScoreBackend`] this method names, over a shared
     /// normalized operator. `graph` is only consulted by
     /// [`ScoreMethod::Blockwise`] (its partitioner runs on the raw
-    /// adjacency, not the operator).
+    /// adjacency, not the operator). `pool` is the engine-wide worker-pool
+    /// handle; the iterative backend dispatches its batched products
+    /// through it (the other backends solve without it).
     ///
     /// # Errors
     /// Backend construction errors: solver validation, dense-size refusals
@@ -61,9 +64,14 @@ impl ScoreMethod {
         graph: &CsrGraph,
         transition: &Arc<Transition>,
         rwr: RwrConfig,
+        pool: PoolHandle,
     ) -> Result<Arc<dyn ScoreBackend>> {
         Ok(match *self {
-            ScoreMethod::Iterative => Arc::new(IterativeScores::new(Arc::clone(transition), rwr)?),
+            ScoreMethod::Iterative => Arc::new(IterativeScores::with_pool(
+                Arc::clone(transition),
+                rwr,
+                pool,
+            )?),
             ScoreMethod::Push { epsilon } => {
                 if !(epsilon.is_finite() && epsilon > 0.0) {
                     return Err(CepsError::BadPushEpsilon { epsilon });
@@ -184,7 +192,10 @@ impl CepsConfig {
         self
     }
 
-    /// Sets the number of RWR worker threads.
+    /// Sets the number of RWR worker threads. `0` = auto (the machine's
+    /// available parallelism); `1` = always sequential. Small solves fall
+    /// back to the sequential kernel regardless (see
+    /// [`ceps_pool::DEFAULT_MIN_WORK`]), so auto is safe everywhere.
     pub fn threads(mut self, threads: usize) -> Self {
         self.rwr.threads = threads;
         self

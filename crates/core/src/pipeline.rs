@@ -6,6 +6,7 @@ use std::sync::Arc;
 use ceps_graph::{
     normalize::Normalization, CsrGraph, GraphError, IntoSharedGraph, NodeId, Subgraph, Transition,
 };
+use ceps_pool::PoolHandle;
 use ceps_rwr::{combine, ScoreBackend, ScoreMatrix};
 
 use crate::config::CombineMethod;
@@ -32,6 +33,7 @@ pub struct CepsEngine {
     transition: Arc<Transition>,
     backend: Arc<dyn ScoreBackend>,
     config: CepsConfig,
+    pool: PoolHandle,
 }
 
 impl fmt::Debug for CepsEngine {
@@ -162,14 +164,20 @@ impl CepsEngine {
             }
         };
         let transition = Arc::new(Transition::new(&graph, normalization));
-        let backend = config
-            .score_method
-            .build_backend(&graph, &transition, config.rwr)?;
+        // One lazy pool handle per engine: clones (and the services built
+        // on them) share the same workers, which only spawn on the first
+        // solve large enough to parallelize.
+        let pool = PoolHandle::new(config.rwr.threads);
+        let backend =
+            config
+                .score_method
+                .build_backend(&graph, &transition, config.rwr, pool.clone())?;
         Ok(CepsEngine {
             graph,
             transition,
             backend,
             config,
+            pool,
         })
     }
 
@@ -201,6 +209,12 @@ impl CepsEngine {
     /// The Step 1 score backend the engine dispatches to.
     pub fn backend(&self) -> &Arc<dyn ScoreBackend> {
         &self.backend
+    }
+
+    /// The engine-wide worker-pool handle (shared with the backend; lazy —
+    /// no threads until a solve clears the parallel-work threshold).
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
     }
 
     /// Runs the full pipeline (Table 1) for one query set.

@@ -29,6 +29,11 @@
 //! stochastic kinds) columns are guaranteed to sum to 1 over the incident
 //! arcs.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ceps_pool::WorkerPool;
+
 use crate::{CsrGraph, NodeId};
 
 /// Which normalization a [`Transition`] applies.
@@ -312,29 +317,89 @@ impl Transition {
         }
     }
 
-    /// Parallel [`Transition::apply`]: row ranges are chunked across
-    /// `threads` scoped workers, each writing a disjoint `chunks_mut` slice
-    /// of `out` (no locks). `threads <= 1` falls back to the sequential
-    /// kernel. Results are identical to the sequential path — row sums
-    /// don't depend on which worker computes them.
+    /// Number of stored coefficients (arcs): the cost of one
+    /// [`Transition::apply`] sweep, and — times the column count — the
+    /// work estimate the parallel kernels weigh against a pool's
+    /// [`WorkerPool::min_work`] threshold.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Splits the rows into up to `target` contiguous ranges of roughly
+    /// equal **nonzero count** (not row count): chunk boundaries are found
+    /// by binary-searching the CSR `offsets` prefix sums for the `k/target`
+    /// nnz quantiles. Skewed-degree graphs (ours are) make per-row-count
+    /// chunks pathologically unbalanced — one hub-heavy chunk serializes
+    /// the whole product; nnz balancing is what lets the worker pool keep
+    /// every thread busy.
+    ///
+    /// Ranges are non-empty, disjoint, ascending and cover `0..node_count`
+    /// exactly. A row whose nnz exceeds a quantile span simply becomes its
+    /// own (oversized) chunk — rows are never split.
+    pub fn balanced_row_chunks(&self, target: usize) -> Vec<(usize, usize)> {
+        let n = self.node_count;
+        if n == 0 {
+            return Vec::new();
+        }
+        let target = target.clamp(1, n);
+        let nnz = self.nnz() as u64;
+        if nnz == 0 {
+            return vec![(0, n)];
+        }
+        let mut chunks = Vec::with_capacity(target);
+        let mut prev = 0usize;
+        for k in 1..target {
+            let want = (k as u64 * nnz).div_ceil(target as u64) as u32;
+            // First row index whose prefix sum reaches the quantile.
+            let bound = self.offsets.partition_point(|&o| o < want).min(n);
+            if bound > prev {
+                chunks.push((prev, bound));
+                prev = bound;
+            }
+        }
+        if prev < n {
+            chunks.push((prev, n));
+        }
+        chunks
+    }
+
+    /// Parallel [`Transition::apply`] over a persistent [`WorkerPool`]:
+    /// identical to the sequential kernel, with rows computed by whichever
+    /// worker claims them. See [`Transition::par_apply_block`].
     ///
     /// # Panics
     /// Panics if `x` or `out` is not `node_count` long.
-    pub fn par_apply(&self, x: &[f64], out: &mut [f64], threads: usize) {
+    pub fn par_apply(&self, x: &[f64], out: &mut [f64], pool: &WorkerPool) {
         assert_eq!(x.len(), self.node_count, "input vector length mismatch");
         assert_eq!(out.len(), self.node_count, "output vector length mismatch");
-        self.par_apply_block(x, out, 1, threads);
+        self.par_apply_block(x, out, 1, pool);
     }
 
-    /// Parallel [`Transition::apply_block`]: same row-chunked worker scheme
-    /// as [`Transition::par_apply`], each worker running the block kernel
-    /// over its slice of rows. Bitwise-identical to the sequential block
-    /// kernel.
+    /// Parallel [`Transition::apply_block`] over a persistent
+    /// [`WorkerPool`]: one dispatch (wake → steal → sleep) per call, no
+    /// thread spawns. The rows are pre-split into nnz-balanced chunks
+    /// ([`Transition::balanced_row_chunks`], ~4 per worker) and claimed off
+    /// an atomic cursor, so a straggling worker sheds load to the others.
+    ///
+    /// Falls back to the sequential kernel when the pool is
+    /// single-threaded or the estimated work (`nnz × cols`) is under the
+    /// pool's [`WorkerPool::min_work`] threshold — below it the barrier
+    /// costs more than the parallelism recovers.
+    ///
+    /// **Bitwise-identical to [`Transition::apply_block`]**: each row is
+    /// computed by exactly one worker with the same per-row arithmetic
+    /// order, so neither the chunking nor the claiming order can change a
+    /// single bit of the output.
+    ///
+    /// Telemetry (when a `ceps-obs` recorder is installed): a `pool.apply`
+    /// span around the dispatch and a `pool.chunks_stolen` counter for
+    /// chunks claimed by non-calling workers.
     ///
     /// # Panics
     /// Panics if `cols == 0`, either slice is not `node_count * cols` long,
-    /// or a worker thread panics.
-    pub fn par_apply_block(&self, x: &[f64], out: &mut [f64], cols: usize, threads: usize) {
+    /// or the job panics on a worker.
+    pub fn par_apply_block(&self, x: &[f64], out: &mut [f64], cols: usize, pool: &WorkerPool) {
         assert!(cols > 0, "block must have at least one column");
         assert_eq!(
             x.len(),
@@ -346,17 +411,46 @@ impl Transition {
             self.node_count * cols,
             "output block length mismatch"
         );
-        let workers = threads.min(self.node_count).max(1);
-        if workers <= 1 {
+        let workers = pool.threads().min(self.node_count).max(1);
+        if workers <= 1 || self.nnz().saturating_mul(cols) < pool.min_work() {
             return self.apply_block_rows(x, out, cols, 0);
         }
-        let rows_per = self.node_count.div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
-            for (ci, chunk) in out.chunks_mut(rows_per * cols).enumerate() {
-                scope.spawn(move |_| self.apply_block_rows(x, chunk, cols, ci * rows_per));
+        let _span = ceps_obs::span("pool.apply");
+        let bounds = self.balanced_row_chunks(workers * ceps_pool::CHUNKS_PER_WORKER);
+        // Split `out` into per-chunk slices up front; each cell is locked
+        // exactly once by whichever worker claims it (uncontended by
+        // construction — the cursor hands every index to one worker), which
+        // is how disjoint `&mut` access crosses the `Fn` closure without
+        // `unsafe` in this crate.
+        let mut jobs: Vec<Mutex<Option<(usize, &mut [f64])>>> = Vec::with_capacity(bounds.len());
+        let mut rest = out;
+        for &(start, end) in &bounds {
+            let (chunk, tail) = rest.split_at_mut((end - start) * cols);
+            jobs.push(Mutex::new(Some((start, chunk))));
+            rest = tail;
+        }
+        let cursor = AtomicUsize::new(0);
+        let stolen = AtomicU64::new(0);
+        pool.run(&|worker| {
+            let mut claimed = 0u64;
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = jobs.get(i) else { break };
+                let (first_row, chunk) = cell
+                    .lock()
+                    .expect("chunk cell lock")
+                    .take()
+                    .expect("chunk claimed twice");
+                self.apply_block_rows(x, chunk, cols, first_row);
+                claimed += 1;
             }
-        })
-        .expect("apply_block worker panicked");
+            if worker != 0 && claimed > 0 {
+                stolen.fetch_add(claimed, Ordering::Relaxed);
+            }
+        });
+        if ceps_obs::enabled() {
+            ceps_obs::counter("pool.chunks_stolen", stolen.load(Ordering::Relaxed));
+        }
     }
 
     /// The matrix entry `M[u, v]` (`W̃[u, v]` in the paper's notation — for

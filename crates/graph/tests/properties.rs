@@ -135,28 +135,68 @@ proptest! {
         }
     }
 
-    /// Row-chunking the product across threads never changes the output:
-    /// `par_apply_block` equals `apply_block` bitwise for any thread count
-    /// (each row is computed by exactly one worker, same inner loop).
+    /// Pooled row-chunking never changes the output: `par_apply_block`
+    /// over a persistent worker pool equals `apply_block` bitwise across
+    /// thread counts {1, 2, 3, 8} and widths {1, 2, 5} (each row is
+    /// computed by exactly one worker, same inner loop). The pool's
+    /// `min_work` is forced to 0 so tiny random graphs still exercise the
+    /// parallel path, and the pool is reused across both calls like the
+    /// solver reuses it across iterations.
     #[test]
     fn par_apply_block_matches_sequential(
         (n, edges) in arb_edges(),
-        cols in 1usize..5,
-        threads in 1usize..7,
+        cols_pick in 0usize..3,
+        threads_pick in 0usize..4,
         fill in proptest::collection::vec(0.0f64..1.0, 24 * 5),
     ) {
+        let cols = [1usize, 2, 5][cols_pick];
+        let threads = [1usize, 2, 3, 8][threads_pick];
         let g = build(n, &edges);
         let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let pool = ceps_pool::WorkerPool::with_min_work(threads, 0);
         let x: Vec<f64> = fill[..n * cols].to_vec();
         let mut seq = vec![0f64; n * cols];
         let mut par = vec![0f64; n * cols];
         t.apply_block(&x, &mut seq, cols);
-        t.par_apply_block(&x, &mut par, cols, threads);
+        t.par_apply_block(&x, &mut par, cols, &pool);
         prop_assert_eq!(&seq, &par);
         if cols == 1 {
             let mut par1 = vec![0f64; n];
-            t.par_apply(&x, &mut par1, threads);
+            t.par_apply(&x, &mut par1, &pool);
             prop_assert_eq!(&seq, &par1);
+        }
+    }
+
+    /// `balanced_row_chunks` partitions the rows exactly (non-empty,
+    /// disjoint, ascending, covering), and no chunk carries more than one
+    /// quantile span of nnz beyond its largest single row — the balance
+    /// guarantee the pool's work distribution rests on.
+    #[test]
+    fn balanced_row_chunks_cover_rows_and_balance_nnz(
+        (n, edges) in arb_edges(),
+        target in 1usize..12,
+    ) {
+        let g = build(n, &edges);
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let chunks = t.balanced_row_chunks(target);
+        prop_assert!(chunks.len() <= target.min(n));
+        let mut expect = 0usize;
+        for &(s, e) in &chunks {
+            prop_assert_eq!(s, expect, "contiguous ascending coverage");
+            prop_assert!(e > s, "non-empty chunk");
+            expect = e;
+        }
+        prop_assert_eq!(expect, n, "chunks cover every row");
+        let row_nnz = |u: usize| t.row(NodeId(u as u32)).0.len();
+        // The implementation clamps `target` to the row count.
+        let quantile = t.nnz().div_ceil(target.min(n));
+        for &(s, e) in &chunks {
+            let nnz: usize = (s..e).map(row_nnz).sum();
+            let biggest = (s..e).map(row_nnz).max().unwrap_or(0);
+            prop_assert!(
+                nnz <= quantile + biggest,
+                "chunk [{s}, {e}) holds {nnz} nnz > quantile {quantile} + biggest row {biggest}"
+            );
         }
     }
 

@@ -21,10 +21,12 @@
 use std::sync::Arc;
 
 use ceps_graph::{NodeId, Transition};
+use ceps_pool::PoolHandle;
 
 use crate::blockwise::BlockwiseRwr;
 use crate::precomputed::PrecomputedRwr;
 use crate::push::forward_push;
+use crate::scratch::ScratchPool;
 use crate::{Result, RwrConfig, RwrEngine, ScoreMatrix};
 
 /// A solver for individual RWR closeness scores (Step 1 of Table 1).
@@ -52,20 +54,47 @@ pub trait ScoreBackend: Send + Sync {
 /// Owned power-iteration backend: an [`RwrEngine`] that shares its
 /// [`Transition`] through an `Arc` instead of borrowing it, so engines and
 /// services built on it are `'static`.
+///
+/// The backend also owns the solver's persistent resources: a lazy
+/// [`PoolHandle`] (workers spawn once, on the first solve big enough to
+/// parallelize, and are reused by every later call) and a [`ScratchPool`]
+/// of iteration buffers. Clones share both, so a service cloning its
+/// backend across workers still runs one worker pool.
 #[derive(Debug, Clone)]
 pub struct IterativeScores {
     transition: Arc<Transition>,
     config: RwrConfig,
+    pool: PoolHandle,
+    scratch: Arc<ScratchPool>,
 }
 
 impl IterativeScores {
-    /// Creates the backend over a shared operator.
+    /// Creates the backend over a shared operator, with its own lazy
+    /// worker pool sized from `config.threads`.
     ///
     /// # Errors
     /// Propagates [`RwrConfig::validate`].
     pub fn new(transition: Arc<Transition>, config: RwrConfig) -> Result<Self> {
+        Self::with_pool(transition, config, PoolHandle::new(config.threads))
+    }
+
+    /// Creates the backend sharing an existing worker-pool handle (e.g.
+    /// the engine-wide pool `ceps-core` threads through the pipeline).
+    ///
+    /// # Errors
+    /// Propagates [`RwrConfig::validate`].
+    pub fn with_pool(
+        transition: Arc<Transition>,
+        config: RwrConfig,
+        pool: PoolHandle,
+    ) -> Result<Self> {
         config.validate()?;
-        Ok(IterativeScores { transition, config })
+        Ok(IterativeScores {
+            transition,
+            config,
+            pool,
+            scratch: Arc::new(ScratchPool::new()),
+        })
     }
 
     /// The solver configuration.
@@ -77,6 +106,16 @@ impl IterativeScores {
     pub fn transition(&self) -> &Arc<Transition> {
         &self.transition
     }
+
+    /// The worker-pool handle solves dispatch through.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// The shared scratch pool backing per-call iteration buffers.
+    pub fn scratch(&self) -> &Arc<ScratchPool> {
+        &self.scratch
+    }
 }
 
 impl ScoreBackend for IterativeScores {
@@ -85,7 +124,13 @@ impl ScoreBackend for IterativeScores {
     }
 
     fn scores(&self, queries: &[NodeId]) -> Result<ScoreMatrix> {
-        RwrEngine::new(&self.transition, self.config)?.solve_many(queries)
+        RwrEngine::with_pool(
+            &self.transition,
+            self.config,
+            self.pool.clone(),
+            Arc::clone(&self.scratch),
+        )?
+        .solve_many(queries)
     }
 
     fn method_name(&self) -> &'static str {

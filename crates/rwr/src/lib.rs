@@ -48,6 +48,7 @@ pub mod exact;
 pub mod precomputed;
 pub mod push;
 mod scores;
+pub mod scratch;
 mod solver;
 pub mod variants;
 
@@ -57,6 +58,7 @@ pub use cache::{
 };
 pub use error::RwrError;
 pub use scores::ScoreMatrix;
+pub use scratch::ScratchPool;
 pub use solver::{RwrConfig, RwrEngine, SolveStats};
 
 /// Crate-wide result alias.

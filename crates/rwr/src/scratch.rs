@@ -1,0 +1,107 @@
+//! Reusable scratch buffers for the batched solver.
+//!
+//! Every [`crate::RwrEngine::solve_block`] needs two `n × q` ping-pong
+//! buffers. Allocating (and zeroing) them per request is measurable on a
+//! serving hot path — a medium-preset block is several megabytes, enough
+//! to churn the allocator and blow the cache on every request. A
+//! [`ScratchPool`] keeps a small stack of returned buffers and hands them
+//! back out re-zeroed, so a steady-state service allocates nothing per
+//! solve.
+//!
+//! The pool is shared the same way the worker pool is: engines and
+//! backends hold it in an `Arc`, and every serving worker draws from (and
+//! returns to) the same stack. Buffers are handed out zeroed, so reuse is
+//! invisible to the solver — results stay bitwise-identical to fresh
+//! allocations.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Retain at most this many returned buffers; beyond it, returns are
+/// simply dropped. Bounds worst-case memory at `MAX_POOLED` × the largest
+/// concurrent block while still covering every worker of a busy service.
+const MAX_POOLED: usize = 8;
+
+/// A small stack of reusable `Vec<f64>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<Vec<f64>>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of exactly `len` elements — reusing a returned
+    /// buffer's allocation when one is available, allocating otherwise.
+    pub fn take(&self, len: usize) -> Vec<f64> {
+        let mut buf = self
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse (dropped if the pool is
+    /// full or the buffer never allocated).
+    pub fn put(&self, buf: Vec<f64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    /// How many buffers are currently parked in the pool (diagnostics and
+    /// reuse tests).
+    pub fn pooled(&self) -> usize {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers_of_exact_length() {
+        let pool = ScratchPool::new();
+        let mut a = pool.take(16);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|&v| v == 0.0));
+        a.iter_mut().for_each(|v| *v = 7.0);
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+
+        // Reused allocation, re-zeroed, resized — including growing.
+        let b = pool.take(4);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|&v| v == 0.0));
+        pool.put(b);
+        let c = pool.take(32);
+        assert_eq!(c.len(), 32);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pool_depth_is_bounded_and_empty_buffers_are_dropped() {
+        let pool = ScratchPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.pooled(), 0, "zero-capacity returns are dropped");
+        for _ in 0..2 * MAX_POOLED {
+            pool.put(vec![0.0; 8]);
+        }
+        assert_eq!(pool.pooled(), MAX_POOLED);
+    }
+}

@@ -1,8 +1,11 @@
 //! Power-iteration RWR solver (Eq. 4).
 
-use ceps_graph::{NodeId, Transition};
+use std::sync::Arc;
 
-use crate::{Result, RwrError, ScoreMatrix};
+use ceps_graph::{NodeId, Transition};
+use ceps_pool::PoolHandle;
+
+use crate::{scratch::ScratchPool, Result, RwrError, ScoreMatrix};
 
 /// Tuning knobs for the RWR solver.
 ///
@@ -21,8 +24,11 @@ pub struct RwrConfig {
     /// iterates drops below this. `None` always runs `max_iterations`.
     pub tolerance: Option<f64>,
     /// Number of worker threads for the sparse-times-block product inside
-    /// multi-source solves. 1 = sequential. Defaults to the machine's
-    /// available parallelism.
+    /// multi-source solves. `0` = auto (the machine's available
+    /// parallelism, the default); `1` = always sequential. Even with
+    /// multiple threads the engine falls back to the sequential kernel for
+    /// small products (see [`ceps_pool::DEFAULT_MIN_WORK`]), so small
+    /// graphs and presets never pay dispatch overhead.
     pub threads: usize,
 }
 
@@ -32,7 +38,7 @@ impl Default for RwrConfig {
             c: 0.5,
             max_iterations: 50,
             tolerance: None,
-            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            threads: 0,
         }
     }
 }
@@ -47,6 +53,12 @@ impl RwrConfig {
             return Err(RwrError::InvalidRestart { c: self.c });
         }
         Ok(())
+    }
+
+    /// The effective worker count: `threads` with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        ceps_pool::resolve_threads(self.threads)
     }
 }
 
@@ -63,21 +75,54 @@ pub struct SolveStats {
 ///
 /// Borrows the [`Transition`]; one engine serves any number of queries, which
 /// is how the pipeline amortizes normalization across the repeated solves of
-/// the evaluation sweeps.
+/// the evaluation sweeps. The engine also carries a lazy [`PoolHandle`] (no
+/// threads spawned until a solve actually clears the parallel-work
+/// threshold) and a [`ScratchPool`] of reusable iteration buffers; both are
+/// shared across clones, and long-lived owners (backends, services) can
+/// inject their own via [`RwrEngine::with_pool`] so repeated solves reuse
+/// one set of workers and buffers.
 #[derive(Debug, Clone)]
 pub struct RwrEngine<'t> {
     transition: &'t Transition,
     config: RwrConfig,
+    pool: PoolHandle,
+    scratch: Arc<ScratchPool>,
 }
 
 impl<'t> RwrEngine<'t> {
-    /// Creates an engine over `transition` with `config`.
+    /// Creates an engine over `transition` with `config`, with its own
+    /// (lazy) worker pool and scratch pool.
     ///
     /// # Errors
     /// Propagates [`RwrConfig::validate`].
     pub fn new(transition: &'t Transition, config: RwrConfig) -> Result<Self> {
+        Self::with_pool(
+            transition,
+            config,
+            PoolHandle::new(config.threads),
+            Arc::new(ScratchPool::new()),
+        )
+    }
+
+    /// Creates an engine sharing an existing worker-pool handle and
+    /// scratch pool — the constructor long-lived owners use so per-request
+    /// engines never respawn threads or reallocate iteration buffers.
+    ///
+    /// # Errors
+    /// Propagates [`RwrConfig::validate`].
+    pub fn with_pool(
+        transition: &'t Transition,
+        config: RwrConfig,
+        pool: PoolHandle,
+        scratch: Arc<ScratchPool>,
+    ) -> Result<Self> {
         config.validate()?;
-        Ok(RwrEngine { transition, config })
+        Ok(RwrEngine {
+            transition,
+            config,
+            pool,
+            scratch,
+        })
     }
 
     /// The engine's configuration.
@@ -88,6 +133,16 @@ impl<'t> RwrEngine<'t> {
     /// The operator the engine walks.
     pub fn transition(&self) -> &Transition {
         self.transition
+    }
+
+    /// The worker-pool handle multi-source solves dispatch through.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// The scratch pool backing the solver's ping-pong buffers.
+    pub fn scratch(&self) -> &Arc<ScratchPool> {
+        &self.scratch
     }
 
     fn check_node(&self, q: NodeId) -> Result<()> {
@@ -144,20 +199,24 @@ impl<'t> RwrEngine<'t> {
 
     /// Batched power iteration: all `Q` stationary distributions at once.
     ///
-    /// Iterates `X ← c · M X + (1 − c) E` on an `N × Q` block (node-major,
-    /// stride `Q`) with ping-ponged buffers, so each sparse entry of `M` is
-    /// loaded once per iteration and reused across all `Q` columns —
+    /// Iterates `X ← c · M X + (1 − c) E` on an `N × A` block (node-major,
+    /// stride `A` = currently-active columns) with ping-ponged buffers
+    /// drawn from the shared [`ScratchPool`], so each sparse entry of `M`
+    /// is loaded once per iteration and reused across all active columns —
     /// instead of `Q` separate passes over the CSR arrays as in repeated
-    /// [`RwrEngine::solve_single`] calls. With `config.threads > 1` the
-    /// product row-chunks across scoped workers
-    /// ([`Transition::par_apply_block`]).
+    /// [`RwrEngine::solve_single`] calls. When the per-iteration product
+    /// (`nnz × A` fused ops) clears the pool threshold, it row-chunks
+    /// across the persistent worker pool
+    /// ([`Transition::par_apply_block`]); otherwise it runs sequentially.
     ///
     /// Per column the arithmetic order matches `solve_single` exactly, so
     /// each returned row and its [`SolveStats`] are bitwise-identical to
     /// the single-source solve. With a `tolerance` set, columns freeze
     /// individually the iteration their L1 delta drops below it — exactly
-    /// where `solve_single` stops — and carry their values unchanged while
-    /// the rest keep iterating.
+    /// where `solve_single` stops — and are **compacted out of the
+    /// iteration block**: their final values move straight into the output
+    /// matrix and the remaining columns close ranks to a narrower stride,
+    /// so frozen columns cost nothing in later iterations.
     ///
     /// # Errors
     /// [`RwrError::NoQueries`] on an empty slice or
@@ -174,12 +233,17 @@ impl<'t> RwrEngine<'t> {
         let q_count = queries.len();
         let c = self.config.c;
         let restart = 1.0 - c;
+        let nnz = self.transition.nnz();
 
-        let mut x = vec![0f64; n * q_count];
+        // The row-major Q x N output; frozen columns transpose into it the
+        // iteration they converge, the rest on exit.
+        let mut data = vec![0f64; q_count * n];
+
+        let mut x = self.scratch.take(n * q_count);
         for (j, q) in queries.iter().enumerate() {
             x[q.index() * q_count + j] = 1.0;
         }
-        let mut next = vec![0f64; n * q_count];
+        let mut next = self.scratch.take(n * q_count);
         let mut stats = vec![
             SolveStats {
                 iterations: 0,
@@ -187,60 +251,71 @@ impl<'t> RwrEngine<'t> {
             };
             q_count
         ];
-        let mut frozen = vec![false; q_count];
-        let mut active = q_count;
+        // act[jj] = original query index of the jj-th still-active column.
+        let mut act: Vec<usize> = (0..q_count).collect();
         let mut deltas = vec![0f64; q_count];
+        let mut newly: Vec<usize> = Vec::new();
 
         for it in 0..self.config.max_iterations {
-            if active == 0 {
+            let a = act.len();
+            if a == 0 {
                 break;
             }
-            if self.config.threads > 1 {
-                self.transition
-                    .par_apply_block(&x, &mut next, q_count, self.config.threads);
-            } else {
-                self.transition.apply_block(&x, &mut next, q_count);
+            match self.pool.acquire(nnz.saturating_mul(a)) {
+                Some(pool) => {
+                    self.transition
+                        .par_apply_block(&x[..n * a], &mut next[..n * a], a, pool);
+                }
+                None => self
+                    .transition
+                    .apply_block(&x[..n * a], &mut next[..n * a], a),
             }
-            deltas.fill(0.0);
+            deltas[..a].fill(0.0);
             for u in 0..n {
-                let xrow = &x[u * q_count..u * q_count + q_count];
-                let nrow = &mut next[u * q_count..u * q_count + q_count];
-                for j in 0..q_count {
-                    if frozen[j] {
-                        // Converged columns ride along unchanged.
-                        nrow[j] = xrow[j];
-                        continue;
-                    }
-                    let v = c * nrow[j]
-                        + if queries[j].index() == u {
+                let xrow = &x[u * a..u * a + a];
+                let nrow = &mut next[u * a..u * a + a];
+                for (jj, &orig) in act.iter().enumerate() {
+                    let v = c * nrow[jj]
+                        + if queries[orig].index() == u {
                             restart
                         } else {
                             0.0
                         };
-                    deltas[j] += (v - xrow[j]).abs();
-                    nrow[j] = v;
+                    deltas[jj] += (v - xrow[jj]).abs();
+                    nrow[jj] = v;
                 }
             }
             std::mem::swap(&mut x, &mut next);
-            for j in 0..q_count {
-                if frozen[j] {
-                    continue;
-                }
-                stats[j].iterations = it + 1;
-                stats[j].final_delta = deltas[j];
+            newly.clear();
+            for (jj, &orig) in act.iter().enumerate() {
+                stats[orig].iterations = it + 1;
+                stats[orig].final_delta = deltas[jj];
                 if let Some(tol) = self.config.tolerance {
-                    if deltas[j] < tol {
-                        frozen[j] = true;
-                        active -= 1;
+                    if deltas[jj] < tol {
+                        newly.push(jj);
                     }
                 }
             }
+            if !newly.is_empty() {
+                self.freeze_columns(&mut x, &mut act, &newly, &mut data, n);
+            }
         }
+
+        // Drain the still-active columns into the output.
+        let a = act.len();
+        for u in 0..n {
+            let row = u * a;
+            for (jj, &orig) in act.iter().enumerate() {
+                data[orig * n + u] = x[row + jj];
+            }
+        }
+        self.scratch.put(x);
+        self.scratch.put(next);
 
         if ceps_obs::enabled() {
             ceps_obs::counter("rwr.solves", 1);
             ceps_obs::counter("rwr.columns", q_count as u64);
-            let early = frozen.iter().filter(|&&f| f).count();
+            let early = q_count - act.len();
             ceps_obs::counter("rwr.frozen_columns", early as u64);
             for s in &stats {
                 ceps_obs::record("rwr.iterations", s.iterations as f64);
@@ -248,15 +323,45 @@ impl<'t> RwrEngine<'t> {
             }
         }
 
-        // Transpose the node-major iteration block into the row-major Q x N
-        // score matrix.
-        let mut data = vec![0f64; q_count * n];
+        Ok((ScoreMatrix::from_flat(queries.to_vec(), data, n)?, stats))
+    }
+
+    /// Moves the `newly`-converged columns (positions in the current active
+    /// layout, ascending) out of the node-major block `x` into the
+    /// row-major output `data`, compacting the surviving columns to the
+    /// narrower stride in place.
+    ///
+    /// The single ascending pass is clobber-free: for row `u`, frozen reads
+    /// at `u·a + jj` happen before that row's compaction writes, every
+    /// write `u·a_new + k` lands at or before its read `u·a + keep[k]`
+    /// (because `a_new ≤ a` and `keep[k] ≥ k`), and row `u`'s writes all
+    /// end before row `u + 1`'s reads begin.
+    fn freeze_columns(
+        &self,
+        x: &mut [f64],
+        act: &mut Vec<usize>,
+        newly: &[usize],
+        data: &mut [f64],
+        n: usize,
+    ) {
+        let a = act.len();
+        let mut frozen = vec![false; a];
+        for &jj in newly {
+            frozen[jj] = true;
+        }
+        let keep: Vec<usize> = (0..a).filter(|&jj| !frozen[jj]).collect();
+        let a_new = keep.len();
         for u in 0..n {
-            for j in 0..q_count {
-                data[j * n + u] = x[u * q_count + j];
+            let row = u * a;
+            for &jj in newly {
+                data[act[jj] * n + u] = x[row + jj];
+            }
+            let dst = u * a_new;
+            for (k, &jj) in keep.iter().enumerate() {
+                x[dst + k] = x[row + jj];
             }
         }
-        Ok((ScoreMatrix::from_flat(queries.to_vec(), data, n)?, stats))
+        *act = keep.into_iter().map(|jj| act[jj]).collect();
     }
 
     /// Stationary distributions for every query node, as the `R` matrix.
@@ -374,23 +479,124 @@ mod tests {
         assert!(stats.final_delta < 1e-3);
     }
 
+    /// Tests that spawn real pool workers share the process-global
+    /// [`ceps_pool::live_workers`] counter, so they run one at a time.
+    fn pool_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn parallel_solve_matches_sequential() {
+        let _guard = pool_serial();
         let t = line_graph(12);
         let queries = [NodeId(0), NodeId(3), NodeId(7), NodeId(11)];
-        let seq = RwrEngine::new(&t, RwrConfig::default())
+        let seq_cfg = RwrConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let seq = RwrEngine::new(&t, seq_cfg)
             .unwrap()
             .solve_many(&queries)
             .unwrap();
+        // min_work 0 forces the pooled kernel even on this tiny graph.
         let par_cfg = RwrConfig {
             threads: 3,
             ..Default::default()
         };
-        let par = RwrEngine::new(&t, par_cfg)
-            .unwrap()
-            .solve_many(&queries)
-            .unwrap();
+        let par = RwrEngine::with_pool(
+            &t,
+            par_cfg,
+            ceps_pool::PoolHandle::with_min_work(3, 0),
+            Arc::new(ScratchPool::new()),
+        )
+        .unwrap()
+        .solve_many(&queries)
+        .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pooled_solve_reuses_workers_and_scratch_and_joins_on_drop() {
+        let _guard = pool_serial();
+        let t = line_graph(12);
+        let queries = [NodeId(0), NodeId(5), NodeId(11)];
+        let before = ceps_pool::live_workers();
+        let handle = ceps_pool::PoolHandle::with_min_work(3, 0);
+        let scratch = Arc::new(ScratchPool::new());
+        let cfg = RwrConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        let engine = RwrEngine::with_pool(&t, cfg, handle.clone(), Arc::clone(&scratch)).unwrap();
+
+        let first = engine.solve_many(&queries).unwrap();
+        let pool = Arc::clone(handle.get().expect("first solve materializes the pool"));
+        assert_eq!(ceps_pool::live_workers(), before + 2);
+        let rounds = pool.rounds();
+        assert!(rounds >= 1, "the solve dispatched through the pool");
+
+        let second = engine.solve_many(&queries).unwrap();
+        assert!(
+            Arc::ptr_eq(&pool, handle.get().unwrap()),
+            "second solve reuses the same pool"
+        );
+        assert!(pool.rounds() > rounds, "reused workers took new rounds");
+        assert_eq!(first, second);
+        assert!(
+            scratch.pooled() >= 2,
+            "ping-pong buffers returned for reuse, got {}",
+            scratch.pooled()
+        );
+
+        drop(engine);
+        drop(handle);
+        drop(pool);
+        assert_eq!(
+            ceps_pool::live_workers(),
+            before,
+            "dropping the last handle joins every worker"
+        );
+    }
+
+    #[test]
+    fn staggered_freezing_compacts_without_changing_results() {
+        // A clique hanging off a long path: clique columns converge many
+        // iterations before far-path columns, so the active block compacts
+        // several times mid-solve. Rows and stats must still be
+        // bitwise-identical to per-source solves.
+        let mut b = GraphBuilder::new();
+        for i in 0..11 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        for x in 12..16u32 {
+            for y in (x + 1)..16 {
+                b.add_edge(NodeId(x), NodeId(y), 4.0).unwrap();
+            }
+        }
+        b.add_edge(NodeId(0), NodeId(12), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        let cfg = RwrConfig {
+            tolerance: Some(1e-9),
+            max_iterations: 2000,
+            threads: 1,
+            ..Default::default()
+        };
+        let engine = RwrEngine::new(&t, cfg).unwrap();
+        let queries = [NodeId(14), NodeId(11), NodeId(5), NodeId(13)];
+        let (matrix, stats) = engine.solve_block(&queries).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let (row, single) = engine.solve_single(q).unwrap();
+            assert_eq!(stats[i], single, "query {i}");
+            assert_eq!(matrix.row(i), &row[..], "query {i}");
+        }
+        let iters: std::collections::BTreeSet<usize> = stats.iter().map(|s| s.iterations).collect();
+        assert!(
+            iters.len() >= 2,
+            "expected staggered freezing, got {stats:?}"
+        );
     }
 
     #[test]
