@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [fig4] [fig5] [fig6] [cases] [all] [check]
 //!             [--scale tiny|small|medium|large|paper]
+//!             [--sweep-scale tiny|small|medium|large|paper]
 //!             [--trials N] [--seed S] [--out DIR] [--quick]
 //!             [--baseline DIR] [--current DIR] [--tolerance F]
 //! ```
@@ -15,11 +16,19 @@
 //! (`CEPS_LOG=warn` silences them); stdout carries only tables and result
 //! paths.
 //!
-//! `check` runs the perf-regression gate instead of any benchmark: it
-//! compares `BENCH_rwr.json` / `BENCH_serve.json` under `--current`
-//! (default: the `--out` directory) against the committed baselines under
-//! `--baseline` (default `results/`), prints a pass/fail table, and exits
-//! non-zero on regression. `--tolerance F` scales every band by `F`.
+//! `check` runs the regression gates instead of any benchmark: first the
+//! perf gate, comparing `BENCH_rwr.json` / `BENCH_serve.json` under
+//! `--current` (default: the `--out` directory) against the committed
+//! baselines under `--baseline` (default `results/`), then the `f32`
+//! precision quality gate (full pipeline at both coefficient precisions on
+//! the `--scale` workload). It prints a pass/fail table per gate and exits
+//! non-zero if either fails. `--tolerance F` scales every perf band by `F`.
+//!
+//! The `rwr` benchmark additionally emits a nodes × threads scaling table:
+//! every preset from `small` up to `--sweep-scale` (default: `--scale`) is
+//! generated and timed at each worker count, with operator-footprint and
+//! peak-RSS columns. Pass `--sweep-scale paper` for the full ~315K-node
+//! story.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +44,7 @@ use ceps_bench::Scale;
 struct Options {
     figures: Vec<String>,
     scale: Scale,
+    sweep_scale: Option<Scale>,
     trials: Option<usize>,
     seed: u64,
     out: PathBuf,
@@ -51,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         figures: Vec::new(),
         scale: Scale::Small,
+        sweep_scale: None,
         trials: None,
         seed: 42,
         out: PathBuf::from("results"),
@@ -70,6 +81,11 @@ fn parse_args() -> Result<Options, String> {
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+            }
+            "--sweep-scale" => {
+                let v = args.next().ok_or("--sweep-scale needs a value")?;
+                opts.sweep_scale =
+                    Some(Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?);
             }
             "--trials" => {
                 let v = args.next().ok_or("--trials needs a value")?;
@@ -141,7 +157,9 @@ fn main() -> ExitCode {
             ceps_obs::error!("error: {e}");
             eprintln!(
                 "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|check|all]... \
-                 [--scale tiny|small|medium|large|paper] [--trials N] [--seed S] \
+                 [--scale tiny|small|medium|large|paper] \
+                 [--sweep-scale tiny|small|medium|large|paper] \
+                 [--trials N] [--seed S] \
                  [--out DIR] [--quick] [--threads N] [--repeat R] [--profile] \
                  [--baseline DIR] [--current DIR] [--tolerance F]"
             );
@@ -153,9 +171,10 @@ fn main() -> ExitCode {
         ceps_obs::reset();
     }
 
-    // The regression gate never builds a workload: it only diffs already
-    // emitted artifacts, so handle it before anything expensive. Like
-    // `scaling`, it is opt-in and not part of `all`.
+    // The gates run before (and instead of) any benchmark: the perf gate
+    // only diffs already emitted artifacts; the precision gate builds one
+    // `--scale` workload of its own. Like `scaling`, `check` is opt-in and
+    // not part of `all`.
     if opts.figures.iter().any(|x| x == "check") {
         let current = opts.current.clone().unwrap_or_else(|| opts.out.clone());
         let report = ceps_bench::regression::check(
@@ -165,7 +184,15 @@ fn main() -> ExitCode {
             opts.tolerance,
         );
         print!("{}", report.render());
-        return if report.passed() {
+        let quality = ceps_bench::quality::precision_check(opts.scale, opts.seed);
+        println!("{}", quality.table.render());
+        println!(
+            "precision gate: max |diff| = {:.3e} (bound {:.1e}) — {}",
+            quality.max_abs_diff,
+            ceps_bench::quality::MAX_SCORE_ABS_DIFF,
+            if quality.passed { "PASS" } else { "FAIL" }
+        );
+        return if report.passed() && quality.passed {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
@@ -364,6 +391,25 @@ fn main() -> ExitCode {
         println!("{}", table.render());
         let scaling = rwr_bench::thread_scaling(&workload, &params);
         println!("{}", scaling.render());
+        // Nodes × threads sweep: every preset from small up to
+        // `--sweep-scale` (default: `--scale`); quick mode caps it at
+        // small. The sweep generates its own graphs per scale.
+        let max_sweep = opts.sweep_scale.unwrap_or(opts.scale);
+        let max_sweep = if opts.quick {
+            max_sweep.min(Scale::Small)
+        } else {
+            max_sweep
+        };
+        let mut sweep_scales: Vec<Scale> =
+            [Scale::Small, Scale::Medium, Scale::Large, Scale::Paper]
+                .into_iter()
+                .filter(|s| *s <= max_sweep)
+                .collect();
+        if sweep_scales.is_empty() {
+            sweep_scales.push(max_sweep);
+        }
+        let nodes_scaling = rwr_bench::node_thread_scaling(&sweep_scales, &params);
+        println!("{}", nodes_scaling.render());
         ceps_obs::info!("rwr took {:.2?}", t.elapsed());
         // The kernel benchmark gets its own JSON artifact (CI uploads it),
         // in addition to riding along in the combined experiments.json.
@@ -374,12 +420,13 @@ fn main() -> ExitCode {
             "seed": opts.seed,
             "threads": params.threads,
             "scaling_threads": params.scaling_threads,
+            "sweep_scales": sweep_scales.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
             "trials": params.trials,
             "nodes": workload.node_count(),
             "edges": workload.edge_count(),
             "run": run_meta(&opts),
         });
-        let artifact = [table.clone(), scaling.clone()];
+        let artifact = [table.clone(), scaling.clone(), nodes_scaling.clone()];
         match write_json(&opts.out, "BENCH_rwr", &meta, &artifact) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => {
@@ -389,6 +436,7 @@ fn main() -> ExitCode {
         }
         tables.push(table);
         tables.push(scaling);
+        tables.push(nodes_scaling);
     }
 
     if wants("serve") {

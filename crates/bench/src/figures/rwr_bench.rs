@@ -20,12 +20,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ceps_graph::{normalize::Normalization, Transition};
+use ceps_graph::{normalize::Normalization, Precision, Transition, TransitionOptions};
 use ceps_pool::PoolHandle;
 use ceps_rwr::{RwrConfig, RwrEngine, ScratchPool};
 
 use crate::report::Table;
 use crate::workload::Workload;
+use crate::{rss, Scale};
 
 /// Parameters for the RWR kernel benchmark.
 #[derive(Debug, Clone)]
@@ -178,6 +179,103 @@ pub fn thread_scaling(workload: &Workload, params: &RwrBenchParams) -> Table {
     table
 }
 
+/// Query count used by [`node_thread_scaling`]: the middle of the paper's
+/// sweep, big enough to keep every worker busy, small enough to run at the
+/// paper scale in CI-adjacent time.
+pub const SCALING_QUERY_COUNT: usize = 5;
+
+/// Nodes × threads scaling sweep — the paper-scale story in one table.
+///
+/// For every scale in `scales`, generates a fresh workload, normalizes it
+/// with the default (auto-layout) options — so presets above the banding
+/// threshold exercise the cache-blocked kernel — and times the
+/// **forced-parallel** pooled kernel (`min_work = 0`) at
+/// [`SCALING_QUERY_COUNT`] queries for each worker count. Speedups are
+/// relative to the same scale's 1-thread row (prepended if absent).
+///
+/// Alongside the timings each row records the memory story:
+/// `op_f64_mb` / `op_f32_mb` are the normalized operator's footprint at
+/// both storage precisions (offsets + targets + coefficients + band
+/// index), and `peak_rss_mb` is the process's peak resident set
+/// ([`rss::peak_rss_kb`], `0` where procfs is unavailable), reset at the
+/// start of each scale when the platform allows it.
+///
+/// # Panics
+/// Panics if the pooled kernel disagrees with the sequential reference on
+/// any scale (checked once per scale before timing).
+pub fn node_thread_scaling(scales: &[Scale], params: &RwrBenchParams) -> Table {
+    let mut threads_sweep = params.scaling_threads.clone();
+    if threads_sweep.first() != Some(&1) {
+        threads_sweep.insert(0, 1);
+    }
+    let q = SCALING_QUERY_COUNT;
+    let mut table = Table::new(
+        "BENCH rwr: nodes x threads scaling (pooled kernel, forced parallel)",
+        vec![
+            "nodes".into(),
+            "threads".into(),
+            format!("q{q}_ms"),
+            format!("q{q}_speedup"),
+            "op_f64_mb".into(),
+            "op_f32_mb".into(),
+            "peak_rss_mb".into(),
+        ],
+    );
+    for &scale in scales {
+        rss::reset_peak_rss();
+        let workload = Workload::build(scale, params.seed);
+        let norm = Normalization::DegreePenalized {
+            alpha: params.alpha,
+        };
+        let transition =
+            Transition::with_options(&workload.data.graph, norm, TransitionOptions::default());
+        let op_f64_mb = transition.memory_bytes() as f64 / (1 << 20) as f64;
+        // The f32 operator is built only for its footprint, then dropped
+        // before anything is timed.
+        let op_f32_mb = {
+            let t32 = Transition::with_options(
+                &workload.data.graph,
+                norm,
+                TransitionOptions {
+                    precision: Precision::F32,
+                    ..TransitionOptions::default()
+                },
+            );
+            t32.memory_bytes() as f64 / (1 << 20) as f64
+        };
+        let queries = workload.repository.sample(q, params.seed);
+        let reference = engine(&transition, 1).solve_many(&queries).unwrap();
+
+        let nodes = workload.node_count() as f64;
+        let mut base_ms = f64::NAN;
+        for &t in &threads_sweep {
+            let pooled = pooled_engine(&transition, t, 0);
+            assert_eq!(
+                reference,
+                pooled.solve_many(&queries).unwrap(),
+                "pooled kernel diverged at scale {scale}, {t} threads"
+            );
+            let ms = time_ms(params.trials, || {
+                pooled.solve_many(&queries).unwrap();
+            });
+            if t == 1 {
+                base_ms = ms;
+            }
+            let peak_mb = rss::peak_rss_kb().unwrap_or(0) as f64 / 1024.0;
+            table.push_row(vec![
+                nodes,
+                t as f64,
+                ms,
+                base_ms / ms,
+                op_f64_mb,
+                op_f32_mb,
+                peak_mb,
+            ]);
+        }
+    }
+    table
+}
+
 fn engine(transition: &Transition, threads: usize) -> RwrEngine<'_> {
     let cfg = RwrConfig {
         threads,
@@ -226,6 +324,41 @@ mod tests {
             assert!(row[1] > 0.0);
             assert!(row[2].is_finite() && row[2] > 0.0);
         }
+    }
+
+    #[test]
+    fn node_thread_scaling_covers_scales_and_threads() {
+        let params = RwrBenchParams {
+            trials: 1,
+            scaling_threads: vec![1, 2],
+            seed: 7,
+            ..Default::default()
+        };
+        let t = node_thread_scaling(&[Scale::Tiny], &params);
+        assert_eq!(
+            t.columns,
+            vec![
+                "nodes",
+                "threads",
+                "q5_ms",
+                "q5_speedup",
+                "op_f64_mb",
+                "op_f32_mb",
+                "peak_rss_mb"
+            ]
+        );
+        assert_eq!(t.rows.len(), 2, "one row per thread count");
+        for row in &t.rows {
+            assert_eq!(row[0], 100.0, "tiny preset is 100 nodes");
+            assert!(row[2] > 0.0);
+            assert!(row[3].is_finite() && row[3] > 0.0);
+            // f32 operator must be strictly smaller, by less than half
+            // (offsets/targets stay u32 either way).
+            assert!(row[5] < row[4]);
+            assert!(row[5] > row[4] / 2.0);
+        }
+        assert_eq!(t.rows[0][1], 1.0);
+        assert_eq!(t.rows[0][3], 1.0, "base row speedup is 1 by definition");
     }
 
     #[test]

@@ -24,12 +24,17 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod quality;
 pub mod regression;
 pub mod report;
+pub mod rss;
 pub mod workload;
 
 /// Scale presets for the experiment graphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Variants are declared smallest-first, so the derived `Ord` compares by
+/// graph size (used by the nodes × threads sweep to cap its largest scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Scale {
     /// ~100 nodes — CI-friendly smoke scale.
     Tiny,
@@ -97,5 +102,13 @@ mod tests {
             assert_eq!(Scale::parse(&s.to_string()), Some(s));
         }
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scales_order_by_size() {
+        assert!(Scale::Tiny < Scale::Small);
+        assert!(Scale::Small < Scale::Medium);
+        assert!(Scale::Medium < Scale::Large);
+        assert!(Scale::Large < Scale::Paper);
     }
 }

@@ -1,0 +1,123 @@
+//! The `f32` precision quality gate.
+//!
+//! `--precision f32` halves the normalized operator's memory traffic by
+//! storing coefficients in `f32` (accumulation stays `f64`). That is only
+//! an acceptable trade if the end-to-end pipeline output is unaffected:
+//! the combined scores may drift by at most the coefficient rounding
+//! amplified through the damped power iteration, and the EXTRACT stage —
+//! which consumes score *rankings*, not magnitudes — must return the same
+//! subgraph.
+//!
+//! [`precision_check`] runs the full pipeline twice on one workload (once
+//! per precision) over several query sets and enforces both bounds. The
+//! `experiments -- check` command runs it after the timing regression
+//! gate, so a coefficient-precision regression fails CI the same way a
+//! performance regression does.
+
+use ceps_core::{CepsConfig, CepsEngine};
+use ceps_graph::{NodeId, Precision};
+
+use crate::report::Table;
+use crate::workload::Workload;
+use crate::Scale;
+
+/// Maximum tolerated absolute drift per combined score. Coefficients carry
+/// ~1e-7 relative rounding; 50 iterations of the `c = 0.5`-damped walk
+/// keep the accumulated drift orders of magnitude below this.
+pub const MAX_SCORE_ABS_DIFF: f64 = 1e-5;
+
+/// Query-set sizes exercised by the gate (mirrors the benchmark sweep).
+pub const CHECK_QUERY_COUNTS: [usize; 3] = [2, 5, 10];
+
+/// Outcome of the precision gate.
+#[derive(Debug)]
+pub struct PrecisionReport {
+    /// Per-query-count summary (max score drift, extraction agreement).
+    pub table: Table,
+    /// Largest absolute combined-score difference seen anywhere.
+    pub max_abs_diff: f64,
+    /// Whether every query set stayed within [`MAX_SCORE_ABS_DIFF`] *and*
+    /// produced identical extractions and top-node rankings.
+    pub passed: bool,
+}
+
+/// Runs the full CePS pipeline at `f64` and `f32` coefficient precision on
+/// one workload and compares the outputs.
+///
+/// For each query count in [`CHECK_QUERY_COUNTS`] the gate asserts:
+///
+/// 1. combined scores agree within [`MAX_SCORE_ABS_DIFF`] per node;
+/// 2. the extracted subgraphs contain exactly the same nodes;
+/// 3. `top_scoring_nodes(budget)` rank identically.
+///
+/// Solves run single-threaded so the comparison is deterministic.
+pub fn precision_check(scale: Scale, seed: u64) -> PrecisionReport {
+    let workload = Workload::build(scale, seed);
+    let cfg = CepsConfig::default().threads(1);
+    let f64_engine = CepsEngine::new(&workload.data.graph, cfg).unwrap();
+    let f32_engine = CepsEngine::new(&workload.data.graph, cfg.precision(Precision::F32)).unwrap();
+
+    let mut table = Table::new(
+        "CHECK f32 precision: pipeline drift vs f64",
+        vec![
+            "Q".into(),
+            "max_abs_diff".into(),
+            "same_subgraph".into(),
+            "same_top_nodes".into(),
+        ],
+    );
+    let mut max_abs_diff: f64 = 0.0;
+    let mut passed = true;
+    for (i, &q) in CHECK_QUERY_COUNTS.iter().enumerate() {
+        let queries = workload.repository.sample(q, seed ^ i as u64);
+        let a = f64_engine.run(&queries).unwrap();
+        let b = f32_engine.run(&queries).unwrap();
+
+        let mut q_diff: f64 = 0.0;
+        for (x, y) in a.combined.iter().zip(&b.combined) {
+            q_diff = q_diff.max((x - y).abs());
+        }
+        let sorted = |s: &ceps_graph::Subgraph| {
+            let mut v: Vec<NodeId> = s.nodes().collect();
+            v.sort();
+            v
+        };
+        let same_subgraph = sorted(&a.subgraph) == sorted(&b.subgraph);
+        let same_top = a.top_scoring_nodes(cfg.budget) == b.top_scoring_nodes(cfg.budget);
+
+        max_abs_diff = max_abs_diff.max(q_diff);
+        passed &= q_diff <= MAX_SCORE_ABS_DIFF && same_subgraph && same_top;
+        table.push_row(vec![
+            q as f64,
+            q_diff,
+            f64::from(u8::from(same_subgraph)),
+            f64::from(u8::from(same_top)),
+        ]);
+    }
+    PrecisionReport {
+        table,
+        max_abs_diff,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_on_the_small_preset() {
+        let report = precision_check(Scale::Tiny, 42);
+        assert!(
+            report.passed,
+            "precision gate failed: max diff {}\n{}",
+            report.max_abs_diff,
+            report.table.render()
+        );
+        assert!(report.max_abs_diff <= MAX_SCORE_ABS_DIFF);
+        assert_eq!(report.table.rows.len(), CHECK_QUERY_COUNTS.len());
+        // The drift must be nonzero (f32 really is coarser) yet bounded —
+        // a zero diff would mean the f32 path silently ran f64.
+        assert!(report.max_abs_diff > 0.0, "suspiciously exact f32 run");
+    }
+}

@@ -7,7 +7,8 @@
 //! pass (and are the signal to reseed the baseline).
 //!
 //! Benchmarks on shared CI runners are noisy, so the default bands are
-//! deliberately wide (40% relative on speedups). The `--tolerance` flag
+//! deliberately wide (60% relative on the RWR speedups, 40% on serving
+//! throughput — see [`default_gates`]). The `--tolerance` flag
 //! scales every band uniformly for machines noisier (or quieter) than the
 //! default assumption. Metrics can additionally pin an absolute floor
 //! (never pass below it, whatever the baseline) and a minimum x — the
@@ -94,17 +95,22 @@ pub struct GateSpec {
 
 /// The default gate set: RWR kernel and serving-throughput headlines.
 ///
-/// `par_speedup` is core-count sensitive, so its baseline band is the
-/// usual wide 40%; what actually protects it is the absolute `1.0` floor
-/// at `Q ≥ 5` — with the pool's sequential fallback, the parallel path
-/// must never lose to the batched kernel there, on any machine.
+/// The RWR speedup bands are wider (60%) than the serving ones (40%):
+/// the baseline is measured at the large preset, where back-to-back runs
+/// on a shared host were observed to swing the speedup ratios by 2-3×
+/// whenever a noisy neighbour compressed the cache (the scalar loop and
+/// the batched kernel degrade at different rates). `par_speedup` is
+/// additionally core-count sensitive; what actually protects it is the
+/// absolute `1.0` floor at `Q ≥ 5` — with the pool's sequential fallback,
+/// the parallel path must never lose to the batched kernel there, on any
+/// machine — plus CI's own absolute `≥ 1.5` assertion on the large preset.
 pub fn default_gates() -> Vec<GateSpec> {
     vec![
         GateSpec {
             artifact: "BENCH_rwr.json".into(),
             metrics: vec![
-                MetricSpec::new("block_speedup", Tolerance::Rel(0.40)),
-                MetricSpec::new("par_speedup", Tolerance::Rel(0.40))
+                MetricSpec::new("block_speedup", Tolerance::Rel(0.60)),
+                MetricSpec::new("par_speedup", Tolerance::Rel(0.60))
                     .min_x(5.0)
                     .floor(1.0),
             ],

@@ -1,0 +1,27 @@
+//! End-to-end `f32` precision gate on a non-toy workload.
+//!
+//! The unit test in `quality.rs` covers the tiny preset; this integration
+//! test runs the same gate on the medium (~10K node) workload, where the
+//! power iteration touches far more coefficients per solve and any
+//! systematic `f32` drift would have room to accumulate past the bound.
+
+use ceps_bench::quality::{precision_check, MAX_SCORE_ABS_DIFF};
+use ceps_bench::Scale;
+
+#[test]
+fn f32_precision_holds_on_the_medium_workload() {
+    let report = precision_check(Scale::Medium, 42);
+    assert!(
+        report.passed,
+        "precision gate failed on medium: max |diff| = {:.3e} (bound {:.1e})\n{}",
+        report.max_abs_diff,
+        MAX_SCORE_ABS_DIFF,
+        report.table.render()
+    );
+    // Sanity on the report shape: one row per query count, each recording
+    // identical extraction and ranking (columns 2 and 3 are 1.0 flags).
+    for row in &report.table.rows {
+        assert_eq!(row[2], 1.0, "subgraph mismatch at Q = {}", row[0]);
+        assert_eq!(row[3], 1.0, "top-node ranking mismatch at Q = {}", row[0]);
+    }
+}

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use ceps_core::QueryType;
+use ceps_graph::Precision;
 
 use crate::CliError;
 
@@ -49,6 +50,8 @@ pub enum Command {
         push: Option<f64>,
         /// RWR worker threads (`0` = auto: all available cores).
         threads: usize,
+        /// Storage precision of the normalized operator (`f64` | `f32`).
+        precision: Precision,
         /// Record per-stage spans/counters and print the profile tree.
         profile: bool,
         /// Where to write the `ceps-obs/v1` snapshot (default
@@ -89,6 +92,8 @@ pub enum Command {
         seed: u64,
         /// RWR worker threads per solve (`0` = auto).
         threads: usize,
+        /// Storage precision of the normalized operator (`f64` | `f32`).
+        precision: Precision,
         /// Emit JSON instead of text.
         json: bool,
         /// Record per-stage spans/counters and print the profile tree.
@@ -145,10 +150,11 @@ USAGE:
   ceps query    --graph FILE [--labels FILE] --queries \"a,b,...\"
                 [--type and|or|softand:K] [--budget N] [--alpha A]
                 [--dot FILE] [--json] [--push EPS] [--threads N]
+                [--precision f64|f32]
                 [--profile] [--profile-out FILE]
   ceps serve    --graph FILE [--requests N] [--queries-per Q] [--workers W]
                 [--repeat R] [--budget N] [--alpha A] [--cache-mb M]
-                [--seed N] [--threads N] [--json]
+                [--seed N] [--threads N] [--precision f64|f32] [--json]
                 [--profile] [--profile-out FILE]
                 [--metrics-out FILE.prom] [--metrics-interval MS]
                 [--trace-out FILE.jsonl] [--trace-sample RATE]
@@ -161,6 +167,10 @@ USAGE:
   --threads N uses a persistent worker pool for the RWR solves; 0 = auto
   (all available cores, default 1). Small solves fall back to the
   sequential kernel automatically, so 0 is safe on any graph.
+
+  --precision f32 stores the normalized operator's coefficients in half
+  the memory (accumulation stays f64); scores drift by at most the f32
+  rounding of each coefficient. Default f64 is bitwise-exact.
 ";
 
 fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -201,6 +211,14 @@ fn parse_query_type(s: &str) -> Result<QueryType, CliError> {
                 )))
             }
         }
+    }
+}
+
+fn parse_precision(flags: &HashMap<String, String>) -> Result<Precision, CliError> {
+    match flags.get("precision") {
+        None => Ok(Precision::F64),
+        Some(v) => Precision::parse(v)
+            .ok_or_else(|| CliError(format!("bad value for --precision: {v:?} (f64|f32)"))),
     }
 }
 
@@ -271,6 +289,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     })
                     .transpose()?,
                 threads: num(&flags, "threads", 1usize)?,
+                precision: parse_precision(&flags)?,
                 profile: flags.contains_key("profile"),
                 profile_out: flags.get("profile-out").map(PathBuf::from),
             })
@@ -302,6 +321,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cache_mb: num(&flags, "cache-mb", 64usize)?,
                 seed: num(&flags, "seed", 0u64)?,
                 threads: num(&flags, "threads", 1usize)?,
+                precision: parse_precision(&flags)?,
                 json: flags.contains_key("json"),
                 profile: flags.contains_key("profile"),
                 profile_out: flags.get("profile-out").map(PathBuf::from),
@@ -576,6 +596,55 @@ mod tests {
                 .0
                 .contains("--metrics-interval")
         );
+    }
+
+    #[test]
+    fn precision_flag_parses_on_query_and_serve() {
+        let c = parse(&v(&["query", "--graph", "g", "--queries", "0,1"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Query {
+                precision: Precision::F64,
+                ..
+            }
+        ));
+        let c = parse(&v(&[
+            "query",
+            "--graph",
+            "g",
+            "--queries",
+            "0,1",
+            "--precision",
+            "f32",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Query {
+                precision: Precision::F32,
+                ..
+            }
+        ));
+        let c = parse(&v(&["serve", "--graph", "g", "--precision", "f32"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                precision: Precision::F32,
+                ..
+            }
+        ));
+        assert!(parse(&v(&[
+            "query",
+            "--graph",
+            "g",
+            "--queries",
+            "0",
+            "--precision",
+            "f16"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("--precision"));
     }
 
     #[test]

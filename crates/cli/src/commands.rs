@@ -36,6 +36,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             json,
             push,
             threads,
+            precision,
             profile,
             profile_out,
         } => query(
@@ -50,6 +51,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 json,
                 push,
                 threads,
+                precision,
                 profile,
                 profile_out,
             },
@@ -78,6 +80,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             cache_mb,
             seed,
             threads,
+            precision,
             json,
             profile,
             profile_out,
@@ -97,6 +100,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 cache_mb,
                 seed,
                 threads,
+                precision,
                 json,
                 profile,
                 profile_out,
@@ -227,6 +231,7 @@ struct QueryOptions {
     json: bool,
     push: Option<f64>,
     threads: usize,
+    precision: ceps_graph::Precision,
     profile: bool,
     profile_out: Option<std::path::PathBuf>,
 }
@@ -265,6 +270,7 @@ fn query(
         json,
         push,
         threads,
+        precision,
         profile,
         profile_out,
     } = opts;
@@ -277,7 +283,8 @@ fn query(
         .budget(budget)
         .query_type(query_type)
         .alpha(alpha)
-        .threads(threads);
+        .threads(threads)
+        .precision(precision);
     if let Some(epsilon) = push {
         cfg = cfg.push_scores(epsilon);
     }
@@ -445,6 +452,7 @@ struct ServeOptions {
     cache_mb: usize,
     seed: u64,
     threads: usize,
+    precision: ceps_graph::Precision,
     json: bool,
     profile: bool,
     profile_out: Option<std::path::PathBuf>,
@@ -524,7 +532,8 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
     let cfg = CepsConfig::default()
         .budget(opts.budget)
         .alpha(opts.alpha)
-        .threads(opts.threads);
+        .threads(opts.threads)
+        .precision(opts.precision);
     let engine = CepsEngine::new(graph, cfg)?;
     let service = if opts.cache_mb == 0 {
         CepsService::uncached(engine)
@@ -750,6 +759,7 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             profile: false,
             profile_out: None,
         })
@@ -768,6 +778,7 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             profile: false,
             profile_out: None,
         })
@@ -790,6 +801,7 @@ mod tests {
             json: true,
             push: None,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             profile: false,
             profile_out: None,
         })
@@ -817,6 +829,7 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             profile: true,
             profile_out: Some(profile_path.clone()),
         })
@@ -863,6 +876,7 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             profile: false,
             profile_out: None,
         })
@@ -914,6 +928,7 @@ mod tests {
             json: false,
             push: None,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             profile: false,
             profile_out: None,
         })
@@ -935,6 +950,7 @@ mod tests {
             cache_mb: 16,
             seed: 1,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             json: false,
             profile: false,
             profile_out: None,
@@ -958,6 +974,7 @@ mod tests {
             cache_mb: 0,
             seed: 1,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             json: true,
             profile: false,
             profile_out: None,
@@ -992,6 +1009,7 @@ mod tests {
             cache_mb: 16,
             seed: 1,
             threads: 1,
+            precision: ceps_graph::Precision::F64,
             json: false,
             profile: false,
             profile_out: None,

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use ceps_graph::{
     normalize::Normalization, CsrGraph, GraphError, IntoSharedGraph, NodeId, Subgraph, Transition,
+    TransitionOptions,
 };
 use ceps_pool::PoolHandle;
 use ceps_rwr::{combine, ScoreBackend, ScoreMatrix};
@@ -163,7 +164,14 @@ impl CepsEngine {
                 alpha: config.alpha,
             }
         };
-        let transition = Arc::new(Transition::new(&graph, normalization));
+        let transition = Arc::new(Transition::with_options(
+            &graph,
+            normalization,
+            TransitionOptions {
+                precision: config.precision,
+                ..TransitionOptions::default()
+            },
+        ));
         // One lazy pool handle per engine: clones (and the services built
         // on them) share the same workers, which only spawn on the first
         // solve large enough to parallelize.
@@ -436,6 +444,38 @@ mod tests {
         for j in 0..g.node_count() {
             assert!(or_res.combined[j] >= and_res.combined[j] - 1e-12);
         }
+    }
+
+    #[test]
+    fn f32_precision_tracks_f64_and_finds_the_same_subgraph() {
+        let g = bridged_cliques();
+        let queries = [NodeId(1), NodeId(5)];
+        let f64_res = CepsEngine::new(&g, CepsConfig::default().budget(3))
+            .unwrap()
+            .run(&queries)
+            .unwrap();
+        let cfg = CepsConfig::default()
+            .budget(3)
+            .precision(ceps_graph::Precision::F32);
+        let engine = CepsEngine::new(&g, cfg).unwrap();
+        assert_eq!(engine.transition().precision(), ceps_graph::Precision::F32);
+        let f32_res = engine.run(&queries).unwrap();
+        // Coefficient rounding is ~1e-7 relative; after 50 damped
+        // iterations the combined scores stay well inside 1e-5.
+        for j in 0..g.node_count() {
+            assert!(
+                (f64_res.combined[j] - f32_res.combined[j]).abs() < 1e-5,
+                "node {j}: {} vs {}",
+                f64_res.combined[j],
+                f32_res.combined[j]
+            );
+        }
+        let sorted = |s: &Subgraph| {
+            let mut v: Vec<_> = s.nodes().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sorted(&f64_res.subgraph), sorted(&f32_res.subgraph));
     }
 
     #[test]

@@ -116,7 +116,9 @@ impl GraphBuilder {
     /// merged, and both directed arcs laid out in CSR order.
     ///
     /// # Errors
-    /// [`GraphError::EmptyGraph`] if no node was ever declared.
+    /// [`GraphError::EmptyGraph`] if no node was ever declared;
+    /// [`GraphError::TooManyArcs`] if the deduplicated edges need more
+    /// directed arcs than the `u32` CSR offsets can index.
     pub fn build(mut self) -> Result<CsrGraph> {
         if self.node_count == 0 {
             return Err(GraphError::EmptyGraph);
@@ -132,6 +134,10 @@ impl GraphBuilder {
                 _ => merged.push((lo, hi, w)),
             }
         }
+
+        // Every undirected edge becomes two directed arcs; refuse counts the
+        // u32 CSR offsets cannot represent instead of silently wrapping.
+        CsrGraph::ensure_arc_capacity(merged.len().saturating_mul(2))?;
 
         Ok(CsrGraph::from_dedup_edges(self.node_count, &merged))
     }

@@ -27,8 +27,22 @@ pub struct CsrGraph {
 }
 
 impl CsrGraph {
+    /// Checks that `arcs` directed arcs fit the `u32` CSR offsets.
+    ///
+    /// # Errors
+    /// [`GraphError::TooManyArcs`] when the count exceeds `u32::MAX` — the
+    /// offsets array would silently wrap otherwise.
+    pub(crate) fn ensure_arc_capacity(arcs: usize) -> Result<()> {
+        if arcs > u32::MAX as usize {
+            Err(GraphError::TooManyArcs { arcs })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Builds from undirected edges that are already deduplicated and sorted
-    /// by `(lo, hi)` with `lo < hi`. Internal: use [`crate::GraphBuilder`].
+    /// by `(lo, hi)` with `lo < hi`. Internal: use [`crate::GraphBuilder`],
+    /// which runs [`CsrGraph::ensure_arc_capacity`] first.
     pub(crate) fn from_dedup_edges(node_count: usize, edges: &[(u32, u32, f64)]) -> Self {
         let n = node_count;
         let mut counts = vec![0u32; n + 1];
@@ -348,6 +362,18 @@ mod tests {
         assert_eq!(g.neighbor_ids(NodeId(5)), &[0, 1, 2, 3, 4]);
         assert_eq!(g.neighbor_weights(NodeId(5)), &[1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(g.degree(NodeId(5)), 15.0);
+    }
+
+    #[test]
+    fn arc_capacity_guard_rejects_u32_overflow() {
+        // 2 × edges must stay indexable by the u32 offsets; the boundary
+        // value itself is fine, one past it is not.
+        assert!(CsrGraph::ensure_arc_capacity(0).is_ok());
+        assert!(CsrGraph::ensure_arc_capacity(u32::MAX as usize).is_ok());
+        assert!(matches!(
+            CsrGraph::ensure_arc_capacity(u32::MAX as usize + 1),
+            Err(GraphError::TooManyArcs { arcs }) if arcs == u32::MAX as usize + 1
+        ));
     }
 
     #[test]

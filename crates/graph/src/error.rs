@@ -38,6 +38,16 @@ pub enum GraphError {
     },
     /// The graph (or a requested subgraph) had no nodes.
     EmptyGraph,
+    /// The graph's directed-arc count (twice the deduplicated edge count)
+    /// exceeds what the `u32` CSR offsets can index.
+    ///
+    /// The CSR layout deliberately stores offsets/targets as `u32` to halve
+    /// the index bandwidth of the hot SpMM sweeps; building past that range
+    /// must fail loudly instead of silently wrapping the offsets.
+    TooManyArcs {
+        /// The arc count that overflowed.
+        arcs: usize,
+    },
     /// A parse error while reading the edge-list format.
     Parse {
         /// 1-based line number.
@@ -63,6 +73,13 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
             GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::TooManyArcs { arcs } => {
+                write!(
+                    f,
+                    "graph needs {arcs} directed arcs, more than the u32 CSR offsets can index ({})",
+                    u32::MAX
+                )
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
@@ -105,6 +122,10 @@ mod tests {
         assert!(e.to_string().contains("invalid weight"));
         let e = GraphError::SelfLoop { node: NodeId(3) };
         assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::TooManyArcs {
+            arcs: u32::MAX as usize + 2,
+        };
+        assert!(e.to_string().contains("u32"));
     }
 
     #[test]

@@ -28,6 +28,34 @@
 //! normalization: once built, the coefficients are immutable and (for the
 //! stochastic kinds) columns are guaranteed to sum to 1 over the incident
 //! arcs.
+//!
+//! ## Paper-scale layout and precision
+//!
+//! At the paper's DBLP scale (~315K nodes) the input panel `x` of a block
+//! product no longer fits in L2, so the per-arc gather `x[target]` thrashes.
+//! Two orthogonal, opt-in representations address that:
+//!
+//! * **Cache-blocked (banded) row layout** ([`LayoutChoice::Banded`], picked
+//!   automatically above [`AUTO_BAND_NODE_THRESHOLD`] nodes): each row's
+//!   arcs are partitioned into fixed-width *bands* of the target index
+//!   space, and the kernel sweeps band by band, so all `x` rows touched by
+//!   one band stay cache-resident. Because every CSR row stores its targets
+//!   in ascending order, visiting bands in ascending order preserves the
+//!   exact per-row accumulation order of the flat kernel — the partial
+//!   accumulator round-trips through `out` between bands, and an `f64`
+//!   store/load is exact, so banded results are **bitwise identical** to
+//!   flat results.
+//! * **`f32` coefficients** ([`Precision::F32`]): halves the bandwidth of
+//!   the coefficient array (targets/offsets are already `u32`).
+//!   Accumulation always happens in `f64` — each stored coefficient is
+//!   widened before the fused multiply-add — so the only error source is
+//!   the one-time rounding of each coefficient (≤ 2⁻²⁴ relative). The
+//!   `experiments -- check` quality gate bounds the end-to-end score
+//!   deviation and requires identical EXTRACT output.
+//!
+//! Both default to off ([`TransitionOptions::default`] keeps the flat `f64`
+//! layout on small graphs), and the flat kernel remains the oracle the
+//! banded one is property-tested against.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -54,6 +82,477 @@ pub enum Normalization {
     Symmetric,
 }
 
+/// Storage width of the transition coefficients.
+///
+/// Kernels always *accumulate* in `f64` regardless of storage; `F32` only
+/// changes how each coefficient is stored (and therefore how many bytes one
+/// SpMM sweep streams). See the module docs for the accuracy contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Precision {
+    /// Full-width `f64` coefficients (the default; bitwise-exact Eq. 5/10/20).
+    #[default]
+    F64,
+    /// Half-width `f32` coefficients: each stored value is the nearest-`f32`
+    /// rounding of the exact `f64` normalization result.
+    F32,
+}
+
+impl Precision {
+    /// Parses `"f64"` / `"f32"` (as accepted by the CLI `--precision` flag).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        })
+    }
+}
+
+/// Requested row layout for a [`Transition`] (see [`TransitionOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutChoice {
+    /// Flat below [`AUTO_BAND_NODE_THRESHOLD`] nodes, banded (with
+    /// [`DEFAULT_BAND_WIDTH`]) at or above it.
+    #[default]
+    Auto,
+    /// Always the flat CSR sweep (the small-graph default and the
+    /// bitwise-identity oracle).
+    Flat,
+    /// Always the cache-blocked layout with the given band width (clamped
+    /// to ≥ 1). Mostly useful for tests and experiments; `Auto` picks a
+    /// width sized so a band's slice of `x` fits in L2.
+    Banded {
+        /// Band width in target-index space (number of columns per band).
+        band_width: u32,
+    },
+}
+
+/// The layout a [`Transition`] actually resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Flat CSR: one pass over each row's full arc list.
+    Flat,
+    /// Cache-blocked: arcs grouped into fixed-width target bands.
+    Banded {
+        /// Band width in target-index space.
+        band_width: u32,
+    },
+}
+
+/// Construction options for [`Transition::with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionOptions {
+    /// Row layout (default [`LayoutChoice::Auto`]).
+    pub layout: LayoutChoice,
+    /// Coefficient storage width (default [`Precision::F64`]).
+    pub precision: Precision,
+}
+
+/// Node count at or above which [`LayoutChoice::Auto`] switches to the
+/// banded layout. Below it the whole `x` panel fits comfortably in L2 and
+/// banding only adds bookkeeping.
+pub const AUTO_BAND_NODE_THRESHOLD: usize = 1 << 16;
+
+/// Band width [`LayoutChoice::Auto`] uses: 4096 target rows per band keeps
+/// a band's slice of `x` at `4096 × cols × 8` bytes — 256 KiB for the
+/// widest 8-column panel, i.e. resident in any contemporary L2.
+pub const DEFAULT_BAND_WIDTH: u32 = 4096;
+
+/// A stored coefficient type the kernels can widen to `f64`.
+trait Coefficient: Copy {
+    fn widen(self) -> f64;
+}
+
+impl Coefficient for f64 {
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self
+    }
+}
+
+impl Coefficient for f32 {
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Coefficient storage — one variant per [`Precision`].
+#[derive(Debug, Clone)]
+enum Coeffs {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+impl Coeffs {
+    fn len(&self) -> usize {
+        match self {
+            Coeffs::F64(v) => v.len(),
+            Coeffs::F32(v) => v.len(),
+        }
+    }
+
+    /// The `i`-th coefficient widened to `f64`.
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            Coeffs::F64(v) => v[i],
+            Coeffs::F32(v) => f64::from(v[i]),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            Coeffs::F64(v) => std::mem::size_of_val(v.as_slice()),
+            Coeffs::F32(v) => std::mem::size_of_val(v.as_slice()),
+        }
+    }
+
+    fn precision(&self) -> Precision {
+        match self {
+            Coeffs::F64(_) => Precision::F64,
+            Coeffs::F32(_) => Precision::F32,
+        }
+    }
+
+    fn view(&self, s: usize, e: usize) -> CoeffsView<'_> {
+        match self {
+            Coeffs::F64(v) => CoeffsView::F64(&v[s..e]),
+            Coeffs::F32(v) => CoeffsView::F32(&v[s..e]),
+        }
+    }
+}
+
+/// A borrowed slice of transition coefficients, independent of the storage
+/// [`Precision`]. Returned by [`Transition::row`]; values read out are
+/// always widened to `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum CoeffsView<'a> {
+    /// Full-width storage.
+    F64(&'a [f64]),
+    /// Half-width storage.
+    F32(&'a [f32]),
+}
+
+impl<'a> CoeffsView<'a> {
+    /// Number of coefficients in the slice.
+    pub fn len(&self) -> usize {
+        match self {
+            CoeffsView::F64(s) => s.len(),
+            CoeffsView::F32(s) => s.len(),
+        }
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th coefficient, widened to `f64`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            CoeffsView::F64(s) => s[i],
+            CoeffsView::F32(s) => f64::from(s[i]),
+        }
+    }
+
+    /// Iterates the coefficients widened to `f64`.
+    pub fn iter(&self) -> CoeffsIter<'a> {
+        match self {
+            CoeffsView::F64(s) => CoeffsIter::F64(s.iter()),
+            CoeffsView::F32(s) => CoeffsIter::F32(s.iter()),
+        }
+    }
+
+    /// Collects the coefficients into an owned `Vec<f64>`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &CoeffsView<'a> {
+    type Item = f64;
+    type IntoIter = CoeffsIter<'a>;
+    fn into_iter(self) -> CoeffsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`CoeffsView`], yielding `f64` regardless of storage.
+#[derive(Debug, Clone)]
+pub enum CoeffsIter<'a> {
+    /// Full-width storage.
+    F64(std::slice::Iter<'a, f64>),
+    /// Half-width storage.
+    F32(std::slice::Iter<'a, f32>),
+}
+
+impl Iterator for CoeffsIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        match self {
+            CoeffsIter::F64(it) => it.next().copied(),
+            CoeffsIter::F32(it) => it.next().map(|&c| f64::from(c)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CoeffsIter::F64(it) => it.size_hint(),
+            CoeffsIter::F32(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for CoeffsIter<'_> {}
+
+/// One maximal run of a row's arcs falling into a single target band.
+/// `start..end` indexes the shared `targets`/`coeffs` arrays.
+#[derive(Debug, Clone, Copy)]
+struct BandEntry {
+    row: u32,
+    start: u32,
+    end: u32,
+}
+
+/// The cache-blocked index: per band, the (row-ascending) list of arc runs
+/// that land in it. Sparse by construction — a row contributes one entry
+/// per band it actually touches, so `entries.len() ≤ nnz` and in practice
+/// stays near `node_count` (community-clustered graphs touch few bands per
+/// row).
+#[derive(Debug, Clone)]
+struct Bands {
+    band_width: u32,
+    /// `band_count + 1` prefix offsets into `entries`.
+    band_offsets: Vec<u32>,
+    entries: Vec<BandEntry>,
+}
+
+impl Bands {
+    fn build(offsets: &[u32], targets: &[u32], node_count: usize, band_width: u32) -> Bands {
+        let w = band_width.max(1);
+        let band_count = node_count.div_ceil(w as usize);
+        // Pass 1: segments per band (shifted by one for the prefix sum).
+        let mut band_offsets = vec![0u32; band_count + 1];
+        let per_row = |u: usize, f: &mut dyn FnMut(u32, usize, usize)| {
+            let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+            let mut i = s;
+            while i < e {
+                let band = targets[i] / w;
+                let mut j = i + 1;
+                while j < e && targets[j] / w == band {
+                    j += 1;
+                }
+                f(band, i, j);
+                i = j;
+            }
+        };
+        for u in 0..node_count {
+            per_row(u, &mut |band, _, _| band_offsets[band as usize + 1] += 1);
+        }
+        for b in 1..band_offsets.len() {
+            band_offsets[b] += band_offsets[b - 1];
+        }
+        // Pass 2: place each segment at its band's cursor. Rows are visited
+        // in ascending order, so entries stay row-sorted within each band —
+        // the invariant the chunked kernel's binary search relies on.
+        let total = *band_offsets.last().unwrap_or(&0) as usize;
+        let mut entries = vec![
+            BandEntry {
+                row: 0,
+                start: 0,
+                end: 0
+            };
+            total
+        ];
+        let mut cursor: Vec<u32> = band_offsets[..band_count].to_vec();
+        for u in 0..node_count {
+            per_row(u, &mut |band, i, j| {
+                let c = &mut cursor[band as usize];
+                entries[*c as usize] = BandEntry {
+                    row: u as u32,
+                    start: i as u32,
+                    end: j as u32,
+                };
+                *c += 1;
+            });
+        }
+        Bands {
+            band_width: w,
+            band_offsets,
+            entries,
+        }
+    }
+
+    fn band_count(&self) -> usize {
+        self.band_offsets.len() - 1
+    }
+
+    fn band_entries(&self, b: usize) -> &[BandEntry] {
+        let (s, e) = (
+            self.band_offsets[b] as usize,
+            self.band_offsets[b + 1] as usize,
+        );
+        &self.entries[s..e]
+    }
+
+    fn bytes(&self) -> usize {
+        std::mem::size_of_val(self.band_offsets.as_slice())
+            + std::mem::size_of_val(self.entries.as_slice())
+    }
+}
+
+/// Flat `K`-column panel kernel: one pass over the full CSR arc list per
+/// row. Per column the arc order is exactly ascending-target order.
+#[allow(clippy::too_many_arguments)]
+fn flat_panel<const K: usize, C: Coefficient>(
+    offsets: &[u32],
+    targets: &[u32],
+    coeffs: &[C],
+    x: &[f64],
+    out: &mut [f64],
+    cols: usize,
+    first_row: usize,
+    first_col: usize,
+) {
+    for (local, orow) in out.chunks_exact_mut(cols).enumerate() {
+        let u = first_row + local;
+        let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+        let mut acc = [0f64; K];
+        for (t, c) in targets[s..e].iter().zip(&coeffs[s..e]) {
+            let xrow = &x[*t as usize * cols + first_col..];
+            for (a, xv) in acc.iter_mut().zip(&xrow[..K]) {
+                *a += c.widen() * xv;
+            }
+        }
+        orow[first_col..first_col + K].copy_from_slice(&acc);
+    }
+}
+
+/// Banded `K`-column panel kernel: zero the panel, then sweep band by band,
+/// folding each arc run into its row's accumulator loaded from (and stored
+/// back to) `out`. Bands ascend and rows store targets ascending, so the
+/// per-row addition sequence is identical to [`flat_panel`]; the `f64`
+/// round-trip through `out` is exact, making the result bitwise identical.
+#[allow(clippy::too_many_arguments)]
+fn banded_panel<const K: usize, C: Coefficient>(
+    bands: &Bands,
+    targets: &[u32],
+    coeffs: &[C],
+    x: &[f64],
+    out: &mut [f64],
+    cols: usize,
+    first_row: usize,
+    first_col: usize,
+) {
+    let rows = out.len() / cols;
+    let row_end = first_row + rows;
+    for orow in out.chunks_exact_mut(cols) {
+        orow[first_col..first_col + K].fill(0.0);
+    }
+    for b in 0..bands.band_count() {
+        let entries = bands.band_entries(b);
+        // Restrict to this chunk's rows: entries are row-ascending per band.
+        let lo = entries.partition_point(|en| (en.row as usize) < first_row);
+        let hi = lo + entries[lo..].partition_point(|en| (en.row as usize) < row_end);
+        for en in &entries[lo..hi] {
+            let local = en.row as usize - first_row;
+            let orow = &mut out[local * cols + first_col..local * cols + first_col + K];
+            let mut acc = [0f64; K];
+            acc.copy_from_slice(orow);
+            let (s, e) = (en.start as usize, en.end as usize);
+            for (t, c) in targets[s..e].iter().zip(&coeffs[s..e]) {
+                let xrow = &x[*t as usize * cols + first_col..];
+                for (a, xv) in acc.iter_mut().zip(&xrow[..K]) {
+                    *a += c.widen() * xv;
+                }
+            }
+            orow.copy_from_slice(&acc);
+        }
+    }
+}
+
+/// Dispatches one `K`-column panel to the flat or banded kernel.
+#[allow(clippy::too_many_arguments)]
+fn panel<const K: usize, C: Coefficient>(
+    bands: Option<&Bands>,
+    offsets: &[u32],
+    targets: &[u32],
+    coeffs: &[C],
+    x: &[f64],
+    out: &mut [f64],
+    cols: usize,
+    first_row: usize,
+    first_col: usize,
+) {
+    match bands {
+        None => flat_panel::<K, C>(offsets, targets, coeffs, x, out, cols, first_row, first_col),
+        Some(b) => banded_panel::<K, C>(b, targets, coeffs, x, out, cols, first_row, first_col),
+    }
+}
+
+/// Block kernel over the rows covered by `out`, generic over coefficient
+/// storage and layout. Narrow widths run as one const-generic panel whose
+/// accumulators live in registers; wider blocks sweep in 8-column panels.
+fn block_rows<C: Coefficient>(
+    bands: Option<&Bands>,
+    offsets: &[u32],
+    targets: &[u32],
+    coeffs: &[C],
+    x: &[f64],
+    out: &mut [f64],
+    cols: usize,
+    first_row: usize,
+) {
+    debug_assert_eq!(out.len() % cols, 0);
+    macro_rules! p {
+        ($k:literal, $fc:expr) => {
+            panel::<$k, C>(
+                bands, offsets, targets, coeffs, x, out, cols, first_row, $fc,
+            )
+        };
+    }
+    match cols {
+        1 => p!(1, 0),
+        2 => p!(2, 0),
+        3 => p!(3, 0),
+        4 => p!(4, 0),
+        5 => p!(5, 0),
+        6 => p!(6, 0),
+        7 => p!(7, 0),
+        8 => p!(8, 0),
+        _ => {
+            let mut first_col = 0;
+            while first_col < cols {
+                match cols - first_col {
+                    1 => p!(1, first_col),
+                    2 => p!(2, first_col),
+                    3 => p!(3, first_col),
+                    4 => p!(4, first_col),
+                    5 => p!(5, first_col),
+                    6 => p!(6, first_col),
+                    7 => p!(7, first_col),
+                    _ => p!(8, first_col),
+                }
+                first_col += 8;
+            }
+        }
+    }
+}
+
 /// A normalized adjacency operator, laid out arc-parallel with the source
 /// [`CsrGraph`].
 ///
@@ -73,120 +572,57 @@ pub enum Normalization {
 /// `coeff[arc u→v] = M[u, v]`: the coefficient that multiplies `x[v]` when
 /// accumulating the new value at `u`, so one matrix–vector product is a pure
 /// gather over each node's CSR slice (see [`Transition::apply`]).
+///
+/// Large graphs additionally carry the cache-blocked band index and may
+/// store coefficients in `f32` — see the module docs and
+/// [`Transition::with_options`]. Neither changes the operator's *values*
+/// beyond the documented `f32` rounding, and the banded kernel is bitwise
+/// identical to the flat one.
 #[derive(Debug, Clone)]
 pub struct Transition {
     offsets: Vec<u32>,
     targets: Vec<u32>,
-    coeffs: Vec<f64>,
+    coeffs: Coeffs,
+    bands: Option<Bands>,
     kind: Normalization,
     node_count: usize,
 }
 
 impl Transition {
-    /// Normalizes `graph` according to `kind`.
+    /// Normalizes `graph` according to `kind`, with default options
+    /// (auto layout, `f64` coefficients).
     ///
     /// Isolated nodes get an all-zero column (the walk can never reach or
     /// leave them), which the stochastic invariant tolerates.
     pub fn new(graph: &CsrGraph, kind: Normalization) -> Self {
-        match kind {
-            Normalization::ColumnStochastic => Self::degree_penalized(graph, 0.0),
-            Normalization::DegreePenalized { alpha } => Self::degree_penalized(graph, alpha),
-            Normalization::Symmetric => Self::symmetric(graph),
-        }
+        Self::with_options(graph, kind, TransitionOptions::default())
     }
 
-    /// Eq. 10 + Eq. 5. With `alpha == 0` this is exactly Eq. 5.
-    fn degree_penalized(graph: &CsrGraph, alpha: f64) -> Self {
+    /// Normalizes `graph` according to `kind` with explicit layout and
+    /// precision options.
+    pub fn with_options(graph: &CsrGraph, kind: Normalization, opts: TransitionOptions) -> Self {
+        let (offsets, targets, coeffs, kind) = match kind {
+            Normalization::ColumnStochastic => raw_degree_penalized(graph, 0.0),
+            Normalization::DegreePenalized { alpha } => raw_degree_penalized(graph, alpha),
+            Normalization::Symmetric => raw_symmetric(graph),
+        };
         let n = graph.node_count();
-        // Penalty factor 1 / d_u^alpha per *destination* node u (the row node
-        // of Eq. 10 becomes the destination when reading down a column).
-        let penalty: Vec<f64> = (0..n)
-            .map(|u| {
-                let d = graph.degree(NodeId::from_index(u));
-                if d > 0.0 {
-                    d.powf(-alpha)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-
-        // Column sums of the penalized matrix: for column v,
-        // Σ_u w(u, v) · penalty[u].
-        let mut col_sum = vec![0f64; n];
-        for v in 0..n {
-            let vid = NodeId::from_index(v);
-            let ids = graph.neighbor_ids(vid);
-            let ws = graph.neighbor_weights(vid);
-            let mut s = 0.0;
-            for (t, w) in ids.iter().zip(ws) {
-                s += w * penalty[*t as usize];
-            }
-            col_sum[v] = s;
-        }
-
-        // coeff[u→v] = w(u, v) · penalty[u] / col_sum[v].
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::with_capacity(graph.arc_count());
-        let mut coeffs = Vec::with_capacity(graph.arc_count());
-        offsets.push(0u32);
-        for u in 0..n {
-            let uid = NodeId::from_index(u);
-            let ids = graph.neighbor_ids(uid);
-            let ws = graph.neighbor_weights(uid);
-            for (t, w) in ids.iter().zip(ws) {
-                let v = *t as usize;
-                let c = if col_sum[v] > 0.0 {
-                    w * penalty[u] / col_sum[v]
-                } else {
-                    0.0
-                };
-                targets.push(*t);
-                coeffs.push(c);
-            }
-            offsets.push(targets.len() as u32);
-        }
+        let band_width = match opts.layout {
+            LayoutChoice::Flat => None,
+            LayoutChoice::Banded { band_width } => Some(band_width.max(1)),
+            LayoutChoice::Auto => (n >= AUTO_BAND_NODE_THRESHOLD).then_some(DEFAULT_BAND_WIDTH),
+        };
+        let bands = band_width.map(|w| Bands::build(&offsets, &targets, n, w));
+        let coeffs = match opts.precision {
+            Precision::F64 => Coeffs::F64(coeffs),
+            Precision::F32 => Coeffs::F32(coeffs.iter().map(|&c| c as f32).collect()),
+        };
         Transition {
             offsets,
             targets,
             coeffs,
-            kind: Normalization::DegreePenalized { alpha },
-            node_count: n,
-        }
-    }
-
-    /// Eq. 20: `S[u, v] = w(u, v) / sqrt(d_u · d_v)`.
-    fn symmetric(graph: &CsrGraph) -> Self {
-        let n = graph.node_count();
-        let inv_sqrt: Vec<f64> = (0..n)
-            .map(|u| {
-                let d = graph.degree(NodeId::from_index(u));
-                if d > 0.0 {
-                    1.0 / d.sqrt()
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::with_capacity(graph.arc_count());
-        let mut coeffs = Vec::with_capacity(graph.arc_count());
-        offsets.push(0u32);
-        for u in 0..n {
-            let uid = NodeId::from_index(u);
-            let ids = graph.neighbor_ids(uid);
-            let ws = graph.neighbor_weights(uid);
-            for (t, w) in ids.iter().zip(ws) {
-                targets.push(*t);
-                coeffs.push(w * inv_sqrt[u] * inv_sqrt[*t as usize]);
-            }
-            offsets.push(targets.len() as u32);
-        }
-        Transition {
-            offsets,
-            targets,
-            coeffs,
-            kind: Normalization::Symmetric,
+            bands,
+            kind,
             node_count: n,
         }
     }
@@ -194,6 +630,31 @@ impl Transition {
     /// The normalization this operator applies.
     pub fn kind(&self) -> Normalization {
         self.kind
+    }
+
+    /// The coefficient storage width.
+    pub fn precision(&self) -> Precision {
+        self.coeffs.precision()
+    }
+
+    /// The resolved row layout.
+    pub fn layout(&self) -> Layout {
+        match &self.bands {
+            None => Layout::Flat,
+            Some(b) => Layout::Banded {
+                band_width: b.band_width,
+            },
+        }
+    }
+
+    /// Bytes held by the operator's index and coefficient arrays (offsets,
+    /// targets, coefficients, and the band index when present) — the
+    /// number the `f32`/banded memory story is measured by.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.offsets.as_slice())
+            + std::mem::size_of_val(self.targets.as_slice())
+            + self.coeffs.bytes()
+            + self.bands.as_ref().map_or(0, Bands::bytes)
     }
 
     /// Number of nodes (matrix dimension).
@@ -212,14 +673,7 @@ impl Transition {
     pub fn apply(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.node_count, "input vector length mismatch");
         assert_eq!(out.len(), self.node_count, "output vector length mismatch");
-        for u in 0..self.node_count {
-            let (s, e) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
-            let mut acc = 0.0;
-            for (t, c) in self.targets[s..e].iter().zip(&self.coeffs[s..e]) {
-                acc += c * x[*t as usize];
-            }
-            out[u] = acc;
-        }
+        self.apply_block_rows(x, out, 1, 0);
     }
 
     /// Computes `out = M · X` for a dense block `X` of `cols` column
@@ -231,7 +685,8 @@ impl Transition {
     /// accumulators, instead of being re-read per solve as in the
     /// one-column [`Transition::apply`]. Per column, the accumulation
     /// visits arcs in the same order as `apply`, so results are
-    /// bitwise-identical to `cols` independent scalar products.
+    /// bitwise-identical to `cols` independent scalar products — in the
+    /// banded layout too (see the module docs).
     ///
     /// # Panics
     /// Panics if `cols == 0` or either slice is not `node_count * cols`
@@ -254,66 +709,29 @@ impl Transition {
     /// Block kernel over the row range `first_row ..`, writing into `out`
     /// (whose length selects how many rows are computed). Shared by
     /// [`Transition::apply_block`] and the parallel row-chunked variants.
-    ///
-    /// Dispatches narrow widths to a const-generic kernel whose `cols`
-    /// accumulators live in registers for the whole CSR sweep; the batched
-    /// win over repeated [`Transition::apply`] comes from that reuse. Wider
-    /// blocks sweep the CSR arrays once per 8-column panel, which keeps the
-    /// register pressure bounded while still amortizing each entry load
-    /// across 8 columns.
+    /// Dispatches on coefficient storage and layout, then on panel width.
     fn apply_block_rows(&self, x: &[f64], out: &mut [f64], cols: usize, first_row: usize) {
-        debug_assert_eq!(out.len() % cols, 0);
-        match cols {
-            1 => self.apply_block_rows_fixed::<1>(x, out, cols, first_row, 0),
-            2 => self.apply_block_rows_fixed::<2>(x, out, cols, first_row, 0),
-            3 => self.apply_block_rows_fixed::<3>(x, out, cols, first_row, 0),
-            4 => self.apply_block_rows_fixed::<4>(x, out, cols, first_row, 0),
-            5 => self.apply_block_rows_fixed::<5>(x, out, cols, first_row, 0),
-            6 => self.apply_block_rows_fixed::<6>(x, out, cols, first_row, 0),
-            7 => self.apply_block_rows_fixed::<7>(x, out, cols, first_row, 0),
-            8 => self.apply_block_rows_fixed::<8>(x, out, cols, first_row, 0),
-            _ => {
-                let mut first_col = 0;
-                while first_col < cols {
-                    match cols - first_col {
-                        1 => self.apply_block_rows_fixed::<1>(x, out, cols, first_row, first_col),
-                        2 => self.apply_block_rows_fixed::<2>(x, out, cols, first_row, first_col),
-                        3 => self.apply_block_rows_fixed::<3>(x, out, cols, first_row, first_col),
-                        4 => self.apply_block_rows_fixed::<4>(x, out, cols, first_row, first_col),
-                        5 => self.apply_block_rows_fixed::<5>(x, out, cols, first_row, first_col),
-                        6 => self.apply_block_rows_fixed::<6>(x, out, cols, first_row, first_col),
-                        7 => self.apply_block_rows_fixed::<7>(x, out, cols, first_row, first_col),
-                        _ => self.apply_block_rows_fixed::<8>(x, out, cols, first_row, first_col),
-                    }
-                    first_col += 8;
-                }
-            }
-        }
-    }
-
-    /// Computes the `K`-column panel starting at column `first_col` of the
-    /// stride-`cols` block, for the rows covered by `out`. Per column the
-    /// arc order is identical to [`Transition::apply`], so any panel split
-    /// produces bitwise-identical results.
-    fn apply_block_rows_fixed<const K: usize>(
-        &self,
-        x: &[f64],
-        out: &mut [f64],
-        cols: usize,
-        first_row: usize,
-        first_col: usize,
-    ) {
-        for (local, orow) in out.chunks_exact_mut(cols).enumerate() {
-            let u = first_row + local;
-            let (s, e) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
-            let mut acc = [0f64; K];
-            for (t, c) in self.targets[s..e].iter().zip(&self.coeffs[s..e]) {
-                let xrow = &x[*t as usize * cols + first_col..];
-                for (a, xv) in acc.iter_mut().zip(&xrow[..K]) {
-                    *a += c * xv;
-                }
-            }
-            orow[first_col..first_col + K].copy_from_slice(&acc);
+        match &self.coeffs {
+            Coeffs::F64(c) => block_rows(
+                self.bands.as_ref(),
+                &self.offsets,
+                &self.targets,
+                c,
+                x,
+                out,
+                cols,
+                first_row,
+            ),
+            Coeffs::F32(c) => block_rows(
+                self.bands.as_ref(),
+                &self.offsets,
+                &self.targets,
+                c,
+                x,
+                out,
+                cols,
+                first_row,
+            ),
         }
     }
 
@@ -334,6 +752,11 @@ impl Transition {
     /// the whole product; nnz balancing is what lets the worker pool keep
     /// every thread busy.
     ///
+    /// In the banded layout, interior boundaries are additionally snapped
+    /// to the nearest band-width multiple (when that keeps chunks
+    /// non-empty), so each worker's chunk covers whole band blocks and the
+    /// per-band entry restriction stays a pair of clean binary searches.
+    ///
     /// Ranges are non-empty, disjoint, ascending and cover `0..node_count`
     /// exactly. A row whose nnz exceeds a quantile span simply becomes its
     /// own (oversized) chunk — rows are never split.
@@ -352,7 +775,16 @@ impl Transition {
         for k in 1..target {
             let want = (k as u64 * nnz).div_ceil(target as u64) as u32;
             // First row index whose prefix sum reaches the quantile.
-            let bound = self.offsets.partition_point(|&o| o < want).min(n);
+            let mut bound = self.offsets.partition_point(|&o| o < want).min(n);
+            if let Some(b) = &self.bands {
+                let w = b.band_width as usize;
+                let down = bound - bound % w;
+                let up = (down + w).min(n);
+                let snapped = if bound - down <= up - bound { down } else { up };
+                if snapped > prev {
+                    bound = snapped;
+                }
+            }
             if bound > prev {
                 chunks.push((prev, bound));
                 prev = bound;
@@ -379,8 +811,9 @@ impl Transition {
     /// Parallel [`Transition::apply_block`] over a persistent
     /// [`WorkerPool`]: one dispatch (wake → steal → sleep) per call, no
     /// thread spawns. The rows are pre-split into nnz-balanced chunks
-    /// ([`Transition::balanced_row_chunks`], ~4 per worker) and claimed off
-    /// an atomic cursor, so a straggling worker sheds load to the others.
+    /// ([`Transition::balanced_row_chunks`], ~4 per worker, band-aligned in
+    /// the banded layout) and claimed off an atomic cursor, so a straggling
+    /// worker sheds load to the others.
     ///
     /// Falls back to the sequential kernel when the pool is
     /// single-threaded or the estimated work (`nnz × cols`) is under the
@@ -389,8 +822,8 @@ impl Transition {
     ///
     /// **Bitwise-identical to [`Transition::apply_block`]**: each row is
     /// computed by exactly one worker with the same per-row arithmetic
-    /// order, so neither the chunking nor the claiming order can change a
-    /// single bit of the output.
+    /// order (flat and banded alike), so neither the chunking nor the
+    /// claiming order can change a single bit of the output.
     ///
     /// Telemetry (when a `ceps-obs` recorder is installed): a `pool.apply`
     /// span around the dispatch and a `pool.chunks_stolen` counter for
@@ -456,7 +889,9 @@ impl Transition {
     /// The matrix entry `M[u, v]` (`W̃[u, v]` in the paper's notation — for
     /// the stochastic kinds, the probability of stepping `v → u`).
     ///
-    /// Used by the edge-score definition Eq. 15. `O(log deg(u))`.
+    /// Used by the edge-score definition Eq. 15. `O(log deg(u))`. The value
+    /// is widened from storage, so in `f32` mode it carries the storage
+    /// rounding.
     pub fn coeff(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let (s, e) = (
             self.offsets[u.index()] as usize,
@@ -465,17 +900,19 @@ impl Transition {
         self.targets[s..e]
             .binary_search(&v.0)
             .ok()
-            .map(|i| self.coeffs[s + i])
+            .map(|i| self.coeffs.get(s + i))
     }
 
-    /// Out-neighborhood view used by solvers: ids and coefficients of row `u`.
+    /// Out-neighborhood view used by solvers: ids and coefficients of row
+    /// `u`. The coefficient side is a [`CoeffsView`] so callers stay
+    /// agnostic of the storage [`Precision`].
     #[inline]
-    pub fn row(&self, u: NodeId) -> (&[u32], &[f64]) {
+    pub fn row(&self, u: NodeId) -> (&[u32], CoeffsView<'_>) {
         let (s, e) = (
             self.offsets[u.index()] as usize,
             self.offsets[u.index() + 1] as usize,
         );
-        (&self.targets[s..e], &self.coeffs[s..e])
+        (&self.targets[s..e], self.coeffs.view(s, e))
     }
 
     /// Entries of column `v`: `(u, M[u, v])` for every structurally
@@ -501,8 +938,8 @@ impl Transition {
         let mut sums = vec![0f64; self.node_count];
         for u in 0..self.node_count {
             let (s, e) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
-            for (t, c) in self.targets[s..e].iter().zip(&self.coeffs[s..e]) {
-                sums[*t as usize] += c;
+            for (i, t) in (s..e).zip(&self.targets[s..e]) {
+                sums[*t as usize] += self.coeffs.get(i);
             }
         }
         sums
@@ -515,12 +952,104 @@ impl Transition {
         let mut m = vec![vec![0f64; n]; n];
         for u in 0..n {
             let (s, e) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
-            for (t, c) in self.targets[s..e].iter().zip(&self.coeffs[s..e]) {
-                m[u][*t as usize] = *c;
+            for (i, t) in (s..e).zip(&self.targets[s..e]) {
+                m[u][*t as usize] = self.coeffs.get(i);
             }
         }
         m
     }
+}
+
+/// Eq. 10 + Eq. 5 raw arrays. With `alpha == 0` this is exactly Eq. 5.
+fn raw_degree_penalized(
+    graph: &CsrGraph,
+    alpha: f64,
+) -> (Vec<u32>, Vec<u32>, Vec<f64>, Normalization) {
+    let n = graph.node_count();
+    // Penalty factor 1 / d_u^alpha per *destination* node u (the row node
+    // of Eq. 10 becomes the destination when reading down a column).
+    let penalty: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = graph.degree(NodeId::from_index(u));
+            if d > 0.0 {
+                d.powf(-alpha)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    // Column sums of the penalized matrix: for column v,
+    // Σ_u w(u, v) · penalty[u].
+    let mut col_sum = vec![0f64; n];
+    for v in 0..n {
+        let vid = NodeId::from_index(v);
+        let ids = graph.neighbor_ids(vid);
+        let ws = graph.neighbor_weights(vid);
+        let mut s = 0.0;
+        for (t, w) in ids.iter().zip(ws) {
+            s += w * penalty[*t as usize];
+        }
+        col_sum[v] = s;
+    }
+
+    // coeff[u→v] = w(u, v) · penalty[u] / col_sum[v].
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(graph.arc_count());
+    let mut coeffs = Vec::with_capacity(graph.arc_count());
+    offsets.push(0u32);
+    for u in 0..n {
+        let uid = NodeId::from_index(u);
+        let ids = graph.neighbor_ids(uid);
+        let ws = graph.neighbor_weights(uid);
+        for (t, w) in ids.iter().zip(ws) {
+            let v = *t as usize;
+            let c = if col_sum[v] > 0.0 {
+                w * penalty[u] / col_sum[v]
+            } else {
+                0.0
+            };
+            targets.push(*t);
+            coeffs.push(c);
+        }
+        offsets.push(targets.len() as u32);
+    }
+    (
+        offsets,
+        targets,
+        coeffs,
+        Normalization::DegreePenalized { alpha },
+    )
+}
+
+/// Eq. 20 raw arrays: `S[u, v] = w(u, v) / sqrt(d_u · d_v)`.
+fn raw_symmetric(graph: &CsrGraph) -> (Vec<u32>, Vec<u32>, Vec<f64>, Normalization) {
+    let n = graph.node_count();
+    let inv_sqrt: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = graph.degree(NodeId::from_index(u));
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(graph.arc_count());
+    let mut coeffs = Vec::with_capacity(graph.arc_count());
+    offsets.push(0u32);
+    for u in 0..n {
+        let uid = NodeId::from_index(u);
+        let ids = graph.neighbor_ids(uid);
+        let ws = graph.neighbor_weights(uid);
+        for (t, w) in ids.iter().zip(ws) {
+            targets.push(*t);
+            coeffs.push(w * inv_sqrt[u] * inv_sqrt[*t as usize]);
+        }
+        offsets.push(targets.len() as u32);
+    }
+    (offsets, targets, coeffs, Normalization::Symmetric)
 }
 
 #[cfg(test)]
@@ -535,6 +1064,23 @@ mod tests {
         b.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
         b.add_edge(NodeId(0), NodeId(2), 3.0).unwrap();
         b.add_edge(NodeId(2), NodeId(3), 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A ~60-node weighted graph whose rows span several width-8 bands.
+    fn wide_graph() -> CsrGraph {
+        let n = 60u32;
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            for step in [1u32, 7, 19, 33] {
+                let j = (i + step) % n;
+                let _ = b.add_edge(
+                    NodeId(i),
+                    NodeId(j),
+                    1.0 + (i % 5) as f64 + step as f64 / 3.0,
+                );
+            }
+        }
         b.build().unwrap()
     }
 
@@ -638,5 +1184,184 @@ mod tests {
         assert!((sums[0] - 1.0).abs() < 1e-12);
         assert!((sums[1] - 1.0).abs() < 1e-12);
         assert_eq!(sums[2], 0.0);
+    }
+
+    #[test]
+    fn auto_layout_is_flat_below_threshold() {
+        let g = wide_graph();
+        let t = Transition::new(&g, Normalization::ColumnStochastic);
+        assert_eq!(t.layout(), Layout::Flat);
+        assert_eq!(t.precision(), Precision::F64);
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn banded_apply_is_bitwise_identical_to_flat() {
+        let g = wide_graph();
+        let kind = Normalization::DegreePenalized { alpha: 0.5 };
+        let flat = Transition::with_options(
+            &g,
+            kind,
+            TransitionOptions {
+                layout: LayoutChoice::Flat,
+                precision: Precision::F64,
+            },
+        );
+        for band_width in [1u32, 3, 8, 64, 1000] {
+            let banded = Transition::with_options(
+                &g,
+                kind,
+                TransitionOptions {
+                    layout: LayoutChoice::Banded { band_width },
+                    precision: Precision::F64,
+                },
+            );
+            assert_eq!(
+                banded.layout(),
+                Layout::Banded {
+                    band_width: band_width.max(1)
+                }
+            );
+            // cols = 11 exercises the 8-wide panel split too.
+            for cols in [1usize, 2, 5, 8, 11] {
+                let n = g.node_count();
+                let x: Vec<f64> = (0..n * cols).map(|i| (i as f64).sin()).collect();
+                let mut a = vec![0f64; n * cols];
+                let mut b = vec![0f64; n * cols];
+                flat.apply_block(&x, &mut a, cols);
+                banded.apply_block(&x, &mut b, cols);
+                assert!(
+                    a.iter().zip(&b).all(|(p, q)| p.to_bits() == q.to_bits()),
+                    "band_width {band_width} cols {cols}: banded differs from flat"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_chunked_rows_match_full_apply() {
+        // Drive the chunked entry restriction directly: computing the block
+        // in two arbitrary row chunks must equal one full apply, bitwise.
+        let g = wide_graph();
+        let t = Transition::with_options(
+            &g,
+            Normalization::ColumnStochastic,
+            TransitionOptions {
+                layout: LayoutChoice::Banded { band_width: 8 },
+                precision: Precision::F64,
+            },
+        );
+        let n = g.node_count();
+        let cols = 3;
+        let x: Vec<f64> = (0..n * cols).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut whole = vec![0f64; n * cols];
+        t.apply_block(&x, &mut whole, cols);
+        for split in [1usize, 7, 29, n - 1] {
+            let mut parts = vec![0f64; n * cols];
+            let (lo, hi) = parts.split_at_mut(split * cols);
+            t.apply_block_rows(&x, lo, cols, 0);
+            t.apply_block_rows(&x, hi, cols, split);
+            assert!(
+                whole
+                    .iter()
+                    .zip(&parts)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "split at {split} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_mode_tracks_f64_and_reports_precision() {
+        let g = wide_graph();
+        let kind = Normalization::DegreePenalized { alpha: 0.5 };
+        let full = Transition::new(&g, kind);
+        let lean = Transition::with_options(
+            &g,
+            kind,
+            TransitionOptions {
+                layout: LayoutChoice::Flat,
+                precision: Precision::F32,
+            },
+        );
+        assert_eq!(lean.precision(), Precision::F32);
+        assert!(lean.memory_bytes() < full.memory_bytes());
+        // Every coefficient is within one f32 rounding of the exact value,
+        // and the accessors agree with the kernels.
+        for u in g.nodes() {
+            let (ids, cs) = lean.row(u);
+            assert_eq!(ids.len(), cs.len());
+            for (i, &v) in ids.iter().enumerate() {
+                let exact = full.coeff(u, NodeId(v)).unwrap();
+                let stored = cs.get(i);
+                assert_eq!(stored, lean.coeff(u, NodeId(v)).unwrap());
+                assert!((stored - exact).abs() <= exact.abs() * 1e-6);
+            }
+        }
+        let n = g.node_count();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) / 17.0).collect();
+        let mut a = vec![0f64; n];
+        let mut b = vec![0f64; n];
+        full.apply(&x, &mut a);
+        lean.apply(&x, &mut b);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-6, "f32 apply drifted: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn f32_banded_is_bitwise_identical_to_f32_flat() {
+        let g = wide_graph();
+        let kind = Normalization::ColumnStochastic;
+        let mk = |layout| {
+            Transition::with_options(
+                &g,
+                kind,
+                TransitionOptions {
+                    layout,
+                    precision: Precision::F32,
+                },
+            )
+        };
+        let flat = mk(LayoutChoice::Flat);
+        let banded = mk(LayoutChoice::Banded { band_width: 16 });
+        let n = g.node_count();
+        let cols = 5;
+        let x: Vec<f64> = (0..n * cols).map(|i| (i as f64).cos()).collect();
+        let mut a = vec![0f64; n * cols];
+        let mut b = vec![0f64; n * cols];
+        flat.apply_block(&x, &mut a, cols);
+        banded.apply_block(&x, &mut b, cols);
+        assert!(a.iter().zip(&b).all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn banded_chunks_snap_to_band_boundaries_and_cover_all_rows() {
+        let g = wide_graph();
+        let t = Transition::with_options(
+            &g,
+            Normalization::ColumnStochastic,
+            TransitionOptions {
+                layout: LayoutChoice::Banded { band_width: 8 },
+                precision: Precision::F64,
+            },
+        );
+        let n = g.node_count();
+        for target in [1usize, 2, 3, 5, n] {
+            let chunks = t.balanced_row_chunks(target);
+            assert!(!chunks.is_empty());
+            assert_eq!(chunks.first().unwrap().0, 0);
+            assert_eq!(chunks.last().unwrap().1, n);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "chunks must tile contiguously");
+            }
+            for &(s, e) in &chunks {
+                assert!(s < e, "empty chunk");
+                // Interior boundaries land on band multiples when possible.
+                if e != n && target <= 3 {
+                    assert_eq!(e % 8, 0, "boundary {e} not band-aligned");
+                }
+            }
+        }
     }
 }

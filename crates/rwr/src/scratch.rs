@@ -13,24 +13,67 @@
 //! returns to) the same stack. Buffers are handed out zeroed, so reuse is
 //! invisible to the solver — results stay bitwise-identical to fresh
 //! allocations.
+//!
+//! Retention is bounded in **two** dimensions: at most `MAX_POOLED`
+//! buffers are parked, and each parked buffer is shrunk back to the pool's
+//! high-water mark ([`DEFAULT_MAX_RETAINED_LEN`] elements unless configured
+//! via [`ScratchPool::with_max_retained_len`]). Without the second bound, a
+//! single paper-scale solve (~315K nodes × Q columns ≈ tens of MB per
+//! buffer) would pin hundreds of megabytes for the lifetime of the engine;
+//! with it, oversized returns keep only a reusable prefix allocation and
+//! the excess goes back to the allocator immediately.
 
 use std::sync::{Mutex, PoisonError};
 
 /// Retain at most this many returned buffers; beyond it, returns are
-/// simply dropped. Bounds worst-case memory at `MAX_POOLED` × the largest
-/// concurrent block while still covering every worker of a busy service.
+/// simply dropped. Bounds worst-case memory at `MAX_POOLED` × the
+/// per-buffer high-water mark while still covering every worker of a busy
+/// service.
 const MAX_POOLED: usize = 8;
 
-/// A small stack of reusable `Vec<f64>` scratch buffers.
-#[derive(Debug, Default)]
+/// Default per-buffer high-water mark, in `f64` elements: 2²⁰ elements is
+/// 8 MiB — ample for the medium serving preset (10K nodes × Q ≤ 100
+/// columns) while capping the pool's worst case at `8 × 8 MiB = 64 MiB`
+/// even after paper-scale solves.
+pub const DEFAULT_MAX_RETAINED_LEN: usize = 1 << 20;
+
+/// A small stack of reusable `Vec<f64>` scratch buffers with bounded
+/// retention.
+#[derive(Debug)]
 pub struct ScratchPool {
     free: Mutex<Vec<Vec<f64>>>,
+    /// Per-buffer retention cap, in elements; see
+    /// [`ScratchPool::with_max_retained_len`].
+    max_retained_len: usize,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self::with_max_retained_len(DEFAULT_MAX_RETAINED_LEN)
+    }
 }
 
 impl ScratchPool {
-    /// An empty pool.
+    /// An empty pool with the default high-water mark
+    /// ([`DEFAULT_MAX_RETAINED_LEN`] elements per buffer).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty pool that shrinks every returned buffer back to at most
+    /// `max_retained_len` elements. `0` disables retention entirely (every
+    /// return is dropped); callers that solve one block size forever can
+    /// raise the mark to `n × q` to keep full-size buffers parked.
+    pub fn with_max_retained_len(max_retained_len: usize) -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+            max_retained_len,
+        }
+    }
+
+    /// The per-buffer retention cap, in `f64` elements.
+    pub fn max_retained_len(&self) -> usize {
+        self.max_retained_len
     }
 
     /// A zeroed buffer of exactly `len` elements — reusing a returned
@@ -48,10 +91,16 @@ impl ScratchPool {
     }
 
     /// Returns a buffer to the pool for reuse (dropped if the pool is
-    /// full or the buffer never allocated).
-    pub fn put(&self, buf: Vec<f64>) {
-        if buf.capacity() == 0 {
+    /// full, retention is disabled, or the buffer never allocated).
+    /// Buffers above the high-water mark are shrunk to it first, so one
+    /// oversized solve cannot pin its peak allocation in the pool.
+    pub fn put(&self, mut buf: Vec<f64>) {
+        if buf.capacity() == 0 || self.max_retained_len == 0 {
             return;
+        }
+        if buf.capacity() > self.max_retained_len {
+            buf.truncate(self.max_retained_len);
+            buf.shrink_to(self.max_retained_len);
         }
         let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
         if free.len() < MAX_POOLED {
@@ -66,6 +115,17 @@ impl ScratchPool {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len()
+    }
+
+    /// Total capacity (in `f64` elements) of the parked buffers —
+    /// diagnostics for the retention bound.
+    pub fn retained_len(&self) -> usize {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(Vec::capacity)
+            .sum()
     }
 }
 
@@ -103,5 +163,44 @@ mod tests {
             pool.put(vec![0.0; 8]);
         }
         assert_eq!(pool.pooled(), MAX_POOLED);
+    }
+
+    #[test]
+    fn oversized_returns_shrink_to_the_high_water_mark() {
+        let pool = ScratchPool::with_max_retained_len(64);
+        assert_eq!(pool.max_retained_len(), 64);
+        pool.put(vec![1.0; 1000]);
+        assert_eq!(pool.pooled(), 1);
+        assert!(
+            pool.retained_len() <= 2 * 64,
+            "retained {} elements, cap 64",
+            pool.retained_len()
+        );
+        // The shrunk buffer is still reusable (and re-zeroed on take).
+        let b = pool.take(32);
+        assert_eq!(b.len(), 32);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_mark_disables_retention() {
+        let pool = ScratchPool::with_max_retained_len(0);
+        pool.put(vec![0.0; 8]);
+        assert_eq!(pool.pooled(), 0);
+        // Takes still work — they just always allocate.
+        assert_eq!(pool.take(5).len(), 5);
+    }
+
+    #[test]
+    fn default_mark_retains_serving_scale_buffers() {
+        // A medium-preset serving block must survive intact, or the pool
+        // would defeat its own purpose on the hot path it exists for.
+        let pool = ScratchPool::new();
+        let buf = pool.take(10_000 * 10);
+        let cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.pooled(), 1);
+        assert!(pool.retained_len() >= cap.min(DEFAULT_MAX_RETAINED_LEN));
+        assert!(pool.take(10_000 * 10).capacity() >= 10_000 * 10);
     }
 }
