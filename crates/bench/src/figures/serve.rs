@@ -5,8 +5,9 @@
 //! the hub repository with probability `repeat`, and uniformly from the
 //! whole graph otherwise) through two arms sharing one engine build:
 //!
-//! * **no-cache** — [`ceps_core::CepsService::uncached`], every request
-//!   solves all its RWR rows cold;
+//! * **no-cache** — built `.uncached()` via
+//!   [`ceps_core::CepsServiceBuilder`], every request solves all its RWR
+//!   rows cold;
 //! * **cached** — a fresh bytes-budgeted row cache per repeat-rate row.
 //!
 //! One table row per repeat rate: wall-clock for both arms, the cached/cold
@@ -18,7 +19,7 @@
 //! return identical subgraphs on
 //! a sampled request, so the speedup is never bought with wrong answers.
 
-use ceps_core::{CepsConfig, CepsEngine, CepsService};
+use ceps_core::{CepsConfig, CepsEngine, CepsServiceBuilder};
 use ceps_graph::NodeId;
 use rand::{Rng, SeedableRng};
 
@@ -148,8 +149,10 @@ pub fn run(workload: &Workload, params: &ServeParams) -> (Table, Table) {
             params.seed ^ (i as u64) << 8,
         );
 
-        let cold = CepsService::uncached(engine.clone());
-        let warm = CepsService::new(engine.clone(), params.cache_bytes);
+        let cold = CepsServiceBuilder::new().uncached().build(engine.clone());
+        let warm = CepsServiceBuilder::new()
+            .cache_bytes(params.cache_bytes)
+            .build(engine.clone());
 
         // Equivalence before timing: same subgraph with and without cache
         // (the cache is also warmed-and-checked by this, so time below
@@ -173,7 +176,9 @@ pub fn run(workload: &Workload, params: &ServeParams) -> (Table, Table) {
             cold_out.wall_ms,
             warm_out.wall_ms,
             cold_out.wall_ms / warm_out.wall_ms,
-            warm_out.hit_rate(),
+            warm_out
+                .hit_rate()
+                .expect("cached arm always serves at least one request"),
             warm_out.latency_percentile_ms(50.0),
             warm_out.latency_percentile_ms(95.0),
             warm_out.latency_percentile_ms(99.0),

@@ -112,6 +112,21 @@ pub enum Command {
         trace_out: Option<PathBuf>,
         /// Head-sampling rate for traces, in `[0, 1]`.
         trace_sample: f64,
+        /// Listen address (`tcp://host:port`, `unix:///path`, `host:port`
+        /// or a socket path). When set, `serve` runs a long-lived
+        /// `ceps-wire/v1` server instead of replaying a synthetic stream.
+        listen: Option<String>,
+    },
+    /// `ceps client` — talk `ceps-wire/v1` to a running `serve --listen`.
+    Client {
+        /// Server address (same grammar as `--listen`).
+        connect: String,
+        /// What to ask the server.
+        action: ClientAction,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// Reply deadline in milliseconds (`0` waits forever).
+        timeout_ms: u64,
     },
     /// `ceps autok` — infer the softAND coefficient for a query set.
     AutoK {
@@ -140,6 +155,23 @@ pub enum Command {
     Help,
 }
 
+/// What a `ceps client` invocation asks the server to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAction {
+    /// One-shot query: comma-separated node ids.
+    Query(String),
+    /// Batch mode: one comma-separated query set per stdin line.
+    Stdin,
+    /// Server-side `K_softAND` inference for comma-separated node ids.
+    AutoK(String),
+    /// Liveness probe.
+    Ping,
+    /// Counter snapshot.
+    Stats,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
 /// Usage text shown by `ceps help` and on argument errors.
 pub const USAGE: &str = "\
 ceps — center-piece subgraph discovery (Tong & Faloutsos)
@@ -158,6 +190,10 @@ USAGE:
                 [--profile] [--profile-out FILE]
                 [--metrics-out FILE.prom] [--metrics-interval MS]
                 [--trace-out FILE.jsonl] [--trace-sample RATE]
+                [--listen ADDR]
+  ceps client   --connect ADDR (--queries \"a,b,...\" | --stdin |
+                --autok \"a,b,...\" | --ping | --stats | --shutdown)
+                [--json] [--timeout MS]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
                 [--threads N]
@@ -171,6 +207,11 @@ USAGE:
   --precision f32 stores the normalized operator's coefficients in half
   the memory (accumulation stays f64); scores drift by at most the f32
   rounding of each coefficient. Default f64 is bitwise-exact.
+
+  serve --listen ADDR turns serve into a long-lived ceps-wire/v1 server
+  (ADDR: tcp://host:port, unix:///path, host:port, or a socket path);
+  client talks to it over the same address grammar. Wire replies are
+  byte-identical to the in-process API's results.
 ";
 
 fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -181,7 +222,10 @@ fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         if !key.starts_with("--") {
             return Err(CliError(format!("unexpected argument {key:?}")));
         }
-        if key == "--json" || key == "--profile" {
+        if matches!(
+            key.as_str(),
+            "--json" | "--profile" | "--stdin" | "--ping" | "--stats" | "--shutdown"
+        ) {
             flags.insert(key[2..].to_string(), "true".to_string());
             i += 1;
             continue;
@@ -329,6 +373,52 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 metrics_interval_ms,
                 trace_out: flags.get("trace-out").map(PathBuf::from),
                 trace_sample,
+                listen: flags.get("listen").cloned(),
+            })
+        }
+        "client" => {
+            let flags = take_flags(rest)?;
+            let mut actions = Vec::new();
+            if let Some(q) = flags.get("queries") {
+                actions.push(ClientAction::Query(q.clone()));
+            }
+            if let Some(q) = flags.get("autok") {
+                actions.push(ClientAction::AutoK(q.clone()));
+            }
+            if flags.contains_key("stdin") {
+                actions.push(ClientAction::Stdin);
+            }
+            if flags.contains_key("ping") {
+                actions.push(ClientAction::Ping);
+            }
+            if flags.contains_key("stats") {
+                actions.push(ClientAction::Stats);
+            }
+            if flags.contains_key("shutdown") {
+                actions.push(ClientAction::Shutdown);
+            }
+            let action = match actions.len() {
+                0 => {
+                    return Err(CliError(
+                        "client needs exactly one action: --queries, --stdin, --autok, \
+                         --ping, --stats or --shutdown"
+                            .into(),
+                    ))
+                }
+                1 => actions.pop().expect("len checked"),
+                _ => {
+                    return Err(CliError(
+                        "client takes one action at a time (got several of --queries/\
+                         --stdin/--autok/--ping/--stats/--shutdown)"
+                            .into(),
+                    ))
+                }
+            };
+            Ok(Command::Client {
+                connect: required(&flags, "connect")?,
+                action,
+                json: flags.contains_key("json"),
+                timeout_ms: num(&flags, "timeout", 30_000u64)?,
             })
         }
         "autok" => {
@@ -663,6 +753,96 @@ mod tests {
         .unwrap();
         assert!(matches!(c, Command::Import { .. }));
         assert!(parse(&v(&["import", "--pairs", "p"])).is_err());
+    }
+
+    #[test]
+    fn serve_listen_and_client_parse() {
+        let c = parse(&v(&["serve", "--graph", "g"])).unwrap();
+        assert!(matches!(c, Command::Serve { listen: None, .. }));
+        let c = parse(&v(&[
+            "serve",
+            "--graph",
+            "g",
+            "--listen",
+            "unix:///tmp/c.sock",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { listen, .. } => {
+                assert_eq!(listen.as_deref(), Some("unix:///tmp/c.sock"))
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let c = parse(&v(&[
+            "client",
+            "--connect",
+            "/tmp/c.sock",
+            "--queries",
+            "0,4",
+        ]))
+        .unwrap();
+        match c {
+            Command::Client {
+                connect,
+                action,
+                json,
+                timeout_ms,
+            } => {
+                assert_eq!(connect, "/tmp/c.sock");
+                assert_eq!(action, ClientAction::Query("0,4".into()));
+                assert!(!json);
+                assert_eq!(timeout_ms, 30_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&[
+            "client",
+            "--connect",
+            "tcp://127.0.0.1:7070",
+            "--ping",
+            "--json",
+            "--timeout",
+            "500",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Client {
+                action: ClientAction::Ping,
+                json: true,
+                timeout_ms: 500,
+                ..
+            }
+        ));
+        for flag in ["--stdin", "--stats", "--shutdown"] {
+            let c = parse(&v(&["client", "--connect", "a", flag])).unwrap();
+            assert!(matches!(c, Command::Client { .. }));
+        }
+        let c = parse(&v(&["client", "--connect", "a", "--autok", "1,2,3"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Client {
+                action: ClientAction::AutoK(_),
+                ..
+            }
+        ));
+
+        // Exactly one action.
+        assert!(parse(&v(&["client", "--connect", "a"]))
+            .unwrap_err()
+            .0
+            .contains("exactly one action"));
+        assert!(
+            parse(&v(&["client", "--connect", "a", "--ping", "--stats"]))
+                .unwrap_err()
+                .0
+                .contains("one action at a time")
+        );
+        assert!(parse(&v(&["client", "--ping"]))
+            .unwrap_err()
+            .0
+            .contains("--connect"));
     }
 
     #[test]

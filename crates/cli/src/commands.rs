@@ -5,10 +5,11 @@ use std::fs;
 use std::io::BufReader;
 use std::path::Path;
 
-use ceps_core::{eval, CepsConfig, CepsEngine, CepsService, QueryType};
+use ceps_core::{eval, CepsConfig, CepsEngine, CepsServiceBuilder, QueryType, ServeRequest};
 use ceps_graph::{io as gio, CsrGraph, NodeId, NodeLabels};
 use ceps_partition::{partition_graph, PartitionConfig};
 
+use crate::args::ClientAction;
 use crate::{CliError, Command};
 
 /// Executes a parsed command, returning its stdout text.
@@ -88,6 +89,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             metrics_interval_ms,
             trace_out,
             trace_sample,
+            listen,
         } => serve(
             &graph,
             ServeOptions {
@@ -108,8 +110,15 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 metrics_interval_ms,
                 trace_out,
                 trace_sample,
+                listen,
             },
         ),
+        Command::Client {
+            connect,
+            action,
+            json,
+            timeout_ms,
+        } => client(&connect, action, json, timeout_ms),
         Command::Import {
             pairs,
             out,
@@ -460,6 +469,7 @@ struct ServeOptions {
     metrics_interval_ms: u64,
     trace_out: Option<std::path::PathBuf>,
     trace_sample: f64,
+    listen: Option<String>,
 }
 
 /// The `ceps-metrics/v1` event stream lives next to the Prometheus file:
@@ -535,11 +545,14 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
         .threads(opts.threads)
         .precision(opts.precision);
     let engine = CepsEngine::new(graph, cfg)?;
-    let service = if opts.cache_mb == 0 {
-        CepsService::uncached(engine)
-    } else {
-        CepsService::new(engine, opts.cache_mb << 20)
-    };
+    let service = CepsServiceBuilder::new()
+        .cache_bytes(opts.cache_mb << 20)
+        .workers(opts.workers)
+        .build(engine);
+
+    if let Some(addr) = &opts.listen {
+        return serve_listen(service, addr, &opts);
+    }
 
     let stream = synthetic_stream(
         service.engine().graph(),
@@ -623,14 +636,16 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
         outcome.latency_percentile_ms(99.0),
     );
     match outcome.cache {
-        Some(stats) => out.push_str(&format!(
-            "cache: {:.1}% hits ({} hits / {} misses, {} evictions, budget {} MiB)\n",
-            100.0 * outcome.hit_rate(),
-            stats.hits,
-            stats.misses,
-            stats.evictions,
-            opts.cache_mb,
-        )),
+        Some(stats) => {
+            // hit_rate is None until the cache saw at least one lookup.
+            let rate = outcome
+                .hit_rate()
+                .map_or_else(|| "n/a".to_string(), |r| format!("{:.1}%", 100.0 * r));
+            out.push_str(&format!(
+                "cache: {rate} hits ({} hits / {} misses, {} evictions, budget {} MiB)\n",
+                stats.hits, stats.misses, stats.evictions, opts.cache_mb,
+            ));
+        }
         None => out.push_str("cache: disabled\n"),
     }
     out.push_str(&format!(
@@ -657,6 +672,312 @@ fn serve(graph_path: &Path, opts: ServeOptions) -> Result<String, CliError> {
         out.push_str(&ceps_obs::snapshot().render_tree());
         let written = write_profile(opts.profile_out.as_deref(), "serve")?;
         out.push_str(&format!("profile written to {}\n", written.display()));
+    }
+    Ok(out)
+}
+
+/// `serve --listen`: run a long-lived `ceps-wire/v1` server over the
+/// built service instead of replaying a synthetic stream. Blocks until a
+/// wire `Shutdown` frame drains the server, then reports final counters.
+fn serve_listen(
+    service: ceps_core::CepsService,
+    addr: &str,
+    opts: &ServeOptions,
+) -> Result<String, CliError> {
+    if opts.profile || opts.metrics_out.is_some() {
+        ceps_obs::install_recorder();
+        ceps_obs::reset();
+    }
+    let exporter = opts
+        .metrics_out
+        .as_ref()
+        .map(|prom| {
+            let cfg = ceps_obs::ExporterConfig::new(opts.metrics_interval_ms)
+                .prom(prom.clone())
+                .events(metrics_events_path(prom));
+            ceps_obs::MetricsExporter::start(cfg)
+                .map_err(|e| CliError(format!("cannot start metrics exporter: {e}")))
+        })
+        .transpose()?;
+
+    let listen = ceps_net::ListenAddr::parse(addr);
+    let mut transport = listen
+        .bind()
+        .map_err(|e| CliError(format!("cannot bind {listen}: {e}")))?;
+    let server = ceps_net::CepsServer::new(
+        service,
+        ceps_net::ServerConfig {
+            workers: opts.workers,
+            ..ceps_net::ServerConfig::default()
+        },
+    );
+    // Readiness goes to stderr eagerly (execute() output prints only on
+    // exit, and with --json stdout must stay pure JSON).
+    eprintln!(
+        "ceps: serving {} on {} ({} workers; stop with `ceps client --connect {addr} --shutdown`)",
+        ceps_net::WIRE_VERSION,
+        transport.addr(),
+        opts.workers,
+    );
+    let stats = server
+        .serve(transport.as_mut())
+        .map_err(|e| CliError(format!("server failed: {e}")))?;
+    // Final exporter flush happens on drop, after the last frame counted.
+    drop(exporter);
+
+    let cache = server.service().cache_stats();
+    if opts.json {
+        let doc = serde_json::json!({
+            "listen": transport.addr(),
+            "server": stats,
+            "cache": cache.map(|c| {
+                serde_json::json!({
+                    "hits": c.hits,
+                    "misses": c.misses,
+                    "evictions": c.evictions,
+                })
+            }),
+        });
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).map_err(|e| CliError(format!("json error: {e}")))?
+        ));
+    }
+    let mut out = format!(
+        "server drained after {:.1} s on {}\n\
+         {} connections, {} frames, {} queries, {} sheds, {} errors\n",
+        stats.uptime_ms as f64 / 1e3,
+        transport.addr(),
+        stats.connections,
+        stats.frames,
+        stats.queries,
+        stats.sheds,
+        stats.errors,
+    );
+    if let Some(c) = cache {
+        out.push_str(&format!(
+            "cache: {} hits / {} misses, {} evictions\n",
+            c.hits, c.misses, c.evictions
+        ));
+    }
+    if let Some(prom) = &opts.metrics_out {
+        out.push_str(&format!(
+            "metrics written to {} (events: {})\n",
+            prom.display(),
+            metrics_events_path(prom).display(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Parses the client's comma-separated node ids (names need labels,
+/// which live server-side; the wire speaks ids only).
+fn parse_wire_queries(spec: &str) -> Result<Vec<NodeId>, CliError> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(NodeId(part.parse::<u32>().map_err(|_| {
+            CliError(format!("query {part:?} is not a node id"))
+        })?));
+    }
+    if out.is_empty() {
+        return Err(CliError("no query nodes supplied".into()));
+    }
+    Ok(out)
+}
+
+/// Renders a wire `Scores` reply for humans.
+fn render_serve_reply(reply: &ceps_core::ServeReply) -> String {
+    let mut out = format!(
+        "k = {}, subgraph of {} nodes\n",
+        reply.k,
+        reply.members.len()
+    );
+    for m in &reply.members {
+        let marker = if m.is_query { " (query)" } else { "" };
+        out.push_str(&format!("  {:<8} {:.4e}{marker}\n", m.id.0, m.score));
+    }
+    if !reply.paths.is_empty() {
+        out.push_str(&format!("{} extraction paths\n", reply.paths.len()));
+    }
+    out
+}
+
+/// How many stdin-batch requests may be in flight on the stream at once.
+const CLIENT_PIPELINE_WINDOW: usize = 4;
+
+/// `ceps client` — one-shot or stdin-batch requests against a running
+/// `serve --listen` server.
+fn client(
+    connect: &str,
+    action: ClientAction,
+    json: bool,
+    timeout_ms: u64,
+) -> Result<String, CliError> {
+    let mut c = ceps_net::CepsClient::connect(connect)
+        .map_err(|e| CliError(format!("cannot connect to {connect}: {e}")))?;
+    if timeout_ms > 0 {
+        c.set_timeout(Some(std::time::Duration::from_millis(timeout_ms)))?;
+    }
+    match action {
+        ClientAction::Ping => {
+            let proto = c.ping()?;
+            Ok(if json {
+                format!(
+                    "{}\n",
+                    serde_json::json!({ "proto": proto }).to_json_string()
+                )
+            } else {
+                format!("server alive ({proto})\n")
+            })
+        }
+        ClientAction::Stats => {
+            let stats = c.stats()?;
+            Ok(if json {
+                format!(
+                    "{}\n",
+                    serde_json::to_string_pretty(&stats)
+                        .map_err(|e| CliError(format!("json error: {e}")))?
+                )
+            } else {
+                format!(
+                    "{} up {:.1} s: {} connections, {} frames, {} queries \
+                     ({} in flight), {} sheds, {} errors\n",
+                    stats.proto,
+                    stats.uptime_ms as f64 / 1e3,
+                    stats.connections,
+                    stats.frames,
+                    stats.queries,
+                    stats.in_flight,
+                    stats.sheds,
+                    stats.errors,
+                )
+            })
+        }
+        ClientAction::Shutdown => {
+            c.shutdown()?;
+            Ok(if json {
+                format!(
+                    "{}\n",
+                    serde_json::json!({ "shutdown": true }).to_json_string()
+                )
+            } else {
+                "server drained\n".to_string()
+            })
+        }
+        ClientAction::AutoK(spec) => {
+            let queries = parse_wire_queries(&spec)?;
+            let q = queries.len();
+            let inference = c.autok(queries)?;
+            Ok(if json {
+                format!(
+                    "{}\n",
+                    serde_json::json!({
+                        "k": inference.k,
+                        "mean_ranks": inference.mean_ranks,
+                    })
+                    .to_json_string_pretty()
+                )
+            } else {
+                format!(
+                    "inferred K_softAND coefficient: k = {} (of Q = {q})\n",
+                    inference.k
+                )
+            })
+        }
+        ClientAction::Query(spec) => {
+            let reply = c.request(&ServeRequest::new(parse_wire_queries(&spec)?))?;
+            Ok(if json {
+                format!(
+                    "{}\n",
+                    serde_json::to_string_pretty(&reply)
+                        .map_err(|e| CliError(format!("json error: {e}")))?
+                )
+            } else {
+                render_serve_reply(&reply)
+            })
+        }
+        ClientAction::Stdin => {
+            use std::io::BufRead;
+            let mut sets = Vec::new();
+            for line in std::io::stdin().lock().lines() {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                sets.push(parse_wire_queries(trimmed)?);
+            }
+            client_batch(&mut c, &sets, json)
+        }
+    }
+}
+
+/// Pipelines `sets` through one connection, a bounded window of requests
+/// in flight, and renders one line per reply (JSONL with `--json`).
+fn client_batch(
+    c: &mut ceps_net::CepsClient,
+    sets: &[Vec<NodeId>],
+    json: bool,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut pending = std::collections::VecDeque::new();
+    let (mut sent, mut done, mut ok, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    while done < sets.len() {
+        while sent < sets.len() && pending.len() < CLIENT_PIPELINE_WINDOW {
+            pending.push_back(c.send_request(&ServeRequest::new(sets[sent].clone()))?);
+            sent += 1;
+        }
+        let expect = pending.pop_front().expect("done < sent implies pending");
+        match c.recv_reply()? {
+            ceps_net::Reply::Scores { id, reply } if id == expect => {
+                ok += 1;
+                if json {
+                    out.push_str(
+                        &serde_json::to_string(&reply)
+                            .map_err(|e| CliError(format!("json error: {e}")))?,
+                    );
+                    out.push('\n');
+                } else {
+                    let top = reply
+                        .members
+                        .iter()
+                        .find(|m| !m.is_query)
+                        .or_else(|| reply.members.first());
+                    let top = top.map_or_else(
+                        || "none".to_string(),
+                        |m| format!("{} ({:.4e})", m.id.0, m.score),
+                    );
+                    out.push_str(&format!(
+                        "[{done}] k={} members={} center={top}\n",
+                        reply.k,
+                        reply.members.len(),
+                    ));
+                }
+            }
+            ceps_net::Reply::Error { error, .. } => {
+                failed += 1;
+                out.push_str(&format!(
+                    "[{done}] error ({:?}): {}\n",
+                    error.kind, error.message
+                ));
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unexpected reply {other:?} for request id {expect}"
+                )))
+            }
+        }
+        done += 1;
+    }
+    if !json {
+        out.push_str(&format!(
+            "{ok} ok, {failed} failed of {} query sets\n",
+            sets.len()
+        ));
     }
     Ok(out)
 }
@@ -958,6 +1279,7 @@ mod tests {
             metrics_interval_ms: 500,
             trace_out: None,
             trace_sample: 1.0,
+            listen: None,
         })
         .unwrap();
         assert!(out.contains("served 10 requests"));
@@ -982,12 +1304,99 @@ mod tests {
             metrics_interval_ms: 500,
             trace_out: None,
             trace_sample: 1.0,
+            listen: None,
         })
         .unwrap();
         let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(doc["requests"], 6);
-        assert_eq!(doc["hit_rate"], 0.0);
+        // Cache disabled: no hit rate exists, reported as null (not 0.0).
+        assert!(doc["hit_rate"].is_null(), "{doc:?}");
         assert!(doc["latency_ms"]["p50"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn serve_listen_and_client_round_trip_over_unix_socket() {
+        let (g, _) = generated();
+        let sock = tmp(&format!("cli-net-{}.sock", std::process::id()));
+        let _ = fs::remove_file(&sock);
+        let addr = sock.display().to_string();
+
+        let server = std::thread::spawn({
+            let g = g.clone();
+            let addr = addr.clone();
+            move || {
+                execute(Command::Serve {
+                    graph: g,
+                    requests: 0,
+                    queries_per: 2,
+                    workers: 2,
+                    repeat: 0.5,
+                    budget: 4,
+                    alpha: 0.5,
+                    cache_mb: 16,
+                    seed: 1,
+                    threads: 1,
+                    precision: ceps_graph::Precision::F64,
+                    json: false,
+                    profile: false,
+                    profile_out: None,
+                    metrics_out: None,
+                    metrics_interval_ms: 500,
+                    trace_out: None,
+                    trace_sample: 1.0,
+                    listen: Some(addr),
+                })
+                .unwrap()
+            }
+        });
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let out = execute(Command::Client {
+            connect: addr.clone(),
+            action: ClientAction::Ping,
+            json: false,
+            timeout_ms: 5_000,
+        })
+        .unwrap();
+        assert!(out.contains("ceps-wire/v1"), "{out}");
+
+        let out = execute(Command::Client {
+            connect: addr.clone(),
+            action: ClientAction::Query("0,30".into()),
+            json: true,
+            timeout_ms: 10_000,
+        })
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(!doc["members"].as_array().unwrap().is_empty());
+
+        let out = execute(Command::Client {
+            connect: addr.clone(),
+            action: ClientAction::Stats,
+            json: false,
+            timeout_ms: 5_000,
+        })
+        .unwrap();
+        assert!(out.contains("1 queries"), "{out}");
+
+        let out = execute(Command::Client {
+            connect: addr,
+            action: ClientAction::Shutdown,
+            json: false,
+            timeout_ms: 5_000,
+        })
+        .unwrap();
+        assert!(out.contains("server drained"));
+
+        let summary = server.join().unwrap();
+        assert!(summary.contains("server drained after"), "{summary}");
+        assert!(summary.contains("1 queries"), "{summary}");
     }
 
     #[test]
@@ -1017,6 +1426,7 @@ mod tests {
             metrics_interval_ms: 20,
             trace_out: Some(traces.clone()),
             trace_sample: 1.0,
+            listen: None,
         })
         .unwrap();
         assert!(out.contains("metrics written to"));

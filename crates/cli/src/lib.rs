@@ -18,7 +18,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Command};
+pub use args::{parse, ClientAction, Command};
 
 /// CLI-level errors: argument problems or propagated library errors, all
 /// rendered as user-facing strings by `main`.
@@ -59,6 +59,12 @@ impl From<ceps_graph::GraphError> for CliError {
 
 impl From<ceps_core::CepsError> for CliError {
     fn from(e: ceps_core::CepsError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<ceps_net::NetError> for CliError {
+    fn from(e: ceps_net::NetError) -> Self {
         CliError(e.to_string())
     }
 }

@@ -72,7 +72,10 @@ pub use extract::{ExtractOutcome, KeyPath, SharingRule};
 pub use fast::{FastCeps, FastCepsResult};
 pub use pipeline::{CepsEngine, CepsResult, StageTimes};
 pub use query::QueryType;
-pub use serve::{CepsService, RequestMetrics, ServeOutcome};
+pub use serve::{
+    CepsService, CepsServiceBuilder, ReplyMember, ReplyPath, RequestMetrics, ServeOutcome,
+    ServeReply, ServeRequest,
+};
 pub use telemetry::{RequestTrace, RequestTracer, SampleKind};
 
 /// Crate-wide result alias.

@@ -31,14 +31,218 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use ceps_graph::NodeId;
+use ceps_graph::{IntoSharedGraph, NodeId, Precision};
 use ceps_rwr::{
     scores_with_cache, scores_with_cache_counted, CacheStats, RwrRowCache, ScoreMatrix,
 };
 
 use crate::pipeline::{CepsEngine, CepsResult, StageTimes};
 use crate::telemetry::{RequestTrace, RequestTracer};
-use crate::Result;
+use crate::{CepsConfig, Result};
+
+/// Default row-cache byte budget used by [`CepsServiceBuilder`] (64 MiB).
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// One CePS query as every serving surface sees it — the in-process
+/// [`CepsService::serve`] call, the `ceps-wire/v1` `Query` frame in
+/// `ceps-net`, and stream replay all share this exact struct (serde on the
+/// same fields), so the wire layer adds no second request vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServeRequest {
+    /// The query nodes `Q` (Problem 1 of the paper).
+    pub queries: Vec<NodeId>,
+}
+
+impl ServeRequest {
+    /// Builds a request from any query-node collection.
+    pub fn new(queries: impl Into<Vec<NodeId>>) -> Self {
+        ServeRequest {
+            queries: queries.into(),
+        }
+    }
+}
+
+/// One subgraph member of a [`ServeReply`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplyMember {
+    /// The node.
+    pub id: NodeId,
+    /// Its combined score `r(Q, id)`.
+    pub score: f64,
+    /// Whether the node was part of the query set.
+    pub is_query: bool,
+}
+
+/// One key path of a [`ServeReply`], mirroring [`crate::KeyPath`] in
+/// serializable form.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReplyPath {
+    /// Index (into the query set) of the source this path serves.
+    pub source_index: usize,
+    /// The full node sequence, source first, destination last.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The answer to one [`ServeRequest`] — the serializable projection of a
+/// [`CepsResult`] that both the in-process path and the wire protocol
+/// return. Construction is deterministic (members sorted by descending
+/// score, ties by ascending id), so two services over the same engine
+/// produce byte-identical replies for the same request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeReply {
+    /// The resolved number of active sources `k`.
+    pub k: usize,
+    /// Subgraph members with combined scores, descending-score order.
+    pub members: Vec<ReplyMember>,
+    /// The key paths that built the subgraph, extraction order.
+    pub paths: Vec<ReplyPath>,
+}
+
+impl ServeReply {
+    /// Projects a pipeline result onto the reply vocabulary.
+    pub fn from_result(result: &CepsResult, queries: &[NodeId]) -> Self {
+        let mut members: Vec<ReplyMember> = result
+            .subgraph
+            .nodes()
+            .map(|v| ReplyMember {
+                id: v,
+                score: result.combined[v.index()],
+                is_query: queries.contains(&v),
+            })
+            .collect();
+        members.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.0.cmp(&b.id.0)));
+        let paths = result
+            .paths
+            .iter()
+            .map(|p| ReplyPath {
+                source_index: p.source_index,
+                nodes: p.nodes.clone(),
+            })
+            .collect();
+        ServeReply {
+            k: result.k,
+            members,
+            paths,
+        }
+    }
+}
+
+/// Configures and builds a [`CepsService`] — the one construction surface
+/// (the old `new`/`with_shards`/`uncached` trio delegates here and is
+/// deprecated).
+///
+/// ```
+/// use ceps_core::{CepsConfig, CepsEngine, CepsServiceBuilder};
+/// use ceps_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+/// b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+/// let engine = CepsEngine::new(b.build().unwrap(), CepsConfig::default()).unwrap();
+/// let service = CepsServiceBuilder::new()
+///     .cache_bytes(16 << 20)
+///     .shards(4)
+///     .workers(2)
+///     .build(engine);
+/// assert_eq!(service.workers(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CepsServiceBuilder {
+    cache_bytes: usize,
+    shards: Option<usize>,
+    workers: usize,
+    precision: Option<Precision>,
+}
+
+impl Default for CepsServiceBuilder {
+    fn default() -> Self {
+        CepsServiceBuilder {
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            shards: None,
+            workers: 1,
+            precision: None,
+        }
+    }
+}
+
+impl CepsServiceBuilder {
+    /// Starts from the defaults: a [`DEFAULT_CACHE_BYTES`] cache with the
+    /// default shard count, one worker, the engine's own precision.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the row-cache byte budget. `0` disables the cache entirely
+    /// (every query solves cold — the old `uncached` constructor).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Disables the row cache (sugar for `cache_bytes(0)`).
+    pub fn uncached(self) -> Self {
+        self.cache_bytes(0)
+    }
+
+    /// Sets an explicit cache shard count (default:
+    /// [`ceps_rwr::cache::DEFAULT_SHARDS`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Sets the service's default worker count, used by serving harnesses
+    /// (`ceps-net`'s server, stream replay) when not told otherwise.
+    /// Clamped to at least 1 at build time.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the operator storage precision when the builder also
+    /// builds the engine ([`CepsServiceBuilder::build_from_graph`]); a
+    /// pre-built engine passed to [`CepsServiceBuilder::build`] keeps its
+    /// own.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Wraps a pre-built engine.
+    pub fn build(self, engine: CepsEngine) -> CepsService {
+        let cache = if self.cache_bytes == 0 {
+            None
+        } else {
+            Some(Arc::new(match self.shards {
+                Some(s) => RwrRowCache::with_shards(self.cache_bytes, s),
+                None => RwrRowCache::new(self.cache_bytes),
+            }))
+        };
+        CepsService {
+            engine,
+            cache,
+            workers: self.workers.max(1),
+        }
+    }
+
+    /// Builds the engine too (applying any
+    /// [`precision`](CepsServiceBuilder::precision) override to `config`),
+    /// then wraps it.
+    ///
+    /// # Errors
+    /// As in [`CepsEngine::new`].
+    pub fn build_from_graph(
+        self,
+        graph: impl IntoSharedGraph,
+        mut config: CepsConfig,
+    ) -> Result<CepsService> {
+        if let Some(p) = self.precision {
+            config = config.precision(p);
+        }
+        let engine = CepsEngine::new(graph, config)?;
+        Ok(self.build(engine))
+    }
+}
 
 /// A cloneable, thread-safe CePS query server: an engine plus a shared
 /// row cache.
@@ -46,34 +250,58 @@ use crate::Result;
 pub struct CepsService {
     engine: CepsEngine,
     cache: Option<Arc<RwrRowCache>>,
+    workers: usize,
 }
 
 impl CepsService {
     /// Wraps `engine` with a row cache of `cache_bytes` total budget
     /// (sharded [`ceps_rwr::cache::DEFAULT_SHARDS`] ways). A zero budget
     /// behaves like [`CepsService::uncached`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CepsServiceBuilder::new().cache_bytes(..)"
+    )]
     pub fn new(engine: CepsEngine, cache_bytes: usize) -> Self {
-        CepsService {
-            engine,
-            cache: Some(Arc::new(RwrRowCache::new(cache_bytes))),
-        }
+        CepsServiceBuilder::new()
+            .cache_bytes(cache_bytes)
+            .build(engine)
     }
 
-    /// Like [`CepsService::new`] with an explicit shard count.
+    /// Like `CepsService::new` with an explicit shard count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CepsServiceBuilder::new().cache_bytes(..).shards(..)"
+    )]
     pub fn with_shards(engine: CepsEngine, cache_bytes: usize, shards: usize) -> Self {
-        CepsService {
-            engine,
-            cache: Some(Arc::new(RwrRowCache::with_shards(cache_bytes, shards))),
-        }
+        CepsServiceBuilder::new()
+            .cache_bytes(cache_bytes)
+            .shards(shards)
+            .build(engine)
     }
 
     /// Wraps `engine` with no cache at all — every query solves cold.
     /// The control arm of the serving benchmark.
+    #[deprecated(since = "0.1.0", note = "use CepsServiceBuilder::new().uncached()")]
     pub fn uncached(engine: CepsEngine) -> Self {
-        CepsService {
-            engine,
-            cache: None,
-        }
+        CepsServiceBuilder::new().uncached().build(engine)
+    }
+
+    /// The default worker count serving harnesses should fan this service
+    /// over (set via [`CepsServiceBuilder::workers`], at least 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The unified request/response entry point: answers one
+    /// [`ServeRequest`] with a [`ServeReply`]. This is exactly the path
+    /// the `ceps-net` wire protocol drives — byte-identical replies
+    /// in-process and over a socket.
+    ///
+    /// # Errors
+    /// As in [`CepsEngine::run`].
+    pub fn serve(&self, request: &ServeRequest) -> Result<ServeReply> {
+        let result = self.run(&request.queries)?;
+        Ok(ServeReply::from_result(&result, &request.queries))
     }
 
     /// The wrapped engine.
@@ -390,9 +618,16 @@ impl ServeOutcome {
         self.stages.mean_over(self.completed)
     }
 
-    /// Cache hit rate over the run (0 when uncached).
-    pub fn hit_rate(&self) -> f64 {
-        self.cache.map_or(0.0, |c| c.hit_rate())
+    /// Cache hit rate over the run, or `None` when there is nothing to
+    /// measure — the service ran uncached, or no row was ever probed
+    /// (0 hits / 0 misses is *unmeasured*, not a 0% rate).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let c = self.cache?;
+        if c.hits + c.misses == 0 {
+            None
+        } else {
+            Some(c.hit_rate())
+        }
     }
 }
 
@@ -427,7 +662,9 @@ mod tests {
     #[test]
     fn cached_run_matches_engine_run() {
         let e = engine();
-        let service = CepsService::new(e.clone(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(e.clone());
         let queries = [NodeId(1), NodeId(6)];
         // Twice: cold then fully warm.
         for _ in 0..2 {
@@ -447,7 +684,7 @@ mod tests {
     #[test]
     fn uncached_service_is_plain_engine() {
         let e = engine();
-        let service = CepsService::uncached(e.clone());
+        let service = CepsServiceBuilder::new().uncached().build(e.clone());
         assert!(service.cache_stats().is_none());
         let queries = [NodeId(0), NodeId(11)];
         assert_eq!(
@@ -458,7 +695,9 @@ mod tests {
 
     #[test]
     fn service_validates_before_touching_the_cache() {
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         assert!(matches!(service.run(&[]), Err(CepsError::NoQueries)));
         assert!(matches!(
             service.run(&[NodeId(2), NodeId(2)]),
@@ -470,7 +709,9 @@ mod tests {
 
     #[test]
     fn serve_stream_completes_and_measures() {
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         let stream: Vec<Vec<NodeId>> = (0..12)
             .map(|i| vec![NodeId(i % 15), NodeId((i + 5) % 15)])
             .collect();
@@ -482,12 +723,14 @@ mod tests {
         assert!(out.latency_percentile_ms(50.0) <= out.latency_percentile_ms(99.0));
         let cache = out.cache.unwrap();
         assert_eq!(cache.hits + cache.misses, 24, "every query row probed");
-        assert!(out.hit_rate() > 0.0, "repeated nodes must hit");
+        assert!(out.hit_rate().unwrap() > 0.0, "repeated nodes must hit");
     }
 
     #[test]
     fn serve_stream_reports_stage_breakdown() {
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         let stream: Vec<Vec<NodeId>> = (0..6).map(|i| vec![NodeId(i), NodeId(i + 7)]).collect();
         let out = service.serve_stream(&stream, 2).unwrap();
         assert!(out.stages.scores_ms > 0.0, "Step 1 took measurable time");
@@ -535,7 +778,7 @@ mod tests {
         }
         assert_eq!(out.throughput_qps(), 0.0);
         assert_eq!(out.mean_stage_ms(), StageTimes::default());
-        assert_eq!(out.hit_rate(), 0.0);
+        assert_eq!(out.hit_rate(), None, "0/0 probes is unmeasured");
     }
 
     #[test]
@@ -561,7 +804,9 @@ mod tests {
     fn traced_stream_emits_one_line_per_request_at_full_rate() {
         use crate::telemetry::RequestTracer;
 
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         let stream: Vec<Vec<NodeId>> = (0..8)
             .map(|i| vec![NodeId(i % 15), NodeId((i + 4) % 15)])
             .collect();
@@ -598,7 +843,9 @@ mod tests {
     fn traced_stream_records_errors_and_cache_warmth() {
         use crate::telemetry::RequestTracer;
 
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         // Same queries twice: second request is fully warm. Then a bad one.
         let stream = vec![
             vec![NodeId(1), NodeId(6)],
@@ -619,7 +866,9 @@ mod tests {
 
     #[test]
     fn run_instrumented_matches_run_timed_and_counts_cache() {
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         let queries = [NodeId(2), NodeId(9)];
         let (cold, m_cold) = service.run_instrumented(&queries).unwrap();
         assert_eq!((m_cold.cache_hits, m_cold.cache_misses), (0, 2));
@@ -630,14 +879,16 @@ mod tests {
         assert_eq!(timed.scores, cold.scores);
         assert!(stages.scores_ms >= 0.0);
         // Uncached service reports 0/0, not a phantom miss count.
-        let uncached = CepsService::uncached(engine());
+        let uncached = CepsServiceBuilder::new().uncached().build(engine());
         let (_, m) = uncached.run_instrumented(&queries).unwrap();
         assert_eq!((m.cache_hits, m.cache_misses), (0, 0));
     }
 
     #[test]
     fn serve_stream_surfaces_worker_errors() {
-        let service = CepsService::new(engine(), 1 << 20);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
         let stream = vec![vec![NodeId(0)], vec![NodeId(999)], vec![NodeId(1)]];
         assert!(service.serve_stream(&stream, 2).is_err());
     }
@@ -647,7 +898,10 @@ mod tests {
         // Smoke test: many workers hammer one small cache; results must
         // match the serial, uncached engine bitwise.
         let e = engine();
-        let service = CepsService::with_shards(e.clone(), 4096, 2);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(4096)
+            .shards(2)
+            .build(e.clone());
         let stream: Vec<Vec<NodeId>> = (0..20).map(|i| vec![NodeId(i % 15)]).collect();
         let out = service.serve_stream(&stream, 4).unwrap();
         assert_eq!(out.completed, 20);
@@ -657,5 +911,117 @@ mod tests {
                 e.individual_scores(queries).unwrap()
             );
         }
+    }
+
+    /// The deprecated constructor trio must stay behaviourally identical
+    /// to the builder it now delegates to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        let e = engine();
+        let queries = [NodeId(1), NodeId(6)];
+
+        let old = CepsService::new(e.clone(), 1 << 20);
+        let new = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(e.clone());
+        assert_eq!(
+            old.run(&queries).unwrap().scores,
+            new.run(&queries).unwrap().scores
+        );
+        assert_eq!(old.cache_stats(), new.cache_stats());
+        assert_eq!(old.workers(), new.workers());
+
+        let old = CepsService::with_shards(e.clone(), 4096, 2);
+        let new = CepsServiceBuilder::new()
+            .cache_bytes(4096)
+            .shards(2)
+            .build(e.clone());
+        assert_eq!(
+            old.run(&queries).unwrap().scores,
+            new.run(&queries).unwrap().scores
+        );
+        assert_eq!(old.cache_stats(), new.cache_stats());
+
+        let old = CepsService::uncached(e.clone());
+        let new = CepsServiceBuilder::new().uncached().build(e);
+        assert!(old.cache_stats().is_none() && new.cache_stats().is_none());
+        assert_eq!(
+            old.run(&queries).unwrap().scores,
+            new.run(&queries).unwrap().scores
+        );
+
+        // Zero cache bytes now means "no cache", matching `uncached`.
+        assert!(CepsServiceBuilder::new()
+            .cache_bytes(0)
+            .build(engine())
+            .cache_stats()
+            .is_none());
+    }
+
+    #[test]
+    fn serve_projects_run_deterministically() {
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
+        let request = ServeRequest::new(vec![NodeId(1), NodeId(6)]);
+        let reply = service.serve(&request).unwrap();
+        let direct = service.run(&request.queries).unwrap();
+        assert_eq!(reply, ServeReply::from_result(&direct, &request.queries));
+        assert!(reply.members.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(
+            reply.members.iter().filter(|m| m.is_query).count(),
+            2,
+            "query nodes are flagged"
+        );
+        // Warm cache, same request: byte-identical reply.
+        let again = service.serve(&request).unwrap();
+        assert_eq!(reply, again);
+    }
+
+    #[test]
+    fn serve_vocabulary_round_trips_through_serde() {
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .build(engine());
+        let request = ServeRequest::new(vec![NodeId(2), NodeId(9)]);
+        let req_json = serde_json::to_string(&request).unwrap();
+        let request2: ServeRequest = serde_json::from_str(&req_json).unwrap();
+        assert_eq!(request, request2);
+
+        let reply = service.serve(&request).unwrap();
+        let json = serde_json::to_string(&reply).unwrap();
+        let reply2: ServeReply = serde_json::from_str(&json).unwrap();
+        // PartialEq on f64 fields: bitwise equality of every score must
+        // survive the text round-trip (shortest-round-trip formatting).
+        assert_eq!(reply, reply2);
+    }
+
+    #[test]
+    fn builder_workers_and_precision_pass_through() {
+        use ceps_graph::Precision;
+
+        assert_eq!(CepsServiceBuilder::new().build(engine()).workers(), 1);
+        assert_eq!(
+            CepsServiceBuilder::new()
+                .workers(0)
+                .build(engine())
+                .workers(),
+            1
+        );
+        assert_eq!(
+            CepsServiceBuilder::new()
+                .workers(7)
+                .build(engine())
+                .workers(),
+            7
+        );
+
+        let cfg = CepsConfig::default().budget(4).threads(1);
+        let service = CepsServiceBuilder::new()
+            .precision(Precision::F32)
+            .build_from_graph(ring(3, 5), cfg)
+            .unwrap();
+        assert_eq!(service.engine().config().precision, Precision::F32);
     }
 }

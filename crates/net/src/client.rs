@@ -1,0 +1,215 @@
+//! [`CepsClient`]: a thin synchronous `ceps-wire/v1` client.
+//!
+//! One client owns one connection. The simple path is the round-trip
+//! API (`request`, `ping`, `stats`, `autok`, `shutdown`): send a frame,
+//! block for its reply, check the echoed request id. For batch
+//! workloads, [`send_request`](CepsClient::send_request) /
+//! [`recv_reply`](CepsClient::recv_reply) expose the raw halves so
+//! several requests can be pipelined onto the stream before the first
+//! reply is read.
+
+use std::io;
+use std::time::Duration;
+
+use ceps_core::{ServeReply, ServeRequest};
+use ceps_graph::NodeId;
+
+use crate::error::NetError;
+use crate::server::ServerStats;
+use crate::transport::{Conn, ListenAddr};
+use crate::wire::{Framed, Reply, Request, DEFAULT_MAX_FRAME_BYTES};
+use crate::Result;
+
+/// The reply to an `AutoK` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoKReply {
+    /// The inferred `K_softAND` coefficient.
+    pub k: usize,
+    /// Mean held-out retrieval rank per candidate `k'`.
+    pub mean_ranks: Vec<f64>,
+}
+
+/// A synchronous client for one `ceps-wire/v1` connection.
+pub struct CepsClient {
+    framed: Framed<Box<dyn Conn>>,
+    next_id: u64,
+}
+
+impl CepsClient {
+    /// Wraps an already-connected stream.
+    pub fn from_conn(conn: Box<dyn Conn>) -> Self {
+        CepsClient {
+            framed: Framed::new(conn, DEFAULT_MAX_FRAME_BYTES),
+            next_id: 1,
+        }
+    }
+
+    /// Connects to a parsed/parseable address (`tcp://…`, `unix://…`,
+    /// `host:port`, or a socket path).
+    ///
+    /// # Errors
+    /// Connect failures.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Ok(Self::from_conn(ListenAddr::parse(addr).connect()?))
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    /// Connect failures.
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Self::from_conn(
+            ListenAddr::Tcp(addr.to_string()).connect()?,
+        ))
+    }
+
+    /// Connects over a Unix domain socket.
+    ///
+    /// # Errors
+    /// Connect failures.
+    pub fn connect_unix(path: impl Into<std::path::PathBuf>) -> io::Result<Self> {
+        Ok(Self::from_conn(ListenAddr::Unix(path.into()).connect()?))
+    }
+
+    /// Sets (or clears) the read deadline for replies.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.framed.conn().set_read_timeout(timeout)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request without waiting for its reply (pipelining);
+    /// returns the request id to match against
+    /// [`recv_reply`](Self::recv_reply).
+    ///
+    /// # Errors
+    /// Transport write errors.
+    pub fn send_request(&mut self, req: &ServeRequest) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.framed.send(&Request::Query {
+            id,
+            req: req.clone(),
+        })?;
+        Ok(id)
+    }
+
+    /// Receives the next reply frame, whatever request it answers.
+    ///
+    /// # Errors
+    /// Transport/decode errors; [`NetError::Protocol`] when the server
+    /// closed the stream instead of replying.
+    pub fn recv_reply(&mut self) -> Result<Reply> {
+        match self.framed.recv::<Reply>()? {
+            Some(reply) => Ok(reply),
+            None => Err(NetError::Protocol(
+                "server closed the connection before replying".into(),
+            )),
+        }
+    }
+
+    /// Receives one reply and checks it answers `id`; unwraps remote
+    /// errors into [`NetError::Remote`].
+    fn expect_reply(&mut self, id: u64) -> Result<Reply> {
+        let reply = self.recv_reply()?;
+        // Grammar-violation errors are sent with id 0 before the server
+        // hangs up — surface them as remote errors, not id mismatches.
+        if let Reply::Error { error, .. } = reply {
+            return Err(NetError::Remote(error));
+        }
+        if reply.id() != id {
+            return Err(NetError::Protocol(format!(
+                "reply id {} does not answer request id {id}",
+                reply.id()
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Runs one query set round-trip; the reply is byte-identical (same
+    /// struct, same serialization) to the in-process
+    /// [`CepsService::serve`](ceps_core::CepsService::serve) result.
+    ///
+    /// # Errors
+    /// Transport failures, or [`NetError::Remote`] with the server's
+    /// structured error (`BadRequest`, `Overloaded`, …).
+    pub fn request(&mut self, req: &ServeRequest) -> Result<ServeReply> {
+        let id = self.send_request(req)?;
+        match self.expect_reply(id)? {
+            Reply::Scores { reply, .. } => Ok(reply),
+            other => Err(NetError::Protocol(format!(
+                "expected Scores, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience wrapper over [`request`](Self::request) for a bare
+    /// node list.
+    ///
+    /// # Errors
+    /// As [`request`](Self::request).
+    pub fn query(&mut self, queries: impl Into<Vec<NodeId>>) -> Result<ServeReply> {
+        self.request(&ServeRequest::new(queries))
+    }
+
+    /// Infers the `K_softAND` coefficient for a query set server-side.
+    ///
+    /// # Errors
+    /// As [`request`](Self::request).
+    pub fn autok(&mut self, queries: impl Into<Vec<NodeId>>) -> Result<AutoKReply> {
+        let id = self.fresh_id();
+        self.framed.send(&Request::AutoK {
+            id,
+            queries: queries.into(),
+        })?;
+        match self.expect_reply(id)? {
+            Reply::AutoK { k, mean_ranks, .. } => Ok(AutoKReply { k, mean_ranks }),
+            other => Err(NetError::Protocol(format!("expected AutoK, got {other:?}"))),
+        }
+    }
+
+    /// Liveness probe; returns the server's protocol version string.
+    ///
+    /// # Errors
+    /// As [`request`](Self::request).
+    pub fn ping(&mut self) -> Result<String> {
+        let id = self.fresh_id();
+        self.framed.send(&Request::Ping { id })?;
+        match self.expect_reply(id)? {
+            Reply::Pong { proto, .. } => Ok(proto),
+            other => Err(NetError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    ///
+    /// # Errors
+    /// As [`request`](Self::request).
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        let id = self.fresh_id();
+        self.framed.send(&Request::Stats { id })?;
+        match self.expect_reply(id)? {
+            Reply::Stats { stats, .. } => Ok(stats),
+            other => Err(NetError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; waits for its `Bye`.
+    ///
+    /// # Errors
+    /// As [`request`](Self::request).
+    pub fn shutdown(&mut self) -> Result<()> {
+        let id = self.fresh_id();
+        self.framed.send(&Request::Shutdown { id })?;
+        match self.expect_reply(id)? {
+            Reply::Bye { .. } => Ok(()),
+            other => Err(NetError::Protocol(format!("expected Bye, got {other:?}"))),
+        }
+    }
+}

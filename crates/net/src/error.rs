@@ -1,0 +1,72 @@
+//! The crate's error type.
+
+use std::fmt;
+use std::io;
+
+use crate::wire::WireError;
+
+/// Everything that can go wrong speaking `ceps-wire/v1`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Transport-level I/O failure (includes read/write timeouts).
+    Io(io::Error),
+    /// A frame violated the grammar (bad header, truncated payload,
+    /// invalid JSON, unknown tag). The stream cannot be resynchronized.
+    Malformed(String),
+    /// A frame announced a payload longer than the configured cap.
+    TooLarge {
+        /// Announced payload length in bytes.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The peer answered with a structured `Error` reply.
+    Remote(WireError),
+    /// The peer violated the protocol (wrong reply kind, id mismatch,
+    /// connection closed mid-conversation).
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            NetError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::Remote(e) => write!(f, "server error ({:?}): {}", e.kind, e.message),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl NetError {
+    /// True when the error is an I/O timeout (the read deadline passed
+    /// without a complete frame) — the caller may simply retry.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            )
+        )
+    }
+}

@@ -1,0 +1,81 @@
+//! # ceps-net — the wire-protocol service boundary
+//!
+//! Everything before this crate served queries *in-process*:
+//! [`ceps_core::CepsService`] replays internal streams, but there was no
+//! production edge a client could connect to. `ceps-net` gives the engine
+//! one, staying zero-dependency like `ceps-obs` and `ceps-pool`:
+//!
+//! * [`wire`] — the `ceps-wire/v1` protocol: length-prefixed single-line
+//!   JSON frames carrying a small externally-tagged request/reply
+//!   vocabulary (`Query`, `AutoK`, `Ping`, `Stats`, `Shutdown` in;
+//!   `Scores`, `AutoK`, `Pong`, `Stats`, `Bye`, structured `Error` out).
+//!   The `Query`/`Scores` payloads are exactly
+//!   [`ceps_core::ServeRequest`] / [`ceps_core::ServeReply`] — the same
+//!   structs the in-process API uses, so the wire adds no second
+//!   vocabulary and replies are byte-identical either way.
+//! * [`transport`] — a [`Transport`]/[`Conn`] trait seam with three
+//!   implementations: an in-process duplex pipe (tests drive the full
+//!   server without a socket), Unix domain sockets, and TCP.
+//! * [`server`] — [`CepsServer`]: a long-lived accept loop fanning
+//!   connections over a bounded worker set that reuses one shared
+//!   [`ceps_core::CepsService`], with read/write timeouts, a max-frame
+//!   guard, admission control (structured `Overloaded` replies past a
+//!   configurable in-flight cap) and graceful drain on `Shutdown`.
+//! * [`client`] — [`CepsClient`]: a thin synchronous client with
+//!   request-id bookkeeping and optional pipelining.
+//!
+//! Every accepted connection, decoded frame, shed and error bumps a
+//! `ceps_net_*` counter and per-frame latency histogram through
+//! [`ceps_obs`], so an attached [`ceps_obs::MetricsExporter`] picks the
+//! service boundary up for free (windowed p50/p90/p99 included).
+//!
+//! ## In-process quick start
+//!
+//! ```
+//! use ceps_core::{CepsConfig, CepsServiceBuilder, ServeRequest};
+//! use ceps_graph::{GraphBuilder, NodeId};
+//! use ceps_net::{in_proc, CepsClient, CepsServer, ServerConfig};
+//!
+//! let mut b = GraphBuilder::new();
+//! for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+//!     b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
+//! }
+//! let service = CepsServiceBuilder::new()
+//!     .cache_bytes(1 << 20)
+//!     .build_from_graph(b.build().unwrap(), CepsConfig::default().budget(2))
+//!     .unwrap();
+//!
+//! let (mut transport, connector) = in_proc();
+//! let server = CepsServer::new(service, ServerConfig::default());
+//! std::thread::scope(|s| {
+//!     let server = &server;
+//!     s.spawn(move || server.serve(&mut transport).unwrap());
+//!     let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+//!     let reply = client.request(&ServeRequest::new(vec![NodeId(0), NodeId(4)])).unwrap();
+//!     assert!(reply.members.iter().any(|m| m.id == NodeId(2)));
+//!     client.shutdown().unwrap(); // graceful drain; serve() returns
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod error;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{AutoKReply, CepsClient};
+pub use error::NetError;
+pub use server::{Admission, CepsServer, ServerConfig, ServerStats};
+pub use transport::{
+    in_proc, Conn, InProcConn, InProcConnector, InProcTransport, ListenAddr, TcpTransport,
+    Transport, UnixTransport,
+};
+pub use wire::{
+    Framed, Reply, Request, WireError, WireErrorKind, DEFAULT_MAX_FRAME_BYTES, WIRE_VERSION,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,602 @@
+//! [`CepsServer`]: the long-lived serving loop behind the wire boundary.
+//!
+//! One server owns one [`CepsService`] (engine + row cache) and fans
+//! inbound connections over a bounded worker set. Each worker speaks
+//! `ceps-wire/v1` on its connection: requests are answered in order, one
+//! at a time per connection; concurrency comes from many connections.
+//!
+//! Three guard rails keep a misbehaving or overeager client from taking
+//! the service down:
+//!
+//! * a **max-frame guard** — oversized frames are rejected from the
+//!   header alone, before any payload is buffered;
+//! * **admission control** — at most `max_in_flight` queries execute at
+//!   once; excess queries get a structured `Overloaded` reply instead of
+//!   queueing unboundedly;
+//! * **timeouts** — reads poll in short slices (so shutdown is observed
+//!   between frames), idle connections are reaped, and writes carry a
+//!   deadline.
+//!
+//! A `Shutdown` frame (or [`CepsServer::request_stop`]) drains the
+//! server: in-progress requests finish, every worker closes its
+//! connection at the next frame boundary, and `serve` returns the final
+//! [`ServerStats`].
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ceps_core::{infer_soft_and_k, CepsService};
+use ceps_obs::{counter, record};
+
+use crate::transport::{Conn, Transport};
+use crate::wire::{Framed, Reply, Request, WireError, WireErrorKind, WIRE_VERSION};
+
+/// Tuning knobs for [`CepsServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handling worker threads; `0` means "match the owned
+    /// service's worker count".
+    pub workers: usize,
+    /// Maximum accepted frame payload in bytes.
+    pub max_frame_bytes: usize,
+    /// Close a connection after this many milliseconds without a frame;
+    /// `0` disables idle reaping.
+    pub idle_timeout_ms: u64,
+    /// Write deadline per reply frame in milliseconds; `0` disables.
+    pub write_timeout_ms: u64,
+    /// Maximum queries executing at once before `Overloaded` sheds kick
+    /// in; `0` means "match the worker count".
+    pub max_in_flight: usize,
+    /// How long each accept poll waits before re-checking for shutdown,
+    /// in milliseconds.
+    pub accept_poll_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            max_frame_bytes: crate::wire::DEFAULT_MAX_FRAME_BYTES,
+            idle_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            max_in_flight: 0,
+            accept_poll_ms: 250,
+        }
+    }
+}
+
+/// Admission control: a counting gate over concurrently executing
+/// queries. Public so tests can saturate it deterministically and assert
+/// the server sheds.
+#[derive(Debug)]
+pub struct Admission {
+    cap: usize,
+    in_flight: AtomicUsize,
+}
+
+impl Admission {
+    /// A gate admitting at most `cap` concurrent holders.
+    pub fn new(cap: usize) -> Self {
+        Admission {
+            cap: cap.max(1),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The concurrency cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Queries executing right now.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Tries to admit one query; `None` when the cap is reached. The
+    /// returned permit releases its slot on drop.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let mut cur = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if cur >= self.cap {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(AdmissionPermit(Arc::clone(self))),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// RAII admission slot; dropping it re-opens the gate for one query.
+#[derive(Debug)]
+pub struct AdmissionPermit(Arc<Admission>);
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Counter snapshot a `Stats` frame returns (and `serve` on exit).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServerStats {
+    /// Protocol version ([`WIRE_VERSION`]).
+    pub proto: String,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Frames decoded since start (all request kinds).
+    pub frames: u64,
+    /// `Query` + `AutoK` frames admitted and executed.
+    pub queries: u64,
+    /// Requests shed with `Overloaded`.
+    pub sheds: u64,
+    /// Error replies sent (sheds included) plus undecodable frames.
+    pub errors: u64,
+    /// Queries executing at snapshot time.
+    pub in_flight: usize,
+    /// Milliseconds since the server was created.
+    pub uptime_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    queries: AtomicU64,
+    sheds: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Work queue between the accept loop and the connection workers.
+struct ConnQueue {
+    queue: Mutex<VecDeque<Box<dyn Conn>>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocks until the bounded queue has room, then enqueues.
+    fn push(&self, conn: Box<dyn Conn>) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        while q.len() >= self.cap {
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+        q.push_back(conn);
+        self.ready.notify_all();
+    }
+
+    /// Dequeues the next connection, or `None` once draining and empty.
+    fn pop(&self, stop: &AtomicBool) -> Option<Box<dyn Conn>> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(conn) = q.pop_front() {
+                self.ready.notify_all();
+                return Some(conn);
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("queue poisoned");
+            q = guard;
+        }
+    }
+}
+
+/// A long-lived wire server wrapping one [`CepsService`].
+pub struct CepsServer {
+    service: CepsService,
+    config: ServerConfig,
+    admission: Arc<Admission>,
+    stop: AtomicBool,
+    counters: Counters,
+    started: Instant,
+}
+
+impl CepsServer {
+    /// Wraps `service` with the given tuning.
+    pub fn new(service: CepsService, config: ServerConfig) -> Self {
+        let workers = if config.workers == 0 {
+            service.workers()
+        } else {
+            config.workers
+        };
+        let cap = if config.max_in_flight == 0 {
+            workers
+        } else {
+            config.max_in_flight
+        };
+        CepsServer {
+            service,
+            config,
+            admission: Arc::new(Admission::new(cap)),
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &CepsService {
+        &self.service
+    }
+
+    /// The admission gate (tests hold permits to force `Overloaded`).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
+    }
+
+    /// Asks the accept loop and all workers to drain and exit — the
+    /// out-of-band equivalent of a wire `Shutdown` frame.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            proto: WIRE_VERSION.to_string(),
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            sheds: self.counters.sheds.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            in_flight: self.admission.in_flight(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Runs the accept loop over `transport` until a `Shutdown` frame or
+    /// [`request_stop`](Self::request_stop) drains it; returns the final
+    /// counter snapshot.
+    ///
+    /// # Errors
+    /// Fatal listener errors from the transport. Per-connection errors
+    /// are counted and logged, never fatal.
+    pub fn serve(&self, transport: &mut dyn Transport) -> io::Result<ServerStats> {
+        let workers = if self.config.workers == 0 {
+            self.service.workers()
+        } else {
+            self.config.workers
+        };
+        let queue = ConnQueue::new(workers.max(1) * 2);
+        let poll = Duration::from_millis(self.config.accept_poll_ms.max(1));
+        ceps_obs::info!(
+            "ceps-net: serving on {} ({} workers, cap {})",
+            transport.addr(),
+            workers.max(1),
+            self.admission.cap()
+        );
+
+        let mut accept_err = None;
+        std::thread::scope(|s| {
+            let queue = &queue;
+            for _ in 0..workers.max(1) {
+                s.spawn(move || {
+                    while let Some(conn) = queue.pop(&self.stop) {
+                        self.handle_conn(conn);
+                    }
+                });
+            }
+            while !self.stop.load(Ordering::Acquire) {
+                match transport.accept_timeout(poll) {
+                    Ok(Some(conn)) => {
+                        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        counter("net.connections_total", 1);
+                        queue.push(conn);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        accept_err = Some(e);
+                        self.stop.store(true, Ordering::Release);
+                    }
+                }
+            }
+            // Workers observe the stop flag via pop()'s timeout and via
+            // their per-read slices, then drain and join at scope end.
+        });
+        match accept_err {
+            Some(e) => Err(e),
+            None => Ok(self.stats()),
+        }
+    }
+
+    /// Speaks the protocol on one connection until EOF, error, idle
+    /// timeout, or drain.
+    fn handle_conn(&self, conn: Box<dyn Conn>) {
+        let read_slice = Duration::from_millis(250);
+        let _ = conn.set_read_timeout(Some(read_slice));
+        let write_timeout = match self.config.write_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        let _ = conn.set_write_timeout(write_timeout);
+        let peer = conn.peer();
+        let idle_cap = match self.config.idle_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+
+        let mut framed = Framed::new(conn, self.config.max_frame_bytes);
+        let mut last_activity = Instant::now();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return; // drain: between frames, nothing in flight here
+            }
+            let frame_start = Instant::now();
+            let request = match framed.recv::<Request>() {
+                Ok(Some(req)) => req,
+                Ok(None) => return, // clean EOF
+                Err(e) if e.is_timeout() => {
+                    if let Some(cap) = idle_cap {
+                        if last_activity.elapsed() > cap {
+                            ceps_obs::debug!("ceps-net: reaping idle connection from {peer}");
+                            return;
+                        }
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    // Grammar violations get a structured goodbye (id 0:
+                    // the offending frame never decoded); the stream is
+                    // beyond resync either way.
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    counter("net.errors_total", 1);
+                    let kind = match e {
+                        crate::NetError::TooLarge { .. } => WireErrorKind::TooLarge,
+                        _ => WireErrorKind::Malformed,
+                    };
+                    let _ = framed.send(&Reply::Error {
+                        id: 0,
+                        error: WireError::new(kind, e.to_string()),
+                    });
+                    return;
+                }
+            };
+            last_activity = Instant::now();
+            self.counters.frames.fetch_add(1, Ordering::Relaxed);
+            counter("net.frames_total", 1);
+
+            let (reply, done) = self.dispatch(request);
+            if matches!(reply, Reply::Error { .. }) {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                counter("net.errors_total", 1);
+            }
+            record("net.frame_ms", frame_start.elapsed().as_secs_f64() * 1e3);
+            if framed.send(&reply).is_err() || done {
+                return;
+            }
+        }
+    }
+
+    /// Answers one decoded request; the bool asks the caller to close
+    /// the connection after sending the reply.
+    fn dispatch(&self, request: Request) -> (Reply, bool) {
+        match request {
+            Request::Ping { id } => (
+                Reply::Pong {
+                    id,
+                    proto: WIRE_VERSION.to_string(),
+                },
+                false,
+            ),
+            Request::Stats { id } => (
+                Reply::Stats {
+                    id,
+                    stats: self.stats(),
+                },
+                false,
+            ),
+            Request::Shutdown { id } => {
+                ceps_obs::info!("ceps-net: shutdown requested over the wire");
+                self.stop.store(true, Ordering::Release);
+                (Reply::Bye { id }, true)
+            }
+            Request::Query { id, req } => {
+                let Some(_permit) = self.admission.try_acquire() else {
+                    return (self.shed(id), false);
+                };
+                self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                counter("net.queries_total", 1);
+                let start = Instant::now();
+                let reply = match self.service.serve(&req) {
+                    Ok(reply) => Reply::Scores { id, reply },
+                    Err(e) => Reply::Error {
+                        id,
+                        error: WireError::new(WireErrorKind::BadRequest, e.to_string()),
+                    },
+                };
+                record("net.query_ms", start.elapsed().as_secs_f64() * 1e3);
+                (reply, false)
+            }
+            Request::AutoK { id, queries } => {
+                let Some(_permit) = self.admission.try_acquire() else {
+                    return (self.shed(id), false);
+                };
+                self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                counter("net.queries_total", 1);
+                let start = Instant::now();
+                let reply = match infer_soft_and_k(self.service.engine(), &queries) {
+                    Ok(inf) => Reply::AutoK {
+                        id,
+                        k: inf.k,
+                        mean_ranks: inf.mean_ranks,
+                    },
+                    Err(e) => Reply::Error {
+                        id,
+                        error: WireError::new(WireErrorKind::BadRequest, e.to_string()),
+                    },
+                };
+                record("net.query_ms", start.elapsed().as_secs_f64() * 1e3);
+                (reply, false)
+            }
+        }
+    }
+
+    fn shed(&self, id: u64) -> Reply {
+        self.counters.sheds.fetch_add(1, Ordering::Relaxed);
+        counter("net.sheds_total", 1);
+        Reply::Error {
+            id,
+            error: WireError::new(
+                WireErrorKind::Overloaded,
+                format!("in-flight cap {} reached", self.admission.cap()),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceps_core::{CepsConfig, CepsServiceBuilder, ServeRequest};
+    use ceps_graph::{GraphBuilder, NodeId};
+
+    use crate::client::CepsClient;
+    use crate::transport::in_proc;
+
+    fn test_service() -> CepsService {
+        let mut b = GraphBuilder::new();
+        for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)] {
+            b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
+        }
+        CepsServiceBuilder::new()
+            .cache_bytes(1 << 20)
+            .workers(2)
+            .build_from_graph(b.build().unwrap(), CepsConfig::default().budget(3))
+            .unwrap()
+    }
+
+    #[test]
+    fn admission_gate_counts_and_releases() {
+        let gate = Arc::new(Admission::new(2));
+        let p1 = gate.try_acquire().unwrap();
+        let p2 = gate.try_acquire().unwrap();
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.try_acquire().is_none());
+        drop(p1);
+        assert_eq!(gate.in_flight(), 1);
+        let p3 = gate.try_acquire().unwrap();
+        drop((p2, p3));
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn server_answers_ping_stats_query_and_drains_on_shutdown() {
+        let server = CepsServer::new(test_service(), ServerConfig::default());
+        let (mut transport, connector) = in_proc();
+        let stats = std::thread::scope(|s| {
+            let server = &server;
+            let handle = s.spawn(move || server.serve(&mut transport).unwrap());
+
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            let proto = client.ping().unwrap();
+            assert_eq!(proto, WIRE_VERSION);
+
+            let reply = client
+                .request(&ServeRequest::new(vec![NodeId(0), NodeId(5)]))
+                .unwrap();
+            assert!(reply.k >= 1);
+            assert!(!reply.members.is_empty());
+
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.queries, 1);
+            assert!(stats.frames >= 3);
+
+            client.shutdown().unwrap();
+            handle.join().unwrap()
+        });
+        assert!(stats.frames >= 4);
+        assert_eq!(stats.sheds, 0);
+    }
+
+    #[test]
+    fn saturated_admission_sheds_with_overloaded() {
+        let mut config = ServerConfig::default();
+        config.max_in_flight = 1;
+        let server = CepsServer::new(test_service(), config);
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+
+            // Hold the only slot so the next query must shed.
+            let permit = server.admission().try_acquire().unwrap();
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            let err = client
+                .request(&ServeRequest::new(vec![NodeId(0)]))
+                .unwrap_err();
+            match err {
+                crate::NetError::Remote(e) => {
+                    assert_eq!(e.kind, WireErrorKind::Overloaded)
+                }
+                other => panic!("expected Overloaded shed, got {other}"),
+            }
+            drop(permit);
+            // Slot free again: the same connection now succeeds.
+            client.request(&ServeRequest::new(vec![NodeId(0)])).unwrap();
+            assert_eq!(server.stats().sheds, 1);
+            client.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn bad_queries_get_structured_bad_request() {
+        let server = CepsServer::new(test_service(), ServerConfig::default());
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            let err = client
+                .request(&ServeRequest::new(vec![NodeId(999)]))
+                .unwrap_err();
+            match err {
+                crate::NetError::Remote(e) => assert_eq!(e.kind, WireErrorKind::BadRequest),
+                other => panic!("expected BadRequest, got {other}"),
+            }
+            // The connection survives a rejected query.
+            client.ping().unwrap();
+            client.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn request_stop_drains_without_a_wire_frame() {
+        let server = CepsServer::new(test_service(), ServerConfig::default());
+        let (mut transport, _connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            let handle = s.spawn(move || server.serve(&mut transport).unwrap());
+            std::thread::sleep(Duration::from_millis(50));
+            server.request_stop();
+            let stats = handle.join().unwrap();
+            assert_eq!(stats.connections, 0);
+        });
+    }
+}

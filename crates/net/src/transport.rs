@@ -1,0 +1,584 @@
+//! Transport seam: where frames travel.
+//!
+//! [`CepsServer`](crate::CepsServer) speaks to the world through the
+//! [`Transport`] trait (an accept loop yielding boxed [`Conn`]s), so the
+//! same server code runs over three media:
+//!
+//! * [`in_proc`] — a duplex in-memory pipe pair. Tests drive the whole
+//!   server, admission control included, without touching a socket.
+//! * [`UnixTransport`] — Unix domain sockets (the CI smoke path).
+//! * [`TcpTransport`] — TCP, for cross-host serving.
+//!
+//! [`ListenAddr`] parses the CLI's `--listen` strings (`tcp://host:port`,
+//! `unix:///path`, plus bare `host:port` / path heuristics) and can bind
+//! a server transport or connect a client [`Conn`] from the same value.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A bidirectional byte stream a [`Framed`](crate::Framed) codec can run
+/// over. Implementations must honor read timeouts so the server can poll
+/// for shutdown between frames.
+pub trait Conn: Read + Write + Send {
+    /// Sets (or clears) the read deadline for subsequent reads. A read
+    /// that passes the deadline fails with `WouldBlock` or `TimedOut`.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Sets (or clears) the write deadline for subsequent writes.
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// A human-readable peer label for logs and stats.
+    fn peer(&self) -> String;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+
+    fn peer(&self) -> String {
+        self.peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp:?".into())
+    }
+}
+
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_write_timeout(self, timeout)
+    }
+
+    fn peer(&self) -> String {
+        "unix".into()
+    }
+}
+
+/// A listener the server accept loop drives. `accept_timeout` must
+/// return within roughly the given duration even when no client arrives,
+/// so the loop can observe shutdown.
+pub trait Transport: Send {
+    /// Waits up to `timeout` for one inbound connection; `Ok(None)` when
+    /// none arrived in time.
+    ///
+    /// # Errors
+    /// Fatal listener errors (the accept loop stops on them).
+    fn accept_timeout(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>>;
+
+    /// A human-readable bound-address label.
+    fn addr(&self) -> String;
+}
+
+/// Granularity of the poll-sleep accept loops below.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+fn poll_accept<T, F>(timeout: Duration, mut try_accept: F) -> io::Result<Option<T>>
+where
+    F: FnMut() -> io::Result<Option<T>>,
+{
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(conn) = try_accept()? {
+            return Ok(Some(conn));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(None);
+        }
+        std::thread::sleep(ACCEPT_POLL.min(deadline - now));
+    }
+}
+
+/// TCP listener transport.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: String,
+}
+
+impl TcpTransport {
+    /// Binds a nonblocking TCP listener on `addr` (e.g. `127.0.0.1:0`).
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener
+            .local_addr()
+            .map(|a| format!("tcp://{a}"))
+            .unwrap_or_else(|_| format!("tcp://{addr}"));
+        Ok(TcpTransport { listener, addr })
+    }
+
+    /// The actual bound address (`tcp://ip:port`, port resolved when the
+    /// bind used port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn accept_timeout(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        poll_accept(timeout, || match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(stream) as Box<dyn Conn>))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        })
+    }
+
+    fn addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+/// Unix-domain-socket listener transport. Removes a stale socket file on
+/// bind and cleans its socket up on drop.
+pub struct UnixTransport {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl UnixTransport {
+    /// Binds a nonblocking Unix listener at `path`, replacing a stale
+    /// socket file left by a dead server.
+    ///
+    /// # Errors
+    /// Bind failures (including `path` existing as a non-socket file).
+    pub fn bind(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        match UnixListener::bind(&path) {
+            Ok(listener) => {
+                listener.set_nonblocking(true)?;
+                Ok(UnixTransport { listener, path })
+            }
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                // Stale socket from a previous run: a live server would
+                // accept a probe connection.
+                if UnixStream::connect(&path).is_err() {
+                    std::fs::remove_file(&path)?;
+                    let listener = UnixListener::bind(&path)?;
+                    listener.set_nonblocking(true)?;
+                    Ok(UnixTransport { listener, path })
+                } else {
+                    Err(e)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The socket path this transport is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Transport for UnixTransport {
+    fn accept_timeout(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        poll_accept(timeout, || match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(stream) as Box<dyn Conn>))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        })
+    }
+
+    fn addr(&self) -> String {
+        format!("unix://{}", self.path.display())
+    }
+}
+
+impl Drop for UnixTransport {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------
+
+/// One direction of the in-process duplex pipe.
+#[derive(Debug, Default)]
+struct PipeState {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    cond: Condvar,
+}
+
+impl Pipe {
+    fn write(&self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("pipe poisoned");
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "in-proc peer closed",
+            ));
+        }
+        state.data.extend(buf.iter().copied());
+        self.cond.notify_all();
+        Ok(buf.len())
+    }
+
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = self.state.lock().expect("pipe poisoned");
+        loop {
+            if !state.data.is_empty() {
+                let n = buf.len().min(state.data.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = state.data.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            state = match deadline {
+                None => self.cond.wait(state).expect("pipe poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            "in-proc read timed out",
+                        ));
+                    }
+                    self.cond
+                        .wait_timeout(state, deadline - now)
+                        .expect("pipe poisoned")
+                        .0
+                }
+            };
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("pipe poisoned");
+        state.closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// One endpoint of an in-process duplex connection.
+#[derive(Debug)]
+pub struct InProcConn {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    read_timeout: Mutex<Option<Duration>>,
+    label: &'static str,
+}
+
+impl InProcConn {
+    fn pair() -> (InProcConn, InProcConn) {
+        let a = Arc::new(Pipe::default());
+        let b = Arc::new(Pipe::default());
+        (
+            InProcConn {
+                rx: Arc::clone(&a),
+                tx: Arc::clone(&b),
+                read_timeout: Mutex::new(None),
+                label: "in-proc:client",
+            },
+            InProcConn {
+                rx: b,
+                tx: a,
+                read_timeout: Mutex::new(None),
+                label: "in-proc:server",
+            },
+        )
+    }
+}
+
+impl Read for InProcConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let timeout = *self.read_timeout.lock().expect("timeout poisoned");
+        self.rx.read(buf, timeout)
+    }
+}
+
+impl Write for InProcConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Conn for InProcConn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        *self.read_timeout.lock().expect("timeout poisoned") = timeout;
+        Ok(())
+    }
+
+    fn set_write_timeout(&self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(()) // in-proc writes never block
+    }
+
+    fn peer(&self) -> String {
+        self.label.into()
+    }
+}
+
+impl Drop for InProcConn {
+    fn drop(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+/// The server side of [`in_proc`]: yields connections the paired
+/// [`InProcConnector`] dials.
+pub struct InProcTransport {
+    incoming: Receiver<InProcConn>,
+}
+
+impl Transport for InProcTransport {
+    fn accept_timeout(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        poll_accept(timeout, || match self.incoming.try_recv() {
+            Ok(conn) => Ok(Some(Box::new(conn) as Box<dyn Conn>)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "all in-proc connectors dropped",
+            )),
+        })
+    }
+
+    fn addr(&self) -> String {
+        "in-proc".into()
+    }
+}
+
+/// The client side of [`in_proc`]: dials new connections into the paired
+/// [`InProcTransport`]. Cloneable; the transport's accept loop errors out
+/// once every connector clone is gone.
+#[derive(Clone)]
+pub struct InProcConnector {
+    dial: Sender<InProcConn>,
+}
+
+impl InProcConnector {
+    /// Opens a new duplex connection to the paired transport.
+    ///
+    /// # Errors
+    /// `BrokenPipe` when the transport (server side) is gone.
+    pub fn connect(&self) -> io::Result<InProcConn> {
+        let (client, server) = InProcConn::pair();
+        self.dial
+            .send(server)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "in-proc transport dropped"))?;
+        Ok(client)
+    }
+}
+
+/// Creates a paired in-process listener and dialer — the test-and-doc
+/// transport that exercises the full server without a socket.
+pub fn in_proc() -> (InProcTransport, InProcConnector) {
+    let (dial, incoming) = mpsc::channel();
+    (InProcTransport { incoming }, InProcConnector { dial })
+}
+
+// ---------------------------------------------------------------------
+// Address parsing
+// ---------------------------------------------------------------------
+
+/// A parsed `--listen` / `--connect` address, usable from both ends:
+/// [`ListenAddr::bind`] for servers, [`ListenAddr::connect`] for clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// `tcp://host:port` (or bare `host:port`).
+    Tcp(String),
+    /// `unix:///path/to.sock` (or a bare filesystem path).
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parses an address string. Explicit `tcp://` / `unix://` prefixes
+    /// win; otherwise a trailing `:<port>` means TCP and anything else is
+    /// a Unix socket path.
+    pub fn parse(s: &str) -> ListenAddr {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            return ListenAddr::Tcp(rest.to_string());
+        }
+        if let Some(rest) = s.strip_prefix("unix://") {
+            return ListenAddr::Unix(PathBuf::from(rest));
+        }
+        match s.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                ListenAddr::Tcp(s.to_string())
+            }
+            _ => ListenAddr::Unix(PathBuf::from(s)),
+        }
+    }
+
+    /// Binds a server transport at this address.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind(&self) -> io::Result<Box<dyn Transport>> {
+        match self {
+            ListenAddr::Tcp(addr) => Ok(Box::new(TcpTransport::bind(addr)?)),
+            ListenAddr::Unix(path) => Ok(Box::new(UnixTransport::bind(path)?)),
+        }
+    }
+
+    /// Connects a client stream to this address.
+    ///
+    /// # Errors
+    /// Connect failures.
+    pub fn connect(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            ListenAddr::Tcp(addr) => Ok(Box::new(TcpStream::connect(addr)?)),
+            ListenAddr::Unix(path) => Ok(Box::new(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(addr) => write!(f, "tcp://{addr}"),
+            ListenAddr::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addr_parsing_heuristics() {
+        assert_eq!(
+            ListenAddr::parse("tcp://0.0.0.0:7070"),
+            ListenAddr::Tcp("0.0.0.0:7070".into())
+        );
+        assert_eq!(
+            ListenAddr::parse("unix:///tmp/ceps.sock"),
+            ListenAddr::Unix(PathBuf::from("/tmp/ceps.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:9000"),
+            ListenAddr::Tcp("127.0.0.1:9000".into())
+        );
+        assert_eq!(
+            ListenAddr::parse("/run/ceps.sock"),
+            ListenAddr::Unix(PathBuf::from("/run/ceps.sock"))
+        );
+        // Port out of u16 range → not a TCP address.
+        assert_eq!(
+            ListenAddr::parse("weird:99999"),
+            ListenAddr::Unix(PathBuf::from("weird:99999"))
+        );
+    }
+
+    #[test]
+    fn in_proc_pipe_moves_bytes_and_times_out() {
+        let (client, mut server) = InProcConn::pair();
+        let mut client = client;
+        client.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 8];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+
+        Conn::set_read_timeout(&server, Some(Duration::from_millis(20))).unwrap();
+        let err = server.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+
+        drop(client);
+        // Peer gone: reads drain to EOF.
+        assert_eq!(server.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn in_proc_accept_sees_dialed_connections() {
+        let (mut transport, connector) = in_proc();
+        assert!(transport
+            .accept_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        let mut client = connector.connect().unwrap();
+        let mut server = transport
+            .accept_timeout(Duration::from_millis(200))
+            .unwrap()
+            .expect("dialed connection arrives");
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn tcp_transport_accepts_and_reports_addr() {
+        let mut transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr().unwrap();
+        assert!(transport.addr().starts_with("tcp://127.0.0.1:"));
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut server = transport
+            .accept_timeout(Duration::from_millis(500))
+            .unwrap()
+            .expect("connection accepted");
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn unix_transport_replaces_stale_socket_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("ceps-net-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.sock");
+        {
+            let t = UnixTransport::bind(&path).unwrap();
+            assert!(path.exists());
+            drop(t);
+        }
+        assert!(!path.exists(), "socket removed on drop");
+
+        // Simulate a crashed server: socket file exists, nobody listens.
+        {
+            let _t = UnixTransport::bind(&path).unwrap();
+            // Leak the file by pre-creating it again after drop below.
+        }
+        std::os::unix::net::UnixListener::bind(&path).map(drop).ok();
+        let mut t = UnixTransport::bind(&path).expect("stale socket replaced");
+        let mut client = UnixStream::connect(&path).unwrap();
+        let mut server = t
+            .accept_timeout(Duration::from_millis(500))
+            .unwrap()
+            .expect("connection accepted");
+        client.write_all(b"ok").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+        drop(t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,18 +15,24 @@
 //!         b.add_edge(NodeId(x), NodeId(y), 1.0)?;
 //!     }
 //!     let engine = CepsEngine::new(b.build()?, CepsConfig::default().budget(2))?;
-//!     let service = CepsService::new(engine, 16 << 20);
-//!     let result = service.run(&[NodeId(0), NodeId(4)])?;
-//!     assert!(result.subgraph.contains(NodeId(2)));
+//!     let service = CepsServiceBuilder::new().cache_bytes(16 << 20).build(engine);
+//!     let reply = service.serve(&ServeRequest::new(vec![NodeId(0), NodeId(4)]))?;
+//!     assert!(reply.members.iter().any(|m| m.id == NodeId(2)));
 //!     Ok(())
 //! }
 //! center_piece().unwrap();
 //! ```
+//!
+//! The same [`ServeRequest`](prelude::ServeRequest) /
+//! [`ServeReply`](prelude::ServeReply) pair also travels the
+//! [`ceps_net`] wire boundary verbatim, so in-process and remote callers
+//! share one vocabulary.
 
 pub use ceps_baselines;
 pub use ceps_core;
 pub use ceps_datagen;
 pub use ceps_graph;
+pub use ceps_net;
 pub use ceps_partition;
 pub use ceps_rwr;
 pub use ceps_viz;
@@ -111,11 +117,12 @@ impl From<ceps_baselines::BaselineError> for CepsError {
 pub mod prelude {
     pub use crate::CepsError;
     pub use ceps_core::{
-        CepsConfig, CepsEngine, CepsResult, CepsService, FastCeps, QueryType, ScoreMethod,
-        ServeOutcome,
+        CepsConfig, CepsEngine, CepsResult, CepsService, CepsServiceBuilder, FastCeps, QueryType,
+        ScoreMethod, ServeOutcome, ServeReply, ServeRequest,
     };
     pub use ceps_datagen::{CoauthorConfig, CoauthorGraph, QueryRepository};
     pub use ceps_graph::{CsrGraph, GraphBuilder, IntoSharedGraph, NodeId};
+    pub use ceps_net::{CepsClient, CepsServer, ListenAddr, ServerConfig};
     pub use ceps_rwr::{CacheStats, RwrConfig, RwrEngine, RwrRowCache, ScoreBackend};
 }
 

@@ -29,7 +29,7 @@ proptest! {
     ) {
         let (graph, repo) = workload(seed);
         let e = engine(&graph);
-        let service = CepsService::new(e.clone(), 32 << 20);
+        let service = CepsServiceBuilder::new().cache_bytes(32 << 20).build(e.clone());
         for (q, qseed) in batches {
             prop_assume!(repo.all().len() >= q);
             let queries = repo.sample(q, qseed);
@@ -54,7 +54,10 @@ proptest! {
         // Budget of one or two rows in a single shard: almost every insert
         // evicts something.
         let row_bytes = graph.node_count() * std::mem::size_of::<f64>() + 64;
-        let service = CepsService::with_shards(e.clone(), budget_rows * row_bytes, 1);
+        let service = CepsServiceBuilder::new()
+            .cache_bytes(budget_rows * row_bytes)
+            .shards(1)
+            .build(e.clone());
         for r in 0..rounds as u64 {
             let queries = repo.sample(3.min(repo.all().len()), seed ^ (r << 16));
             let cold = e.individual_scores(&queries).unwrap();
@@ -75,7 +78,10 @@ proptest! {
 fn concurrent_serving_matches_serial_engine() {
     let (graph, repo) = workload(7);
     let e = engine(&graph);
-    let service = CepsService::with_shards(e.clone(), 4 << 20, 4);
+    let service = CepsServiceBuilder::new()
+        .cache_bytes(4 << 20)
+        .shards(4)
+        .build(e.clone());
 
     let stream: Vec<Vec<NodeId>> = (0..24)
         .map(|i| repo.sample(1 + (i as usize % 3), 1000 + i))
@@ -83,7 +89,7 @@ fn concurrent_serving_matches_serial_engine() {
     let outcome = service.serve_stream(&stream, 4).unwrap();
     assert_eq!(outcome.completed, stream.len());
     assert!(
-        outcome.hit_rate() > 0.0,
+        outcome.hit_rate().expect("cache enabled and exercised") > 0.0,
         "hub-drawn stream must repeat rows"
     );
 
@@ -108,7 +114,7 @@ fn prelude_covers_the_serving_workflow() -> Result<(), CepsError> {
         engine.config().score_method,
         ScoreMethod::Iterative
     ));
-    let service = CepsService::new(engine, 1 << 20);
+    let service = CepsServiceBuilder::new().cache_bytes(1 << 20).build(engine);
     let result = service.run(&[NodeId(0), NodeId(4)])?;
     assert!(result.subgraph.contains(NodeId(2)));
     let stats: CacheStats = service.cache_stats().expect("cache enabled");

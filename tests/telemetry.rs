@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use ceps_core::telemetry::{trace_json, RequestTrace, SampleKind};
-use ceps_core::{CepsConfig, CepsEngine, CepsService, RequestTracer, StageTimes};
+use ceps_core::{CepsConfig, CepsEngine, CepsServiceBuilder, RequestTracer, StageTimes};
 use ceps_datagen::{CoauthorConfig, CoauthorGraph, QueryRepository};
 use ceps_graph::NodeId;
 use ceps_obs::{HistogramStat, MetricsSnapshot, SpanStat, WindowedMetrics};
@@ -379,7 +379,9 @@ fn traced_serving_emits_a_line_per_request_with_consistent_stage_times() {
     let (data, repo) = workload();
     let cfg = CepsConfig::default().budget(8).threads(1);
     let engine = CepsEngine::new(&data.graph, cfg).unwrap();
-    let service = CepsService::new(engine, 32 << 20);
+    let service = CepsServiceBuilder::new()
+        .cache_bytes(32 << 20)
+        .build(engine);
 
     let dir = tmp_dir("traced_serve");
     let path = dir.join("traces.jsonl");
@@ -443,7 +445,9 @@ fn exporter_final_prom_file_matches_the_final_registry_snapshot() {
     let (data, repo) = workload();
     let cfg = CepsConfig::default().budget(6).threads(1);
     let engine = CepsEngine::new(&data.graph, cfg).unwrap();
-    let service = CepsService::new(engine, 32 << 20);
+    let service = CepsServiceBuilder::new()
+        .cache_bytes(32 << 20)
+        .build(engine);
 
     let dir = tmp_dir("exporter");
     let prom_path = dir.join("metrics.prom");
