@@ -116,6 +116,9 @@ pub enum Command {
         /// or a socket path). When set, `serve` runs a long-lived
         /// `ceps-wire/v1` server instead of replaying a synthetic stream.
         listen: Option<String>,
+        /// Where to write the flight-recorder ring (`ceps-flight/v1`
+        /// JSONL) when the server drains or panics; enables the recorder.
+        flight_out: Option<PathBuf>,
     },
     /// `ceps client` — talk `ceps-wire/v1` to a running `serve --listen`.
     Client {
@@ -127,6 +130,9 @@ pub enum Command {
         json: bool,
         /// Reply deadline in milliseconds (`0` waits forever).
         timeout_ms: u64,
+        /// Where to write client-side `ceps-trace/v1` lines (one per
+        /// query reply); enables end-to-end trace propagation.
+        trace_out: Option<PathBuf>,
     },
     /// `ceps autok` — infer the softAND coefficient for a query set.
     AutoK {
@@ -168,6 +174,8 @@ pub enum ClientAction {
     Ping,
     /// Counter snapshot.
     Stats,
+    /// Fetch the server's flight-recorder ring as `ceps-flight/v1` JSONL.
+    DumpFlight,
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -190,10 +198,11 @@ USAGE:
                 [--profile] [--profile-out FILE]
                 [--metrics-out FILE.prom] [--metrics-interval MS]
                 [--trace-out FILE.jsonl] [--trace-sample RATE]
-                [--listen ADDR]
+                [--listen ADDR] [--flight-out FILE.jsonl]
   ceps client   --connect ADDR (--queries \"a,b,...\" | --stdin |
-                --autok \"a,b,...\" | --ping | --stats | --shutdown)
-                [--json] [--timeout MS]
+                --autok \"a,b,...\" | --ping | --stats | --dump-flight |
+                --shutdown)
+                [--json] [--timeout MS] [--trace-out FILE.jsonl]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
                 [--threads N]
@@ -212,6 +221,12 @@ USAGE:
   (ADDR: tcp://host:port, unix:///path, host:port, or a socket path);
   client talks to it over the same address grammar. Wire replies are
   byte-identical to the in-process API's results.
+
+  client --trace-out attaches a trace context to every query; the server
+  adopts it, so client and server ceps-trace/v1 lines share one trace_id
+  per request. serve --flight-out enables the in-memory flight recorder
+  and writes its ring (ceps-flight/v1 JSONL) when the server drains or
+  panics; client --dump-flight fetches the same ring over the wire.
 ";
 
 fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -224,7 +239,13 @@ fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         }
         if matches!(
             key.as_str(),
-            "--json" | "--profile" | "--stdin" | "--ping" | "--stats" | "--shutdown"
+            "--json"
+                | "--profile"
+                | "--stdin"
+                | "--ping"
+                | "--stats"
+                | "--dump-flight"
+                | "--shutdown"
         ) {
             flags.insert(key[2..].to_string(), "true".to_string());
             i += 1;
@@ -374,6 +395,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 trace_out: flags.get("trace-out").map(PathBuf::from),
                 trace_sample,
                 listen: flags.get("listen").cloned(),
+                flight_out: flags.get("flight-out").map(PathBuf::from),
             })
         }
         "client" => {
@@ -394,6 +416,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if flags.contains_key("stats") {
                 actions.push(ClientAction::Stats);
             }
+            if flags.contains_key("dump-flight") {
+                actions.push(ClientAction::DumpFlight);
+            }
             if flags.contains_key("shutdown") {
                 actions.push(ClientAction::Shutdown);
             }
@@ -401,7 +426,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 0 => {
                     return Err(CliError(
                         "client needs exactly one action: --queries, --stdin, --autok, \
-                         --ping, --stats or --shutdown"
+                         --ping, --stats, --dump-flight or --shutdown"
                             .into(),
                     ))
                 }
@@ -409,7 +434,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 _ => {
                     return Err(CliError(
                         "client takes one action at a time (got several of --queries/\
-                         --stdin/--autok/--ping/--stats/--shutdown)"
+                         --stdin/--autok/--ping/--stats/--dump-flight/--shutdown)"
                             .into(),
                     ))
                 }
@@ -419,6 +444,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 action,
                 json: flags.contains_key("json"),
                 timeout_ms: num(&flags, "timeout", 30_000u64)?,
+                trace_out: flags.get("trace-out").map(PathBuf::from),
             })
         }
         "autok" => {
@@ -788,11 +814,13 @@ mod tests {
                 action,
                 json,
                 timeout_ms,
+                trace_out,
             } => {
                 assert_eq!(connect, "/tmp/c.sock");
                 assert_eq!(action, ClientAction::Query("0,4".into()));
                 assert!(!json);
                 assert_eq!(timeout_ms, 30_000);
+                assert!(trace_out.is_none());
             }
             other => panic!("{other:?}"),
         }
@@ -815,7 +843,7 @@ mod tests {
                 ..
             }
         ));
-        for flag in ["--stdin", "--stats", "--shutdown"] {
+        for flag in ["--stdin", "--stats", "--dump-flight", "--shutdown"] {
             let c = parse(&v(&["client", "--connect", "a", flag])).unwrap();
             assert!(matches!(c, Command::Client { .. }));
         }
@@ -843,6 +871,59 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--connect"));
+    }
+
+    #[test]
+    fn tracing_and_flight_flags_parse() {
+        let c = parse(&v(&["serve", "--graph", "g"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                flight_out: None,
+                ..
+            }
+        ));
+        let c = parse(&v(&[
+            "serve",
+            "--graph",
+            "g",
+            "--listen",
+            "unix:///tmp/c.sock",
+            "--flight-out",
+            "flight.jsonl",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { flight_out, .. } => {
+                assert_eq!(flight_out, Some(PathBuf::from("flight.jsonl")))
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let c = parse(&v(&["client", "--connect", "a", "--dump-flight"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Client {
+                action: ClientAction::DumpFlight,
+                ..
+            }
+        ));
+        let c = parse(&v(&[
+            "client",
+            "--connect",
+            "a",
+            "--queries",
+            "0,4",
+            "--trace-out",
+            "client-trace.jsonl",
+        ]))
+        .unwrap();
+        match c {
+            Command::Client { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("client-trace.jsonl")))
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

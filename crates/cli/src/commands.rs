@@ -90,6 +90,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             trace_out,
             trace_sample,
             listen,
+            flight_out,
         } => serve(
             &graph,
             ServeOptions {
@@ -111,6 +112,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 trace_out,
                 trace_sample,
                 listen,
+                flight_out,
             },
         ),
         Command::Client {
@@ -118,7 +120,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             action,
             json,
             timeout_ms,
-        } => client(&connect, action, json, timeout_ms),
+            trace_out,
+        } => client(&connect, action, json, timeout_ms, trace_out.as_deref()),
         Command::Import {
             pairs,
             out,
@@ -470,6 +473,7 @@ struct ServeOptions {
     trace_out: Option<std::path::PathBuf>,
     trace_sample: f64,
     listen: Option<String>,
+    flight_out: Option<std::path::PathBuf>,
 }
 
 /// The `ceps-metrics/v1` event stream lives next to the Prometheus file:
@@ -684,9 +688,18 @@ fn serve_listen(
     addr: &str,
     opts: &ServeOptions,
 ) -> Result<String, CliError> {
-    if opts.profile || opts.metrics_out.is_some() {
+    // The flight recorder feeds on span enter/exit events, which only
+    // fire while the registry recorder is installed — so --flight-out
+    // turns the recorder on too.
+    if opts.profile || opts.metrics_out.is_some() || opts.flight_out.is_some() {
         ceps_obs::install_recorder();
         ceps_obs::reset();
+    }
+    if let Some(path) = &opts.flight_out {
+        // The ring must survive a crash: the panic hook writes it to the
+        // same path even when the drain path below is never reached.
+        ceps_obs::flight_enable(ceps_obs::DEFAULT_FLIGHT_CAPACITY);
+        ceps_obs::install_flight_panic_hook(path.clone());
     }
     let exporter = opts
         .metrics_out
@@ -699,18 +712,29 @@ fn serve_listen(
                 .map_err(|e| CliError(format!("cannot start metrics exporter: {e}")))
         })
         .transpose()?;
+    let tracer = opts
+        .trace_out
+        .as_ref()
+        .map(|path| {
+            ceps_core::RequestTracer::to_file(path, opts.trace_sample)
+                .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))
+        })
+        .transpose()?;
 
     let listen = ceps_net::ListenAddr::parse(addr);
     let mut transport = listen
         .bind()
         .map_err(|e| CliError(format!("cannot bind {listen}: {e}")))?;
-    let server = ceps_net::CepsServer::new(
+    let mut server = ceps_net::CepsServer::new(
         service,
         ceps_net::ServerConfig {
             workers: opts.workers,
             ..ceps_net::ServerConfig::default()
         },
     );
+    if let Some(tracer) = tracer {
+        server = server.with_tracer(tracer);
+    }
     // Readiness goes to stderr eagerly (execute() output prints only on
     // exit, and with --json stdout must stay pure JSON).
     eprintln!(
@@ -724,6 +748,10 @@ fn serve_listen(
         .map_err(|e| CliError(format!("server failed: {e}")))?;
     // Final exporter flush happens on drop, after the last frame counted.
     drop(exporter);
+    if let Some(path) = &opts.flight_out {
+        ceps_obs::flight_dump_to(path)
+            .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+    }
 
     let cache = server.service().cache_stats();
     if opts.json {
@@ -737,6 +765,8 @@ fn serve_listen(
                     "evictions": c.evictions,
                 })
             }),
+            "traces_written": server.tracer().map(ceps_core::RequestTracer::written),
+            "flight_out": opts.flight_out.as_ref().map(|p| p.display().to_string()),
         });
         return Ok(format!(
             "{}\n",
@@ -745,7 +775,8 @@ fn serve_listen(
     }
     let mut out = format!(
         "server drained after {:.1} s on {}\n\
-         {} connections, {} frames, {} queries, {} sheds, {} errors\n",
+         {} connections, {} frames, {} queries, {} sheds, {} errors\n\
+         windowed latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms\n",
         stats.uptime_ms as f64 / 1e3,
         transport.addr(),
         stats.connections,
@@ -753,6 +784,9 @@ fn serve_listen(
         stats.queries,
         stats.sheds,
         stats.errors,
+        stats.p50_ms,
+        stats.p90_ms,
+        stats.p99_ms,
     );
     if let Some(c) = cache {
         out.push_str(&format!(
@@ -766,6 +800,17 @@ fn serve_listen(
             prom.display(),
             metrics_events_path(prom).display(),
         ));
+    }
+    if let (Some(path), Some(tracer)) = (&opts.trace_out, server.tracer()) {
+        out.push_str(&format!(
+            "traces written to {} ({} lines, head rate {})\n",
+            path.display(),
+            tracer.written(),
+            tracer.sample_rate(),
+        ));
+    }
+    if let Some(path) = &opts.flight_out {
+        out.push_str(&format!("flight ring written to {}\n", path.display()));
     }
     Ok(out)
 }
@@ -816,11 +861,17 @@ fn client(
     action: ClientAction,
     json: bool,
     timeout_ms: u64,
+    trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let mut c = ceps_net::CepsClient::connect(connect)
         .map_err(|e| CliError(format!("cannot connect to {connect}: {e}")))?;
     if timeout_ms > 0 {
         c.set_timeout(Some(std::time::Duration::from_millis(timeout_ms)))?;
+    }
+    if let Some(path) = trace_out {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+        c = c.with_trace_sink(Box::new(file));
     }
     match action {
         ClientAction::Ping => {
@@ -845,7 +896,8 @@ fn client(
             } else {
                 format!(
                     "{} up {:.1} s: {} connections, {} frames, {} queries \
-                     ({} in flight), {} sheds, {} errors\n",
+                     ({} in flight), {} sheds, {} errors\n\
+                     windowed latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms\n{}",
                     stats.proto,
                     stats.uptime_ms as f64 / 1e3,
                     stats.connections,
@@ -854,7 +906,27 @@ fn client(
                     stats.in_flight,
                     stats.sheds,
                     stats.errors,
+                    stats.p50_ms,
+                    stats.p90_ms,
+                    stats.p99_ms,
+                    stats.cache.map_or(String::new(), |c| format!(
+                        "cache: {} hits / {} misses, {} evictions\n",
+                        c.hits, c.misses, c.evictions
+                    )),
                 )
+            })
+        }
+        ClientAction::DumpFlight => {
+            let dump = c.dump_flight()?;
+            // The dump is already machine-readable ceps-flight/v1 JSONL;
+            // --json returns it verbatim, text mode adds a summary line.
+            Ok(if json {
+                dump
+            } else if dump.is_empty() {
+                "flight ring empty (recorder off, or no events yet)\n".to_string()
+            } else {
+                let events = dump.lines().count();
+                format!("{dump}flight ring: {events} events\n")
             })
         }
         ClientAction::Shutdown => {
@@ -897,7 +969,15 @@ fn client(
                         .map_err(|e| CliError(format!("json error: {e}")))?
                 )
             } else {
-                render_serve_reply(&reply)
+                let mut out = render_serve_reply(&reply);
+                if let Some(path) = trace_out {
+                    out.push_str(&format!(
+                        "client traces written to {} ({} lines)\n",
+                        path.display(),
+                        c.traces_written(),
+                    ));
+                }
+                out
             })
         }
         ClientAction::Stdin => {
@@ -911,7 +991,15 @@ fn client(
                 }
                 sets.push(parse_wire_queries(trimmed)?);
             }
-            client_batch(&mut c, &sets, json)
+            let mut out = client_batch(&mut c, &sets, json)?;
+            if let (Some(path), false) = (trace_out, json) {
+                out.push_str(&format!(
+                    "client traces written to {} ({} lines)\n",
+                    path.display(),
+                    c.traces_written(),
+                ));
+            }
+            Ok(out)
         }
     }
 }
@@ -1280,6 +1368,7 @@ mod tests {
             trace_out: None,
             trace_sample: 1.0,
             listen: None,
+            flight_out: None,
         })
         .unwrap();
         assert!(out.contains("served 10 requests"));
@@ -1305,6 +1394,7 @@ mod tests {
             trace_out: None,
             trace_sample: 1.0,
             listen: None,
+            flight_out: None,
         })
         .unwrap();
         let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -1345,6 +1435,7 @@ mod tests {
                     trace_out: None,
                     trace_sample: 1.0,
                     listen: Some(addr),
+                    flight_out: None,
                 })
                 .unwrap()
             }
@@ -1362,6 +1453,7 @@ mod tests {
             action: ClientAction::Ping,
             json: false,
             timeout_ms: 5_000,
+            trace_out: None,
         })
         .unwrap();
         assert!(out.contains("ceps-wire/v1"), "{out}");
@@ -1371,6 +1463,7 @@ mod tests {
             action: ClientAction::Query("0,30".into()),
             json: true,
             timeout_ms: 10_000,
+            trace_out: None,
         })
         .unwrap();
         let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -1381,6 +1474,7 @@ mod tests {
             action: ClientAction::Stats,
             json: false,
             timeout_ms: 5_000,
+            trace_out: None,
         })
         .unwrap();
         assert!(out.contains("1 queries"), "{out}");
@@ -1390,6 +1484,7 @@ mod tests {
             action: ClientAction::Shutdown,
             json: false,
             timeout_ms: 5_000,
+            trace_out: None,
         })
         .unwrap();
         assert!(out.contains("server drained"));
@@ -1397,6 +1492,124 @@ mod tests {
         let summary = server.join().unwrap();
         assert!(summary.contains("server drained after"), "{summary}");
         assert!(summary.contains("1 queries"), "{summary}");
+    }
+
+    #[test]
+    fn traced_wire_round_trip_shares_trace_ids_and_dumps_the_flight_ring() {
+        let (g, _) = generated();
+        let pid = std::process::id();
+        let sock = tmp(&format!("cli-traced-{pid}.sock"));
+        let server_traces = tmp(&format!("server-traces-{pid}.jsonl"));
+        let client_traces = tmp(&format!("client-traces-{pid}.jsonl"));
+        let flight = tmp(&format!("flight-{pid}.jsonl"));
+        for p in [&sock, &server_traces, &client_traces, &flight] {
+            let _ = fs::remove_file(p);
+        }
+        let addr = sock.display().to_string();
+
+        let server = std::thread::spawn({
+            let g = g.clone();
+            let addr = addr.clone();
+            let server_traces = server_traces.clone();
+            let flight = flight.clone();
+            move || {
+                execute(Command::Serve {
+                    graph: g,
+                    requests: 0,
+                    queries_per: 2,
+                    workers: 2,
+                    repeat: 0.5,
+                    budget: 4,
+                    alpha: 0.5,
+                    cache_mb: 16,
+                    seed: 1,
+                    threads: 1,
+                    precision: ceps_graph::Precision::F64,
+                    json: false,
+                    profile: false,
+                    profile_out: None,
+                    metrics_out: None,
+                    metrics_interval_ms: 500,
+                    trace_out: Some(server_traces),
+                    trace_sample: 1.0,
+                    listen: Some(addr),
+                    flight_out: Some(flight),
+                })
+                .unwrap()
+            }
+        });
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let out = execute(Command::Client {
+            connect: addr.clone(),
+            action: ClientAction::Query("0,30".into()),
+            json: false,
+            timeout_ms: 10_000,
+            trace_out: Some(client_traces.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("client traces written to"), "{out}");
+
+        let dump = execute(Command::Client {
+            connect: addr.clone(),
+            action: ClientAction::DumpFlight,
+            json: true,
+            timeout_ms: 5_000,
+            trace_out: None,
+        })
+        .unwrap();
+        assert!(
+            dump.contains("\"schema\": \"ceps-flight/v1\""),
+            "--flight-out must have enabled the recorder: {dump}"
+        );
+
+        let out = execute(Command::Client {
+            connect: addr,
+            action: ClientAction::Shutdown,
+            json: false,
+            timeout_ms: 5_000,
+            trace_out: None,
+        })
+        .unwrap();
+        assert!(out.contains("server drained"));
+        let summary = server.join().unwrap();
+        assert!(summary.contains("windowed latency p50"), "{summary}");
+        assert!(summary.contains("traces written to"), "{summary}");
+        assert!(summary.contains("flight ring written to"), "{summary}");
+
+        // One query → one line on each side, sharing one trace_id; the
+        // server line carries the stage-level breakdown.
+        let client_line = fs::read_to_string(&client_traces).unwrap();
+        let server_line = fs::read_to_string(&server_traces).unwrap();
+        assert_eq!(client_line.lines().count(), 1, "{client_line}");
+        assert_eq!(server_line.lines().count(), 1, "{server_line}");
+        let cdoc: serde_json::Value = serde_json::from_str(client_line.trim()).unwrap();
+        let sdoc: serde_json::Value = serde_json::from_str(server_line.trim()).unwrap();
+        assert_eq!(cdoc["schema"], "ceps-trace/v1");
+        assert_eq!(cdoc["side"], "client");
+        assert_eq!(sdoc["schema"], "ceps-trace/v1");
+        let tid = cdoc["trace_id"].as_str().unwrap();
+        assert_eq!(tid.len(), 16);
+        assert_eq!(sdoc["trace_id"].as_str().unwrap(), tid);
+        assert!(sdoc["scores_ms"].as_f64().unwrap() >= 0.0);
+        assert!(
+            cdoc["latency_ms"].as_f64().unwrap() >= sdoc["latency_ms"].as_f64().unwrap(),
+            "client-observed latency includes the wire: {cdoc:?} vs {sdoc:?}"
+        );
+
+        // The drain wrote the ring; every line is valid ceps-flight/v1.
+        let flight_text = fs::read_to_string(&flight).unwrap();
+        assert!(!flight_text.is_empty());
+        for line in flight_text.lines() {
+            let doc: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(doc["schema"], "ceps-flight/v1");
+        }
+        ceps_obs::flight_disable();
     }
 
     #[test]
@@ -1427,6 +1640,7 @@ mod tests {
             trace_out: Some(traces.clone()),
             trace_sample: 1.0,
             listen: None,
+            flight_out: None,
         })
         .unwrap();
         assert!(out.contains("metrics written to"));

@@ -440,6 +440,14 @@ impl CepsService {
                                 break;
                             };
                             let t0 = Instant::now();
+                            // Each request gets a fresh root trace context
+                            // so spans, histogram exemplars, and the trace
+                            // line share one id. Skipped entirely when
+                            // nothing would consume it — the untraced path
+                            // stays free and scores are identical either
+                            // way.
+                            let _trace_guard = (tracer.is_some() || ceps_obs::enabled())
+                                .then(|| ceps_obs::with_trace(ceps_obs::TraceContext::new_root()));
                             match self.run_instrumented(queries) {
                                 Ok((result, metrics)) => {
                                     let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -459,6 +467,7 @@ impl CepsService {
                                             budget: self.engine.config().budget,
                                             paths: result.paths.len(),
                                             error: None,
+                                            trace_id: ceps_obs::current_trace().map(|c| c.trace_id),
                                         });
                                     }
                                 }
@@ -476,6 +485,7 @@ impl CepsService {
                                             budget: self.engine.config().budget,
                                             paths: 0,
                                             error: Some(e.to_string()),
+                                            trace_id: ceps_obs::current_trace().map(|c| c.trace_id),
                                         });
                                     }
                                     if first_err.is_none() {

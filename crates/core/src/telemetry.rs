@@ -58,6 +58,10 @@ pub struct RequestTrace {
     pub paths: usize,
     /// `None` on success, the error message otherwise.
     pub error: Option<String>,
+    /// `trace_id` of the [`ceps_obs::TraceContext`] active while the
+    /// request was served (rendered as 16-char hex in the JSON line);
+    /// `None` outside a traced scope.
+    pub trace_id: Option<u64>,
 }
 
 /// Why a trace line was kept.
@@ -221,6 +225,9 @@ pub fn trace_json(trace: &RequestTrace, kind: SampleKind) -> String {
     if let Some(msg) = &trace.error {
         let _ = write!(out, ", \"error\": {}", json_escape(msg));
     }
+    if let Some(id) = trace.trace_id {
+        let _ = write!(out, ", \"trace_id\": \"{}\"", ceps_obs::id_hex(id));
+    }
     out.push('}');
     out
 }
@@ -291,6 +298,7 @@ pub(crate) mod tests {
             budget: 20,
             paths: 3,
             error: None,
+            trace_id: None,
         }
     }
 
@@ -357,5 +365,20 @@ pub(crate) mod tests {
         assert!(line.contains("\"sampled\": \"tail\""));
         let opens = line.matches(['{', '[']).count();
         assert_eq!(opens, line.matches(['}', ']']).count());
+    }
+
+    #[test]
+    fn trace_json_renders_trace_id_as_fixed_width_hex() {
+        let mut t = trace(9, 1.0);
+        assert!(
+            !trace_json(&t, SampleKind::Head).contains("trace_id"),
+            "untraced requests omit the field"
+        );
+        t.trace_id = Some(0xabc);
+        let line = trace_json(&t, SampleKind::Head);
+        assert!(
+            line.contains("\"trace_id\": \"0000000000000abc\""),
+            "{line}"
+        );
     }
 }

@@ -7,8 +7,11 @@
 //!
 //! * [`wire`] — the `ceps-wire/v1` protocol: length-prefixed single-line
 //!   JSON frames carrying a small externally-tagged request/reply
-//!   vocabulary (`Query`, `AutoK`, `Ping`, `Stats`, `Shutdown` in;
-//!   `Scores`, `AutoK`, `Pong`, `Stats`, `Bye`, structured `Error` out).
+//!   vocabulary (`Query`, `AutoK`, `Ping`, `Stats`, `DumpFlight`,
+//!   `Shutdown` in; `Scores`, `AutoK`, `Pong`, `Stats`, `Flight`, `Bye`,
+//!   structured `Error` out). `Query` frames optionally carry a
+//!   [`WireTrace`] context so client and server telemetry share one
+//!   `trace_id` end to end.
 //!   The `Query`/`Scores` payloads are exactly
 //!   [`ceps_core::ServeRequest`] / [`ceps_core::ServeReply`] — the same
 //!   structs the in-process API uses, so the wire adds no second
@@ -68,13 +71,16 @@ pub mod wire;
 
 pub use client::{AutoKReply, CepsClient};
 pub use error::NetError;
-pub use server::{Admission, CepsServer, ServerConfig, ServerStats};
+pub use server::{
+    Admission, CepsServer, ServerConfig, ServerStats, WireCacheStats, LATENCY_WINDOW,
+};
 pub use transport::{
     in_proc, Conn, InProcConn, InProcConnector, InProcTransport, ListenAddr, TcpTransport,
     Transport, UnixTransport,
 };
 pub use wire::{
-    Framed, Reply, Request, WireError, WireErrorKind, DEFAULT_MAX_FRAME_BYTES, WIRE_VERSION,
+    Framed, Reply, Request, WireError, WireErrorKind, WireTrace, DEFAULT_MAX_FRAME_BYTES,
+    WIRE_VERSION,
 };
 
 /// Crate-wide result alias.

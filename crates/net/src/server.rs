@@ -21,6 +21,20 @@
 //! server: in-progress requests finish, every worker closes its
 //! connection at the next frame boundary, and `serve` returns the final
 //! [`ServerStats`].
+//!
+//! ## End-to-end tracing
+//!
+//! When a `Query` frame carries a [`WireTrace`](crate::wire::WireTrace),
+//! the worker adopts that context for the request: server spans,
+//! histogram exemplars, flight-recorder events, and the per-request
+//! `ceps-trace/v1` line (when a tracer is attached via
+//! [`CepsServer::with_tracer`]) all share the client's `trace_id`.
+//! Untraced queries get a fresh root context so server-side telemetry is
+//! attributable either way. Sheds and error replies are noted in the
+//! flight recorder (when enabled), and a `DumpFlight` frame returns the
+//! ring as `ceps-flight/v1` JSONL. `Stats` replies to a full health
+//! snapshot: counters, in-flight, cache stats, and windowed latency
+//! percentiles over the last [`LATENCY_WINDOW`] queries.
 
 use std::collections::VecDeque;
 use std::io;
@@ -28,11 +42,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use ceps_core::{infer_soft_and_k, CepsService};
-use ceps_obs::{counter, record};
+use ceps_core::{
+    infer_soft_and_k, CepsService, RequestTrace, RequestTracer, ServeReply, StageTimes,
+};
+use ceps_obs::{counter, flight_note, record, FlightKind, TraceContext};
 
 use crate::transport::{Conn, Transport};
-use crate::wire::{Framed, Reply, Request, WireError, WireErrorKind, WIRE_VERSION};
+use crate::wire::{Framed, Reply, Request, WireError, WireErrorKind, WireTrace, WIRE_VERSION};
 
 /// Tuning knobs for [`CepsServer`].
 #[derive(Debug, Clone)]
@@ -127,7 +143,25 @@ impl Drop for AdmissionPermit {
     }
 }
 
-/// Counter snapshot a `Stats` frame returns (and `serve` on exit).
+/// Recent query latencies retained for the windowed percentiles in
+/// [`ServerStats`].
+pub const LATENCY_WINDOW: usize = 512;
+
+/// Row-cache counters in wire form (mirrors `ceps_core::CacheStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct WireCacheStats {
+    /// Query rows served warm.
+    pub hits: u64,
+    /// Query rows solved cold.
+    pub misses: u64,
+    /// Rows evicted under the byte budget.
+    pub evictions: u64,
+}
+
+/// Health snapshot a `Stats` frame returns (and `serve` on exit).
+///
+/// The windowed percentile and cache fields are `#[serde(default)]` so
+/// snapshots from older v1 servers (which omit them) still decode.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServerStats {
     /// Protocol version ([`WIRE_VERSION`]).
@@ -146,6 +180,19 @@ pub struct ServerStats {
     pub in_flight: usize,
     /// Milliseconds since the server was created.
     pub uptime_ms: u64,
+    /// Median query latency over the last [`LATENCY_WINDOW`] queries
+    /// (0 until a query completed).
+    #[serde(default)]
+    pub p50_ms: f64,
+    /// 90th-percentile windowed query latency.
+    #[serde(default)]
+    pub p90_ms: f64,
+    /// 99th-percentile windowed query latency.
+    #[serde(default)]
+    pub p99_ms: f64,
+    /// Row-cache counters (`None` when the service runs uncached).
+    #[serde(default)]
+    pub cache: Option<WireCacheStats>,
 }
 
 #[derive(Debug, Default)]
@@ -211,6 +258,8 @@ pub struct CepsServer {
     stop: AtomicBool,
     counters: Counters,
     started: Instant,
+    tracer: Option<RequestTracer>,
+    latencies: Mutex<VecDeque<f64>>,
 }
 
 impl CepsServer {
@@ -233,12 +282,58 @@ impl CepsServer {
             stop: AtomicBool::new(false),
             counters: Counters::default(),
             started: Instant::now(),
+            tracer: None,
+            latencies: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
         }
+    }
+
+    /// Attaches a per-request trace sink: every admitted `Query` feeds the
+    /// tracer's head/tail sampling and, when kept, emits one
+    /// `ceps-trace/v1` line carrying the request's `trace_id`.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: RequestTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any (for end-of-run reporting).
+    pub fn tracer(&self) -> Option<&RequestTracer> {
+        self.tracer.as_ref()
     }
 
     /// The wrapped service.
     pub fn service(&self) -> &CepsService {
         &self.service
+    }
+
+    /// Feeds one completed query latency into the bounded window behind
+    /// the `Stats` percentiles. Returns the p99 of the window *before*
+    /// this query so callers can mark slow requests — computed only when
+    /// the flight recorder (its sole consumer) is enabled and the window
+    /// is warm; 0 otherwise.
+    fn note_latency(&self, latency_ms: f64) -> f64 {
+        let mut ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        let p99 = if ceps_obs::flight_enabled() && ring.len() >= 32 {
+            percentile_sorted(&mut ring.iter().copied().collect::<Vec<_>>(), 99.0)
+        } else {
+            0.0
+        };
+        if ring.len() == LATENCY_WINDOW {
+            ring.pop_front();
+        }
+        ring.push_back(latency_ms);
+        p99
+    }
+
+    /// Windowed latency percentiles over the retained ring.
+    fn latency_percentiles(&self) -> (f64, f64, f64) {
+        let ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sorted: Vec<f64> = ring.iter().copied().collect();
+        (
+            percentile_sorted(&mut sorted, 50.0),
+            percentile_sorted(&mut sorted, 90.0),
+            percentile_sorted(&mut sorted, 99.0),
+        )
     }
 
     /// The admission gate (tests hold permits to force `Overloaded`).
@@ -257,8 +352,10 @@ impl CepsServer {
         self.stop.load(Ordering::Acquire)
     }
 
-    /// A point-in-time counter snapshot.
+    /// A point-in-time health snapshot: counters, in-flight, windowed
+    /// latency percentiles, and row-cache counters.
     pub fn stats(&self) -> ServerStats {
+        let (p50_ms, p90_ms, p99_ms) = self.latency_percentiles();
         ServerStats {
             proto: WIRE_VERSION.to_string(),
             connections: self.counters.connections.load(Ordering::Relaxed),
@@ -268,6 +365,14 @@ impl CepsServer {
             errors: self.counters.errors.load(Ordering::Relaxed),
             in_flight: self.admission.in_flight(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            p50_ms,
+            p90_ms,
+            p99_ms,
+            cache: self.service.cache_stats().map(|c| WireCacheStats {
+                hits: c.hits,
+                misses: c.misses,
+                evictions: c.evictions,
+            }),
         }
     }
 
@@ -296,10 +401,10 @@ impl CepsServer {
         let mut accept_err = None;
         std::thread::scope(|s| {
             let queue = &queue;
-            for _ in 0..workers.max(1) {
+            for worker in 0..workers.max(1) {
                 s.spawn(move || {
                     while let Some(conn) = queue.pop(&self.stop) {
-                        self.handle_conn(conn);
+                        self.handle_conn(conn, worker);
                     }
                 });
             }
@@ -327,8 +432,9 @@ impl CepsServer {
     }
 
     /// Speaks the protocol on one connection until EOF, error, idle
-    /// timeout, or drain.
-    fn handle_conn(&self, conn: Box<dyn Conn>) {
+    /// timeout, or drain. `worker` is the serving thread's index,
+    /// reported in per-request trace lines.
+    fn handle_conn(&self, conn: Box<dyn Conn>, worker: usize) {
         let read_slice = Duration::from_millis(250);
         let _ = conn.set_read_timeout(Some(read_slice));
         let write_timeout = match self.config.write_timeout_ms {
@@ -382,10 +488,11 @@ impl CepsServer {
             self.counters.frames.fetch_add(1, Ordering::Relaxed);
             counter("net.frames_total", 1);
 
-            let (reply, done) = self.dispatch(request);
+            let (reply, done) = self.dispatch(request, worker);
             if matches!(reply, Reply::Error { .. }) {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
                 counter("net.errors_total", 1);
+                flight_note(FlightKind::Error, "net.error_reply", 1);
             }
             record("net.frame_ms", frame_start.elapsed().as_secs_f64() * 1e3);
             if framed.send(&reply).is_err() || done {
@@ -396,7 +503,7 @@ impl CepsServer {
 
     /// Answers one decoded request; the bool asks the caller to close
     /// the connection after sending the reply.
-    fn dispatch(&self, request: Request) -> (Reply, bool) {
+    fn dispatch(&self, request: Request, worker: usize) -> (Reply, bool) {
         match request {
             Request::Ping { id } => (
                 Reply::Pong {
@@ -417,21 +524,87 @@ impl CepsServer {
                 self.stop.store(true, Ordering::Release);
                 (Reply::Bye { id }, true)
             }
-            Request::Query { id, req } => {
+            Request::Query { id, req, trace } => {
                 let Some(_permit) = self.admission.try_acquire() else {
                     return (self.shed(id), false);
                 };
                 self.counters.queries.fetch_add(1, Ordering::Relaxed);
                 counter("net.queries_total", 1);
+                // Adopt the client's context (shared trace_id across both
+                // sides of the wire) or mint a fresh root for untraced
+                // frames, so spans, exemplars and flight events recorded
+                // while serving this request are attributable either way.
+                let ctx = trace
+                    .as_ref()
+                    .and_then(WireTrace::to_context)
+                    .unwrap_or_else(TraceContext::new_root);
+                let _trace_guard = ceps_obs::with_trace(ctx);
                 let start = Instant::now();
-                let reply = match self.service.serve(&req) {
-                    Ok(reply) => Reply::Scores { id, reply },
-                    Err(e) => Reply::Error {
-                        id,
-                        error: WireError::new(WireErrorKind::BadRequest, e.to_string()),
-                    },
+                let outcome = self.service.run_instrumented(&req.queries);
+                let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+                record("net.query_ms", latency_ms);
+                // Every completed query leaves a mark in the ring (value:
+                // latency in µs), so a flight dump shows the recent
+                // request history even when nothing went wrong.
+                ceps_obs::flight_event(
+                    FlightKind::Mark,
+                    "net.query",
+                    ctx.trace_id,
+                    (latency_ms * 1e3) as u64,
+                );
+                let prior_p99 = self.note_latency(latency_ms);
+                if prior_p99 > 0.0 && latency_ms > prior_p99 {
+                    ceps_obs::flight_event(
+                        FlightKind::SlowRequest,
+                        "net.slow_request",
+                        ctx.trace_id,
+                        (latency_ms * 1e3) as u64,
+                    );
+                }
+                let reply = match outcome {
+                    Ok((result, metrics)) => {
+                        if let Some(tracer) = &self.tracer {
+                            tracer.record(&RequestTrace {
+                                request_id: id,
+                                worker,
+                                queries: req.queries.len(),
+                                latency_ms,
+                                stages: metrics.stages,
+                                cache_hits: metrics.cache_hits,
+                                cache_misses: metrics.cache_misses,
+                                budget: self.service.engine().config().budget,
+                                paths: result.paths.len(),
+                                error: None,
+                                trace_id: Some(ctx.trace_id),
+                            });
+                        }
+                        Reply::Scores {
+                            id,
+                            reply: ServeReply::from_result(&result, &req.queries),
+                        }
+                    }
+                    Err(e) => {
+                        if let Some(tracer) = &self.tracer {
+                            tracer.record(&RequestTrace {
+                                request_id: id,
+                                worker,
+                                queries: req.queries.len(),
+                                latency_ms,
+                                stages: StageTimes::default(),
+                                cache_hits: 0,
+                                cache_misses: 0,
+                                budget: self.service.engine().config().budget,
+                                paths: 0,
+                                error: Some(e.to_string()),
+                                trace_id: Some(ctx.trace_id),
+                            });
+                        }
+                        Reply::Error {
+                            id,
+                            error: WireError::new(WireErrorKind::BadRequest, e.to_string()),
+                        }
+                    }
                 };
-                record("net.query_ms", start.elapsed().as_secs_f64() * 1e3);
                 (reply, false)
             }
             Request::AutoK { id, queries } => {
@@ -440,6 +613,7 @@ impl CepsServer {
                 };
                 self.counters.queries.fetch_add(1, Ordering::Relaxed);
                 counter("net.queries_total", 1);
+                let _trace_guard = ceps_obs::with_trace(TraceContext::new_root());
                 let start = Instant::now();
                 let reply = match infer_soft_and_k(self.service.engine(), &queries) {
                     Ok(inf) => Reply::AutoK {
@@ -452,15 +626,28 @@ impl CepsServer {
                         error: WireError::new(WireErrorKind::BadRequest, e.to_string()),
                     },
                 };
-                record("net.query_ms", start.elapsed().as_secs_f64() * 1e3);
+                let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+                record("net.query_ms", latency_ms);
+                self.note_latency(latency_ms);
                 (reply, false)
             }
+            Request::DumpFlight { id } => (
+                // Deliberately not gated on admission: the ring must be
+                // dumpable while the server is overloaded — that is when
+                // it matters.
+                Reply::Flight {
+                    id,
+                    dump: ceps_obs::flight_dump(),
+                },
+                false,
+            ),
         }
     }
 
     fn shed(&self, id: u64) -> Reply {
         self.counters.sheds.fetch_add(1, Ordering::Relaxed);
         counter("net.sheds_total", 1);
+        flight_note(FlightKind::Shed, "net.shed", self.admission.cap() as u64);
         Reply::Error {
             id,
             error: WireError::new(
@@ -469,6 +656,17 @@ impl CepsServer {
             ),
         }
     }
+}
+
+/// Nearest-rank percentile over a scratch buffer (sorted in place);
+/// 0 when empty.
+fn percentile_sorted(values: &mut [f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+    values[rank.min(values.len()) - 1]
 }
 
 #[cfg(test)]
@@ -584,6 +782,127 @@ mod tests {
             client.ping().unwrap();
             client.shutdown().unwrap();
         });
+    }
+
+    /// A `Write` handing its bytes to a shared buffer the test can read.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn percentile_sorted_uses_nearest_rank() {
+        assert_eq!(percentile_sorted(&mut [], 99.0), 0.0);
+        let mut one = vec![5.0];
+        assert_eq!(percentile_sorted(&mut one, 50.0), 5.0);
+        let mut v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&mut v, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&mut v, 99.0), 99.0);
+        assert_eq!(percentile_sorted(&mut v, 100.0), 100.0);
+    }
+
+    #[test]
+    fn stats_snapshot_carries_percentiles_and_cache_counters() {
+        let server = CepsServer::new(test_service(), ServerConfig::default());
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            for _ in 0..3 {
+                client
+                    .request(&ServeRequest::new(vec![NodeId(0), NodeId(5)]))
+                    .unwrap();
+            }
+            let stats = client.stats().unwrap();
+            assert!(stats.p50_ms > 0.0, "3 queries must leave a median");
+            assert!(stats.p99_ms >= stats.p90_ms && stats.p90_ms >= stats.p50_ms);
+            let cache = stats.cache.expect("service is cached");
+            assert_eq!(cache.hits + cache.misses, 6, "2 rows x 3 requests");
+            assert!(cache.misses >= 2, "first request solves cold");
+            client.shutdown().unwrap();
+        });
+    }
+
+    #[test]
+    fn traced_queries_share_one_trace_id_across_client_and_server_lines() {
+        let server_sink = SharedBuf::default();
+        let server = CepsServer::new(test_service(), ServerConfig::default())
+            .with_tracer(RequestTracer::new(Box::new(server_sink.clone()), 1.0));
+        let client_sink = SharedBuf::default();
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()))
+                .with_trace_sink(Box::new(client_sink.clone()));
+            client
+                .request(&ServeRequest::new(vec![NodeId(0), NodeId(5)]))
+                .unwrap();
+            assert_eq!(client.traces_written(), 1);
+            client.shutdown().unwrap();
+        });
+        assert_eq!(server.tracer().unwrap().written(), 1);
+
+        let extract_id = |line: &str| -> String {
+            let (_, rest) = line.split_once("\"trace_id\": \"").expect("trace_id field");
+            rest[..16].to_string()
+        };
+        let client_line = client_sink.text();
+        let server_line = server_sink.text();
+        assert!(client_line.contains("\"side\": \"client\""));
+        assert!(server_line.contains("\"schema\": \"ceps-trace/v1\""));
+        assert_eq!(
+            extract_id(&client_line),
+            extract_id(&server_line),
+            "server must adopt the client's context"
+        );
+    }
+
+    #[test]
+    fn dump_flight_returns_the_ring_over_the_wire() {
+        ceps_obs::flight_enable(64);
+        let mut config = ServerConfig::default();
+        config.max_in_flight = 1;
+        let server = CepsServer::new(test_service(), config);
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+            let mut client =
+                CepsClient::from_conn(Box::new(connector.connect().unwrap())).with_tracing();
+
+            // Saturate admission so the shed lands in the ring.
+            let permit = server.admission().try_acquire().unwrap();
+            let err = client
+                .request(&ServeRequest::new(vec![NodeId(0)]))
+                .unwrap_err();
+            assert!(matches!(err, crate::NetError::Remote(_)));
+            drop(permit);
+
+            let dump = client.dump_flight().unwrap();
+            assert!(dump.contains("\"schema\": \"ceps-flight/v1\""));
+            assert!(
+                dump.contains("\"kind\": \"shed\""),
+                "shed event recorded: {dump}"
+            );
+            client.shutdown().unwrap();
+        });
+        ceps_obs::flight_disable();
     }
 
     #[test]

@@ -21,6 +21,16 @@
 //! {"Query":{"id":7,"req":{"queries":[0,4]}}}
 //! ```
 //!
+//! ## Trace propagation
+//!
+//! `Query` frames may carry an optional [`WireTrace`] — the client's
+//! [`TraceContext`](ceps_obs::TraceContext) with ids rendered as 16-char
+//! hex strings (frame JSON numbers are f64; a raw `u64` id would lose
+//! precision past 2^53). A server adopts the inbound context for the
+//! duration of the request, so server spans, histogram exemplars, and
+//! `ceps-trace/v1` lines share the client's `trace_id`. The field is
+//! `#[serde(default)]`: v1 peers that omit it interoperate unchanged.
+//!
 //! ## Error taxonomy
 //!
 //! Server-side failures travel as structured [`Reply::Error`] frames
@@ -61,6 +71,44 @@ const MAX_HEADER_DIGITS: usize = 10;
 /// Read chunk size when filling the frame buffer.
 const READ_CHUNK: usize = 64 << 10;
 
+/// A [`TraceContext`](ceps_obs::TraceContext) in wire form: ids travel
+/// as 16-char lowercase hex strings so they survive the f64 JSON number
+/// representation intact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireTrace {
+    /// Hex-encoded `trace_id` shared by every hop of the request.
+    #[serde(default)]
+    pub trace_id: String,
+    /// Hex-encoded span id of the sender (`""`/`"0"` at the root).
+    #[serde(default)]
+    pub parent_span: String,
+    /// Whether downstream stages should emit detailed telemetry.
+    #[serde(default)]
+    pub sampled: bool,
+}
+
+impl WireTrace {
+    /// Wire form of an in-process context.
+    pub fn from_context(ctx: &ceps_obs::TraceContext) -> Self {
+        WireTrace {
+            trace_id: ceps_obs::id_hex(ctx.trace_id),
+            parent_span: ceps_obs::id_hex(ctx.parent_span),
+            sampled: ctx.sampled,
+        }
+    }
+
+    /// Parses back into an in-process context; `None` when `trace_id` is
+    /// absent, unparsable, or zero (0 is reserved for "no trace").
+    pub fn to_context(&self) -> Option<ceps_obs::TraceContext> {
+        let trace_id = ceps_obs::parse_id_hex(&self.trace_id).filter(|&id| id != 0)?;
+        Some(ceps_obs::TraceContext {
+            trace_id,
+            parent_span: ceps_obs::parse_id_hex(&self.parent_span).unwrap_or(0),
+            sampled: self.sampled,
+        })
+    }
+}
+
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Request {
@@ -70,6 +118,9 @@ pub enum Request {
         id: u64,
         /// The shared in-process/wire request payload.
         req: ServeRequest,
+        /// The caller's trace context, if it is propagating one.
+        #[serde(default)]
+        trace: Option<WireTrace>,
     },
     /// Infer the `K_softAND` coefficient for a query set.
     AutoK {
@@ -93,6 +144,12 @@ pub enum Request {
         /// Request id.
         id: u64,
     },
+    /// Dump the server's flight-recorder ring as `ceps-flight/v1` JSONL
+    /// (empty when the recorder is disabled).
+    DumpFlight {
+        /// Request id.
+        id: u64,
+    },
 }
 
 impl Request {
@@ -103,7 +160,8 @@ impl Request {
             | Request::AutoK { id, .. }
             | Request::Ping { id }
             | Request::Stats { id }
-            | Request::Shutdown { id } => id,
+            | Request::Shutdown { id }
+            | Request::DumpFlight { id } => id,
         }
     }
 }
@@ -147,6 +205,14 @@ pub enum Reply {
         /// Echoed request id.
         id: u64,
     },
+    /// The answer to a `DumpFlight` frame.
+    Flight {
+        /// Echoed request id.
+        id: u64,
+        /// `ceps-flight/v1` JSONL dump of the server's event ring (empty
+        /// when the flight recorder is disabled).
+        dump: String,
+    },
     /// A structured failure reply.
     Error {
         /// Echoed request id (0 when the offending frame never decoded).
@@ -165,6 +231,7 @@ impl Reply {
             | Reply::Pong { id, .. }
             | Reply::Stats { id, .. }
             | Reply::Bye { id }
+            | Reply::Flight { id, .. }
             | Reply::Error { id, .. } => id,
         }
     }
@@ -391,6 +458,16 @@ mod tests {
             Request::Query {
                 id: 7,
                 req: ServeRequest::new(vec![NodeId(0), NodeId(4)]),
+                trace: None,
+            },
+            Request::Query {
+                id: 12,
+                req: ServeRequest::new(vec![NodeId(2)]),
+                trace: Some(WireTrace {
+                    trace_id: "00f1e2d3c4b5a697".into(),
+                    parent_span: "0000000000000001".into(),
+                    sampled: true,
+                }),
             },
             Request::AutoK {
                 id: 8,
@@ -399,6 +476,7 @@ mod tests {
             Request::Ping { id: 9 },
             Request::Stats { id: 10 },
             Request::Shutdown { id: 11 },
+            Request::DumpFlight { id: 13 },
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -422,12 +500,58 @@ mod tests {
                 id: 4,
                 error: WireError::new(WireErrorKind::Overloaded, "cap 4 reached"),
             },
+            Reply::Flight {
+                id: 5,
+                dump: "{\"schema\": \"ceps-flight/v1\"}\n".into(),
+            },
         ];
         for reply in replies {
             let json = serde_json::to_string(&reply).unwrap();
             let back: Reply = serde_json::from_str(&json).unwrap();
             assert_eq!(reply, back);
         }
+    }
+
+    #[test]
+    fn legacy_query_frames_without_trace_still_decode() {
+        // A v1 peer that predates the trace field omits it entirely.
+        let json = r#"{"Query":{"id":7,"req":{"queries":[0,4]}}}"#;
+        let back: Request = serde_json::from_str(json).unwrap();
+        match back {
+            Request::Query { id, ref trace, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!(*trace, None);
+            }
+            other => panic!("expected Query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_trace_round_trips_and_rejects_garbage() {
+        let ctx = ceps_obs::TraceContext {
+            trace_id: 0xdead_beef_0000_0001,
+            parent_span: 0x42,
+            sampled: true,
+        };
+        let wire = WireTrace::from_context(&ctx);
+        assert_eq!(wire.trace_id.len(), 16);
+        assert_eq!(wire.to_context(), Some(ctx));
+
+        for bad in ["", "zzzz", "00000000000000000"] {
+            let w = WireTrace {
+                trace_id: bad.into(),
+                parent_span: String::new(),
+                sampled: false,
+            };
+            assert_eq!(w.to_context(), None, "{bad:?} must not parse");
+        }
+        // A zero id means "no trace", not a trace with id 0.
+        let zero = WireTrace {
+            trace_id: "0000000000000000".into(),
+            parent_span: String::new(),
+            sampled: true,
+        };
+        assert_eq!(zero.to_context(), None);
     }
 
     #[test]

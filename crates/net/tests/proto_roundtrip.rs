@@ -8,7 +8,7 @@ use std::io::{self, Read, Write};
 use ceps_core::{CepsConfig, CepsServiceBuilder, ReplyMember, ReplyPath, ServeReply, ServeRequest};
 use ceps_graph::{GraphBuilder, NodeId};
 use ceps_net::{
-    in_proc, CepsServer, Framed, NetError, Reply, Request, ServerConfig, WireErrorKind,
+    in_proc, CepsServer, Framed, NetError, Reply, Request, ServerConfig, WireErrorKind, WireTrace,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -24,6 +24,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
             0 => Request::Query {
                 id,
                 req: ServeRequest::new(queries),
+                // Traced and untraced frames must both round-trip; derive
+                // the optional context deterministically from the id.
+                trace: (id % 2 == 0).then(|| WireTrace {
+                    trace_id: format!("{:016x}", id | 1),
+                    parent_span: format!("{:016x}", id ^ 0xabcd),
+                    sampled: id % 4 == 0,
+                }),
             },
             1 => Request::AutoK { id, queries },
             2 => Request::Ping { id },
@@ -187,17 +194,20 @@ proptest! {
 // Live-transport properties: pipelined ids against a real server.
 // ---------------------------------------------------------------------
 
-fn tiny_server() -> CepsServer {
+fn tiny_service() -> ceps_core::CepsService {
     let mut b = GraphBuilder::new();
     for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)] {
         b.add_edge(NodeId(x), NodeId(y), 1.0).unwrap();
     }
-    let service = CepsServiceBuilder::new()
+    CepsServiceBuilder::new()
         .cache_bytes(1 << 20)
         .workers(2)
         .build_from_graph(b.build().unwrap(), CepsConfig::default().budget(3))
-        .unwrap();
-    CepsServer::new(service, ServerConfig::default())
+        .unwrap()
+}
+
+fn tiny_server() -> CepsServer {
+    CepsServer::new(tiny_service(), ServerConfig::default())
 }
 
 /// Pipelining: many requests written before any reply is read come back
@@ -224,6 +234,7 @@ fn interleaved_request_ids_stay_matched_across_connections() {
                         Request::Query {
                             id,
                             req: ServeRequest::new(vec![NodeId((id % 6) as u32)]),
+                            trace: None,
                         }
                     } else {
                         Request::Ping { id }
@@ -250,6 +261,150 @@ fn interleaved_request_ids_stay_matched_across_connections() {
         assert_eq!(stats.queries, 12, "3 connections x 4 queries each");
         client.shutdown().unwrap();
     });
+}
+
+/// A shared byte sink for trace JSONL written from server workers and
+/// client threads alike.
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end trace identity under pipelining: arbitrary query
+    /// batches, pipelined (all sends before any recv) across concurrent
+    /// connections, come back with every client trace line joined to
+    /// exactly one server trace line by `trace_id` — and the traced
+    /// replies carry the same score bits as an untraced in-process run,
+    /// so tracing is observation-only.
+    #[test]
+    fn pipelined_traced_queries_keep_trace_ids_matched_end_to_end(
+        plans in vec(vec((0u32..6, 1usize..4), 1..5), 1..4),
+    ) {
+        // Untraced ground truth: recorder off, no tracer, no contexts.
+        let reference = tiny_service();
+        let expected: Vec<Vec<ServeReply>> = plans
+            .iter()
+            .map(|sets| {
+                sets.iter()
+                    .map(|&(node, extra)| {
+                        let queries: Vec<NodeId> =
+                            (0..extra).map(|j| NodeId((node + j as u32) % 6)).collect();
+                        reference.serve(&ServeRequest::new(queries)).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let server_sink = SharedBuf::default();
+        let server = tiny_server().with_tracer(ceps_core::RequestTracer::new(
+            Box::new(server_sink.clone()),
+            1.0,
+        ));
+        let client_sink = SharedBuf::default();
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+
+            let mut conns = Vec::new();
+            for (conn_idx, sets) in plans.iter().enumerate() {
+                let connector = connector.clone();
+                let sink = client_sink.clone();
+                let expected = &expected[conn_idx];
+                conns.push(s.spawn(move || {
+                    let mut client =
+                        ceps_net::CepsClient::from_conn(Box::new(connector.connect().unwrap()))
+                            .with_trace_sink(Box::new(sink));
+                    // Pipeline: every request on the wire before the
+                    // first reply is read.
+                    let mut sent = Vec::new();
+                    for &(node, extra) in sets {
+                        let queries: Vec<NodeId> =
+                            (0..extra).map(|j| NodeId((node + j as u32) % 6)).collect();
+                        let id = client.send_request(&ServeRequest::new(queries)).unwrap();
+                        let trace_id = client.trace_id_of(id).expect("pending id is traced");
+                        sent.push((id, trace_id));
+                    }
+                    for (&(id, trace_id), want) in sent.iter().zip(expected) {
+                        let reply = client.recv_reply().unwrap();
+                        assert_eq!(reply.id(), id, "pipelined replies arrive in order");
+                        match reply {
+                            Reply::Scores { reply, .. } => assert_eq!(
+                                &reply, want,
+                                "traced wire reply diverged from untraced serve()"
+                            ),
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                        assert_ne!(trace_id, 0, "root contexts are nonzero");
+                    }
+                    sent
+                }));
+            }
+            let sent: Vec<(u64, u64)> = conns.into_iter().flat_map(|c| c.join().unwrap()).collect();
+
+            let mut shutter =
+                ceps_net::CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            shutter.shutdown().unwrap();
+
+            // Join the two JSONL streams on trace_id: every request the
+            // clients traced must appear exactly once on each side, with
+            // matching request ids.
+            let server_lines: Vec<serde_json::Value> = server_sink
+                .text()
+                .lines()
+                .map(|l| serde_json::from_str(l).unwrap())
+                .collect();
+            let client_lines: Vec<serde_json::Value> = client_sink
+                .text()
+                .lines()
+                .map(|l| serde_json::from_str(l).unwrap())
+                .collect();
+            let total: usize = plans.iter().map(Vec::len).sum();
+            assert_eq!(server_lines.len(), total, "head rate 1.0 keeps every request");
+            assert_eq!(client_lines.len(), total);
+
+            for &(id, trace_id) in &sent {
+                let hex = format!("{trace_id:016x}");
+                let on_server: Vec<&serde_json::Value> = server_lines
+                    .iter()
+                    .filter(|d| d["trace_id"].as_str() == Some(hex.as_str()))
+                    .collect();
+                assert_eq!(
+                    on_server.len(), 1,
+                    "trace {} must hit exactly one server line", hex
+                );
+                assert_eq!(on_server[0]["request_id"].as_u64(), Some(id));
+                assert_eq!(on_server[0]["schema"].as_str(), Some("ceps-trace/v1"));
+                assert!(on_server[0].get("side").is_none(), "server lines carry no side");
+
+                let on_client: Vec<&serde_json::Value> = client_lines
+                    .iter()
+                    .filter(|d| d["trace_id"].as_str() == Some(hex.as_str()))
+                    .collect();
+                assert_eq!(on_client.len(), 1, "trace {} on exactly one client line", hex);
+                assert_eq!(on_client[0]["request_id"].as_u64(), Some(id));
+                assert_eq!(on_client[0]["side"].as_str(), Some("client"));
+            }
+        });
+    }
 }
 
 /// A malformed frame gets a structured `Malformed` error reply (id 0)

@@ -22,6 +22,17 @@
 //! to clear between runs. Instrumentation never alters computation:
 //! pipeline output is bitwise-identical with the recorder on or off.
 //!
+//! Two cross-cutting facilities ride on the same primitives:
+//!
+//! * **Trace contexts** ([`TraceContext`], [`with_trace`]) — a thread-local
+//!   request identity (splitmix64 `trace_id`, parent span id, sampled flag)
+//!   that spans, histograms (as bucket exemplars), trace lines, and flight
+//!   events pick up automatically; it crosses the wire via `ceps-wire/v1`.
+//! * **Flight recorder** ([`flight_enable`], [`flight_dump`]) — a lock-free
+//!   per-thread ring of recent events (span enter/exit, errors, sheds, slow
+//!   requests) dumpable as `ceps-flight/v1` JSONL on demand, on panic, or
+//!   on overload. Disabled it costs one relaxed load and a branch.
+//!
 //! The logger ([`error!`]/[`warn!`]/[`info!`]/[`debug!`]) writes to stderr
 //! so stdout stays reserved for command output; verbosity comes from the
 //! `CEPS_LOG` environment variable (`warn` by default).
@@ -32,19 +43,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
+pub mod flight;
 mod logger;
 mod meta;
 mod registry;
 mod snapshot;
 mod window;
 
+pub use context::{
+    current_trace, fresh_id, id_hex, parse_id_hex, set_current_trace, with_trace, TraceContext,
+    TraceGuard,
+};
+pub use flight::{
+    flight_disable, flight_dump, flight_dump_to, flight_enable, flight_enabled, flight_event,
+    flight_note, flight_reset, install_flight_panic_hook, FlightKind, DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_SCHEMA,
+};
 pub use logger::{init_log_default, log, log_enabled, set_log_level, set_log_off, Level};
 pub use meta::{git_sha, now_iso8601, RunMeta};
 pub use registry::{
     counter, enabled, install_recorder, record, reset, snapshot, span, timed, uninstall_recorder,
     Span,
 };
-pub use snapshot::{HistogramStat, MetricsSnapshot, SpanStat};
+pub use snapshot::{BucketExemplar, HistogramStat, MetricsSnapshot, SpanStat};
 pub use window::{
     metrics_event_json, to_prometheus, CounterRate, ExporterConfig, Histogram, HistogramWindow,
     MetricsExporter, WindowDelta, WindowedMetrics,

@@ -9,6 +9,14 @@
 //! in the same order) overrides either default, and `CEPS_LOG=off` (or
 //! `none`) silences everything *including errors* — useful when stderr
 //! carries machine-read output such as JSONL telemetry.
+//!
+//! Every line carries an ISO-8601 timestamp, and — when the logging thread
+//! has an active [`TraceContext`](crate::TraceContext) — the current
+//! `trace_id`, so stderr can be joined against the `ceps-trace/v1` /
+//! `ceps-flight/v1` streams. `CEPS_LOG_FORMAT=json` switches from the
+//! human `[ceps level ts trace=id] msg` prefix to one JSON object per
+//! line: `{"ts": "...", "level": "warn", "trace_id": "...", "msg": "..."}`
+//! (`trace_id` is `null` outside a traced scope).
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -74,6 +82,66 @@ fn threshold() -> u8 {
     }
 }
 
+/// Output shape for stderr log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LogFormat {
+    /// Human-readable `[ceps level ts trace=id] msg` prefix (default).
+    Text,
+    /// One JSON object per line for machine-read stderr.
+    Json,
+}
+
+const FORMAT_UNSET: u8 = u8::MAX;
+static FORMAT: AtomicU8 = AtomicU8::new(FORMAT_UNSET);
+
+fn log_format() -> LogFormat {
+    match FORMAT.load(Ordering::Relaxed) {
+        FORMAT_UNSET => {
+            let fmt = match std::env::var("CEPS_LOG_FORMAT") {
+                Ok(v) if v.trim().eq_ignore_ascii_case("json") => LogFormat::Json,
+                _ => LogFormat::Text,
+            };
+            FORMAT.store(fmt as u8, Ordering::Relaxed);
+            fmt
+        }
+        v if v == LogFormat::Json as u8 => LogFormat::Json,
+        _ => LogFormat::Text,
+    }
+}
+
+/// Renders one log line (no trailing newline) in the given format. Pure so
+/// tests can pin both shapes without capturing stderr.
+fn format_line(
+    fmt: LogFormat,
+    level: Level,
+    ts: &str,
+    trace_id: Option<u64>,
+    args: std::fmt::Arguments<'_>,
+) -> String {
+    match fmt {
+        LogFormat::Text => match trace_id {
+            Some(id) => format!(
+                "[ceps {:<5} {ts} trace={}] {args}",
+                level.as_str(),
+                crate::context::id_hex(id)
+            ),
+            None => format!("[ceps {:<5} {ts}] {args}", level.as_str()),
+        },
+        LogFormat::Json => {
+            let trace = match trace_id {
+                Some(id) => crate::snapshot::json_str(&crate::context::id_hex(id)),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"ts\": {}, \"level\": \"{}\", \"trace_id\": {trace}, \"msg\": {}}}",
+                crate::snapshot::json_str(ts),
+                level.as_str(),
+                crate::snapshot::json_str(&args.to_string()),
+            )
+        }
+    }
+}
+
 /// Initializes the threshold from `CEPS_LOG`, falling back to `default`
 /// when the variable is unset or unparsable. Binaries that want chatty
 /// progress by default (e.g. `experiments`) call this with
@@ -104,7 +172,9 @@ pub fn log_enabled(level: Level) -> bool {
 /// the [`error!`](crate::error!)-family macros over calling this directly.
 pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
     if log_enabled(level) {
-        eprintln!("[ceps {:<5}] {}", level.as_str(), args);
+        let ts = crate::meta::now_iso8601();
+        let trace_id = crate::context::current_trace().map(|c| c.trace_id);
+        eprintln!("{}", format_line(log_format(), level, &ts, trace_id, args));
     }
 }
 
@@ -201,6 +271,48 @@ mod tests {
         crate::error!("suppressed");
         set_log_level(Level::Warn);
         assert!(log_enabled(Level::Error));
+    }
+
+    #[test]
+    fn text_lines_carry_timestamp_and_optional_trace() {
+        let plain = format_line(
+            LogFormat::Text,
+            Level::Warn,
+            "2026-08-09T00:00:00Z",
+            None,
+            format_args!("hello {}", 1),
+        );
+        assert_eq!(plain, "[ceps warn  2026-08-09T00:00:00Z] hello 1");
+        let traced = format_line(
+            LogFormat::Text,
+            Level::Error,
+            "2026-08-09T00:00:00Z",
+            Some(0xabc),
+            format_args!("boom"),
+        );
+        assert_eq!(
+            traced,
+            "[ceps error 2026-08-09T00:00:00Z trace=0000000000000abc] boom"
+        );
+    }
+
+    #[test]
+    fn json_lines_are_single_escaped_objects() {
+        let line = format_line(
+            LogFormat::Json,
+            Level::Info,
+            "2026-08-09T00:00:00Z",
+            Some(0xabc),
+            format_args!("with \"quotes\"\nand newline"),
+        );
+        assert_eq!(
+            line,
+            "{\"ts\": \"2026-08-09T00:00:00Z\", \"level\": \"info\", \
+             \"trace_id\": \"0000000000000abc\", \"msg\": \"with \\\"quotes\\\"\\nand newline\"}"
+        );
+        assert!(!line.contains('\n'), "must stay one line");
+        let untraced = format_line(LogFormat::Json, Level::Debug, "t", None, format_args!("m"));
+        assert!(untraced.contains("\"trace_id\": null"));
     }
 
     #[test]

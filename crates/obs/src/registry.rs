@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::snapshot::{HistogramStat, MetricsSnapshot, SpanStat};
+use crate::context::current_trace;
+use crate::flight::{flight_event, FlightKind};
+use crate::snapshot::{BucketExemplar, HistogramStat, MetricsSnapshot, SpanStat};
 
 /// Global on/off gate. The only cost instrumented code pays when
 /// observability is off is one relaxed load of this flag plus a branch.
@@ -84,6 +86,10 @@ struct Histogram {
     min: f64,
     max: f64,
     buckets: Vec<u64>,
+    /// Last contributing `(trace_id, value)` per bucket; `trace_id` 0
+    /// means the bucket never saw a traced observation. A p99 spike in
+    /// a high bucket thus names a concrete, dumpable request.
+    exemplars: Vec<(u64, f64)>,
 }
 
 impl Default for Histogram {
@@ -94,6 +100,7 @@ impl Default for Histogram {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             buckets: vec![0; HIST_BUCKETS],
+            exemplars: vec![(0, 0.0); HIST_BUCKETS],
         }
     }
 }
@@ -154,6 +161,11 @@ impl Registry {
     }
 
     fn record_value(&self, name: &'static str, value: f64) {
+        // The trace context is thread-local: read it before taking the
+        // shard lock.
+        let trace_id = current_trace()
+            .filter(|c| c.sampled)
+            .map_or(0, |c| c.trace_id);
         let mut shard = self.shard(name.as_bytes());
         let hist = shard.histograms.entry(name).or_default();
         hist.count += 1;
@@ -162,7 +174,11 @@ impl Registry {
             hist.min = hist.min.min(value);
             hist.max = hist.max.max(value);
         }
-        hist.buckets[bucket_index(value)] += 1;
+        let bucket = bucket_index(value);
+        hist.buckets[bucket] += 1;
+        if trace_id != 0 {
+            hist.exemplars[bucket] = (trace_id, value);
+        }
     }
 
     fn clear(&self) {
@@ -201,6 +217,17 @@ impl Registry {
                     .filter(|&(_, &c)| c > 0)
                     .map(|(i, &c)| (bucket_upper(i), c))
                     .collect();
+                let exemplars = hist
+                    .exemplars
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(id, _))| id != 0)
+                    .map(|(i, &(trace_id, value))| BucketExemplar {
+                        le: bucket_upper(i),
+                        trace_id,
+                        value,
+                    })
+                    .collect();
                 histograms.push(HistogramStat {
                     name: name.to_string(),
                     count: hist.count,
@@ -208,6 +235,7 @@ impl Registry {
                     min: if hist.min.is_finite() { hist.min } else { 0.0 },
                     max: if hist.max.is_finite() { hist.max } else { 0.0 },
                     buckets,
+                    exemplars,
                 });
             }
         }
@@ -256,6 +284,10 @@ fn span_slow(name: &'static str) -> Span {
             Some(parent) => format!("{}/{}", parent.path, name),
             None => name.to_string(),
         };
+        if crate::flight::flight_enabled() {
+            let trace_id = current_trace().map_or(0, |c| c.trace_id);
+            flight_event(FlightKind::SpanEnter, &path, trace_id, 0);
+        }
         stack.push(Frame { path, child_ns: 0 });
     });
     Span {
@@ -276,6 +308,10 @@ impl Drop for Span {
             frame
         });
         if let Some(frame) = frame {
+            if crate::flight::flight_enabled() {
+                let trace_id = current_trace().map_or(0, |c| c.trace_id);
+                flight_event(FlightKind::SpanExit, &frame.path, trace_id, total_ns);
+            }
             registry().record_span(
                 frame.path,
                 total_ns,
@@ -319,16 +355,17 @@ pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// The registry, enabled flags and flight rings are process-global;
+/// tests that touch them serialize on this lock.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The registry and enabled flag are process-global; tests that touch
-    /// them serialize on this lock.
-    pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
-    }
 
     #[test]
     fn disabled_primitives_record_nothing() {

@@ -20,7 +20,8 @@
 //!   "counters": {"rwr.solves": 1},
 //!   "histograms": [
 //!     {"name": "rwr.iterations", "count": 3, "sum": 150.0, "min": 50.0,
-//!      "max": 50.0, "buckets": [{"le": 64.0, "count": 3}]}
+//!      "max": 50.0, "buckets": [{"le": 64.0, "count": 3}],
+//!      "exemplars": [{"le": 64.0, "trace_id": "00f1e2d3c4b5a697", "value": 50.0}]}
 //!   ]
 //! }
 //! ```
@@ -28,7 +29,11 @@
 //! `spans` is sorted by path, `counters` by name; `buckets` lists only
 //! non-empty log₂ buckets with their exclusive upper bound `le`. The file
 //! is written next to `BENCH_*.json` under `results/` so per-stage cost
-//! trajectories stay diffable across PRs.
+//! trajectories stay diffable across PRs. `exemplars` lists, per bucket
+//! that ever saw a traced observation, the last contributing `trace_id`
+//! (16-char hex — JSON numbers are f64 and cannot carry a full `u64`)
+//! and the recorded value; it is empty unless requests ran with a
+//! sampled [`TraceContext`](crate::TraceContext) active.
 //!
 //! # JSONL schema (`ceps-metrics/v1`)
 //!
@@ -42,7 +47,9 @@
 //!  "rates": {"serve.requests": 64.0},
 //!  "histograms": [
 //!    {"name": "serve.latency_ms", "total_count": 128, "count": 16,
-//!     "per_s": 8.0, "mean": 1.9, "p50": 1.7, "p90": 2.9, "p99": 3.6}
+//!     "per_s": 8.0, "mean": 1.9, "p50": 1.7, "p90": 2.9, "p99": 3.6,
+//!     "exemplars": [{"le": 4.0, "trace_id": "00f1e2d3c4b5a697",
+//!                    "value": 3.6}]}
 //!  ],
 //!  "spans": [{"path": "serve.request", "count": 128, "total_ms": 240.0}]}
 //! ```
@@ -67,6 +74,22 @@
 //! `sampled` is `"head"` (request id hashed under the `--trace-sample`
 //! rate) or `"tail"` (latency above the tracer's windowed p99 estimate —
 //! slow requests are always kept). `outcome` is `"ok"` or `"error"`.
+//! When a [`TraceContext`](crate::TraceContext) is active for the request
+//! the line additionally carries `"trace_id": "<16-char hex>"`, letting
+//! client- and server-side trace streams be joined on one id.
+//!
+//! # JSONL schema (`ceps-flight/v1`)
+//!
+//! One object per flight-recorder event, produced by
+//! [`flight_dump`](crate::flight_dump) (`ceps serve --flight-out`, the
+//! `DumpFlight` wire request, or the installed panic hook) — see
+//! [`crate::flight`] for the ring-buffer semantics:
+//!
+//! ```json
+//! {"schema": "ceps-flight/v1", "t_us": 12345, "thread": 1, "seq": 7,
+//!  "kind": "span_exit", "name": "serve.request",
+//!  "trace_id": "00f1e2d3c4b5a697", "value": 2400000}
+//! ```
 
 use std::fmt::Write as _;
 
@@ -101,6 +124,18 @@ impl SpanStat {
     }
 }
 
+/// The last traced observation that landed in one histogram bucket: a
+/// concrete `trace_id` to chase when that bucket's count looks wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketExemplar {
+    /// Exclusive upper bound of the bucket the observation fell into.
+    pub le: f64,
+    /// `trace_id` of the request that recorded the observation (never 0).
+    pub trace_id: u64,
+    /// The recorded value itself.
+    pub value: f64,
+}
+
 /// Aggregated statistics for one histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramStat {
@@ -116,6 +151,10 @@ pub struct HistogramStat {
     pub max: f64,
     /// Non-empty log₂ buckets as `(exclusive upper bound, count)`.
     pub buckets: Vec<(f64, u64)>,
+    /// Last traced observation per bucket, for buckets that saw one.
+    /// Empty unless observations were recorded under a sampled
+    /// [`TraceContext`](crate::TraceContext).
+    pub exemplars: Vec<BucketExemplar>,
 }
 
 impl HistogramStat {
@@ -134,6 +173,11 @@ impl HistogramStat {
     /// to the observed `[min, max]`. Returns 0 when empty.
     pub fn percentile_from_buckets(&self, p: f64) -> f64 {
         crate::window::estimate_percentile(&self.buckets, self.count, self.min, self.max, p)
+    }
+
+    /// The exemplar recorded for the bucket with upper bound `le`, if any.
+    pub fn exemplar_for(&self, le: f64) -> Option<&BucketExemplar> {
+        self.exemplars.iter().find(|e| e.le == le)
     }
 }
 
@@ -300,6 +344,19 @@ impl MetricsSnapshot {
                 }
                 let _ = write!(out, "{{\"le\": {}, \"count\": {}}}", json_f64(le), c);
             }
+            out.push_str("], \"exemplars\": [");
+            for (j, e) in h.exemplars.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\": {}, \"trace_id\": {}, \"value\": {}}}",
+                    json_f64(e.le),
+                    json_str(&crate::context::id_hex(e.trace_id)),
+                    json_f64(e.value),
+                );
+            }
             out.push_str("]}");
             out.push_str(if i + 1 < self.histograms.len() {
                 ",\n"
@@ -375,6 +432,11 @@ mod tests {
                 min: 50.0,
                 max: 50.0,
                 buckets: vec![(64.0, 2)],
+                exemplars: vec![BucketExemplar {
+                    le: 64.0,
+                    trace_id: 0xdead_beef,
+                    value: 50.0,
+                }],
             }],
         }
     }
@@ -404,6 +466,10 @@ mod tests {
         assert!(json.contains("\"schema\": \"ceps-obs/v1\""));
         assert!(json.contains("\"git_sha\": \"deadbeef\""));
         assert!(json.contains("\\\"quoted\\\""));
+        assert!(
+            json.contains("\"trace_id\": \"00000000deadbeef\""),
+            "exemplar trace id rendered as fixed-width hex:\n{json}"
+        );
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "balanced brackets:\n{json}");
@@ -416,5 +482,8 @@ mod tests {
         assert!(snap.span("query/stage.combine").is_some());
         assert!(snap.span("missing").is_none());
         assert_eq!(snap.histograms[0].mean(), 50.0);
+        let ex = snap.histograms[0].exemplar_for(64.0).expect("exemplar");
+        assert_eq!(ex.trace_id, 0xdead_beef);
+        assert!(snap.histograms[0].exemplar_for(128.0).is_none());
     }
 }

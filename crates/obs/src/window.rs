@@ -19,7 +19,18 @@
 //!   event stream ([`metrics_event_json`], schema `ceps-metrics/v1` — see
 //!   [`crate::snapshot`] for the schema catalogue). Dropping the exporter
 //!   performs one final flush, so the `.prom` file always matches the final
-//!   registry state.
+//!   registry state. The window is seeded with a baseline snapshot when the
+//!   exporter starts, so even a process that exits inside its first flush
+//!   interval reports rates for the work it did — the final window delta is
+//!   never lost.
+//!
+//! Histogram buckets that saw an observation under a sampled
+//! [`TraceContext`](crate::TraceContext) carry *exemplars* — the last
+//! contributing `trace_id` — exported in OpenMetrics exemplar syntax on
+//! `_bucket` lines (`... # {trace_id="<hex>"} <value>`) and as an
+//! `exemplars` array per histogram in the JSONL events, so a p99 spike
+//! names a concrete trace to chase in the `ceps-trace/v1` /
+//! `ceps-flight/v1` streams.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -31,8 +42,9 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use crate::context::id_hex;
 use crate::registry::{bucket_index, bucket_upper, HIST_BUCKETS};
-use crate::snapshot::{json_f64, json_str, MetricsSnapshot};
+use crate::snapshot::{json_f64, json_str, BucketExemplar, MetricsSnapshot};
 
 /// A standalone fixed-bucket log₂ histogram over positive `f64` values,
 /// bucket-compatible with the registry's internal histograms (64 buckets
@@ -267,6 +279,15 @@ impl WindowedMetrics {
                     .filter(|&(_, c)| c > 0)
                     .collect();
                 let pct = |p: f64| estimate_percentile(&buckets, count, h.min, h.max, p);
+                // Tail exemplar: the highest bucket that grew inside the
+                // window and remembers a trace — the request to chase when
+                // the windowed p99 looks wrong. Falls back to the highest
+                // cumulative exemplar so an id survives quiet windows.
+                let exemplar = buckets
+                    .iter()
+                    .rev()
+                    .find_map(|&(le, _)| h.exemplar_for(le).copied())
+                    .or_else(|| h.exemplars.last().copied());
                 HistogramWindow {
                     name: h.name.clone(),
                     count,
@@ -279,6 +300,7 @@ impl WindowedMetrics {
                     p50: pct(50.0),
                     p90: pct(90.0),
                     p99: pct(99.0),
+                    exemplar,
                 }
             })
             .collect();
@@ -342,6 +364,10 @@ pub struct HistogramWindow {
     pub p90: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Exemplar from the highest bucket that grew inside the window (the
+    /// tail request to chase), falling back to the highest cumulative
+    /// exemplar; `None` when no traced observation was ever recorded.
+    pub exemplar: Option<BucketExemplar>,
 }
 
 /// Sanitizes a metric name into the Prometheus charset with the `ceps_`
@@ -390,7 +416,9 @@ fn prom_f64(v: f64) -> String {
 /// `histogram` (`_bucket{le=...}` / `_sum` / `_count`), and span
 /// aggregates as two labelled counters, `ceps_span_calls{path=...}` and
 /// `ceps_span_seconds{path=...}`. All metric names carry the `ceps_`
-/// prefix and are sanitized to the Prometheus charset.
+/// prefix and are sanitized to the Prometheus charset. Buckets with a
+/// recorded exemplar append it in OpenMetrics syntax:
+/// `..._bucket{le="8"} 3 # {trace_id="00f1e2d3c4b5a697"} 5.2`.
 pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(2048);
     for (name, value) in &snap.counters {
@@ -404,7 +432,16 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
         let mut cum = 0u64;
         for &(le, c) in &h.buckets {
             cum += c;
-            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", prom_f64(le));
+            let _ = write!(out, "{n}_bucket{{le=\"{}\"}} {cum}", prom_f64(le));
+            if let Some(e) = h.exemplar_for(le) {
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"{}\"}} {}",
+                    id_hex(e.trace_id),
+                    prom_f64(e.value)
+                );
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
@@ -489,7 +526,7 @@ pub fn metrics_event_json(
         let _ = write!(
             out,
             "{{\"name\": {}, \"total_count\": {}, \"count\": {count}, \"per_s\": {}, \
-             \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+             \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"exemplars\": [",
             json_str(&h.name),
             h.count,
             json_f64(per_s),
@@ -498,6 +535,19 @@ pub fn metrics_event_json(
             json_f64(p90),
             json_f64(p99),
         );
+        for (j, e) in h.exemplars.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"le\": {}, \"trace_id\": {}, \"value\": {}}}",
+                json_f64(e.le),
+                json_str(&id_hex(e.trace_id)),
+                json_f64(e.value),
+            );
+        }
+        out.push_str("]}");
     }
     out.push_str("], \"spans\": [");
     for (i, s) in snap.spans.iter().enumerate() {
@@ -633,8 +683,17 @@ impl Drop for MetricsExporter {
 /// The exporter thread body: flush every `config.interval`, polling the
 /// stop flag at fine granularity so shutdown is prompt, then flush once
 /// more on the way out.
+///
+/// The window is seeded with a baseline snapshot *before* the first wait,
+/// not at the end of the first interval. Without the seed, a server that
+/// receives `Shutdown` inside its first interval would reach the final
+/// flush with a single-snapshot window — no delta, so the JSONL event for
+/// the whole (short) life of the process would report empty `rates` and
+/// cumulative-only percentiles. Seeding makes the final window delta span
+/// start→exit in the worst case instead of vanishing.
 fn run_exporter(config: &ExporterConfig, mut events: Option<fs::File>, stop: &AtomicBool) {
     let mut window = WindowedMetrics::new(config.window);
+    window.push(crate::snapshot());
     let mut seq = 0u64;
     let poll = Duration::from_millis(10).min(config.interval);
     loop {
@@ -793,6 +852,7 @@ mod tests {
                 min: if h.min.is_finite() { h.min } else { 0.0 },
                 max: if h.max.is_finite() { h.max } else { 0.0 },
                 buckets,
+                exemplars: Vec::new(),
             }],
         }
     }
@@ -858,6 +918,59 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_bucket_lines_carry_exemplars() {
+        let mut s = snap(3, &[1.0, 1.0, 70.0]);
+        s.histograms[0].exemplars = vec![BucketExemplar {
+            le: 128.0,
+            trace_id: 0xabc,
+            value: 70.0,
+        }];
+        let text = to_prometheus(&s);
+        assert!(
+            text.contains(
+                "ceps_serve_latency_ms_bucket{le=\"128\"} 3 # {trace_id=\"0000000000000abc\"} 70"
+            ),
+            "exemplar on the tail bucket line:\n{text}"
+        );
+        // The low bucket has no exemplar — its line ends with the count.
+        assert!(text.contains("ceps_serve_latency_ms_bucket{le=\"2\"} 2\n"));
+        // +Inf never carries one.
+        assert!(text.contains("_bucket{le=\"+Inf\"} 3\n"));
+    }
+
+    #[test]
+    fn windowed_exemplar_points_at_tail_bucket_of_the_window() {
+        let mut w = WindowedMetrics::new(4);
+        let mut a = snap(10, &[1.0, 1.0]);
+        a.histograms[0].exemplars = vec![BucketExemplar {
+            le: 2.0,
+            trace_id: 0x111,
+            value: 1.0,
+        }];
+        w.push_at(0.0, a);
+        let mut b = snap(30, &[1.0, 1.0, 70.0]);
+        b.histograms[0].exemplars = vec![
+            BucketExemplar {
+                le: 2.0,
+                trace_id: 0x111,
+                value: 1.0,
+            },
+            BucketExemplar {
+                le: 128.0,
+                trace_id: 0x999,
+                value: 70.0,
+            },
+        ];
+        w.push_at(1.0, b);
+        let d = w.delta().unwrap();
+        let h = d.histogram("serve.latency_ms").unwrap();
+        // Only the 70.0 observation arrived in the window; the windowed
+        // exemplar must name its trace, not the stale low-bucket one.
+        assert_eq!(h.count, 1);
+        assert_eq!(h.exemplar.map(|e| e.trace_id), Some(0x999));
+    }
+
+    #[test]
     fn metrics_event_is_single_line_json_with_schema() {
         let mut w = WindowedMetrics::new(4);
         w.push_at(0.0, snap(0, &[]));
@@ -896,6 +1009,68 @@ mod tests {
         for line in events_text.lines() {
             assert!(line.starts_with("{\"schema\": \"ceps-metrics/v1\""));
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_event_histograms_carry_exemplars() {
+        let mut s = snap(3, &[1.0, 1.0, 70.0]);
+        s.histograms[0].exemplars = vec![BucketExemplar {
+            le: 128.0,
+            trace_id: 0xfeed,
+            value: 70.0,
+        }];
+        let line = metrics_event_json(&s, None, 0, 0, 250);
+        assert!(
+            line.contains(
+                "\"exemplars\": [{\"le\": 128, \"trace_id\": \"000000000000feed\", \"value\": 70}]"
+            ),
+            "exemplar array in histogram event:\n{line}"
+        );
+        assert!(!line.contains('\n'));
+        let opens = line.matches(['{', '[']).count();
+        let closes = line.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "balanced:\n{line}");
+    }
+
+    #[test]
+    fn final_flush_on_fast_shutdown_keeps_window_delta_and_matches_registry() {
+        // A server that takes a `Shutdown` inside the exporter's first
+        // interval must still report rates for the work it did: the window
+        // is seeded at start, so the final delta spans start→exit instead
+        // of not existing. Interval is set far beyond the test's lifetime
+        // so the *only* sink writes are the final flush on drop.
+        let _guard = crate::registry::test_lock();
+        let dir = std::env::temp_dir().join("ceps_obs_fast_shutdown_test");
+        let _ = fs::remove_dir_all(&dir);
+        let prom = dir.join("m.prom");
+        let events = dir.join("m.jsonl");
+        crate::install_recorder();
+        crate::reset();
+        {
+            let exporter =
+                MetricsExporter::start(ExporterConfig::new(60_000).prom(&prom).events(&events))
+                    .unwrap();
+            // Work arrives after the exporter started (baseline seeded).
+            crate::counter("serve.requests", 7);
+            crate::record("serve.latency_ms", 3.5);
+            drop(exporter); // "Shutdown" long before the first interval.
+        }
+        let final_prom = fs::read_to_string(&prom).unwrap();
+        let registry_prom = to_prometheus(&crate::snapshot());
+        crate::uninstall_recorder();
+        assert_eq!(
+            final_prom, registry_prom,
+            "final .prom must match the registry snapshot exactly"
+        );
+        assert!(final_prom.contains("ceps_serve_requests 7"));
+        let events_text = fs::read_to_string(&events).unwrap();
+        let last = events_text.lines().last().expect("final event written");
+        assert!(
+            !last.contains("\"rates\": {}"),
+            "final event must carry the last window delta:\n{last}"
+        );
+        assert!(last.contains("\"serve.requests\": 7"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,10 @@
 //! * tuple structs — a single (non-skipped) field serializes transparently,
 //!   as serde does for newtypes and `#[serde(transparent)]`;
 //! * externally tagged enums with unit, tuple, and struct variants;
-//! * the `#[serde(skip)]` field attribute (omitted on write, defaulted on read).
+//! * the `#[serde(skip)]` field attribute (omitted on write, defaulted on read);
+//! * the `#[serde(default)]` field attribute on named fields — of structs
+//!   and struct variants — which tolerates a missing key on read (the field
+//!   is `Default::default()`ed) while still serializing normally on write.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -52,6 +55,9 @@ struct Param {
 struct NamedField {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 enum Data {
@@ -70,7 +76,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
 }
 
 // ---------------------------------------------------------------------------
@@ -80,9 +86,11 @@ enum VariantKind {
 #[derive(Default)]
 struct AttrInfo {
     skip: bool,
+    default: bool,
 }
 
-/// Consumes leading `#[...]` attributes, noting `#[serde(skip)]`.
+/// Consumes leading `#[...]` attributes, noting `#[serde(skip)]` and
+/// `#[serde(default)]`.
 fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> AttrInfo {
     let mut info = AttrInfo::default();
     while *i < tokens.len() {
@@ -106,12 +114,14 @@ fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> AttrInfo {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
                     for t in args.stream() {
                         if let TokenTree::Ident(arg) = t {
-                            if arg.to_string() == "skip" {
-                                info.skip = true;
+                            match arg.to_string().as_str() {
+                                "skip" => info.skip = true,
+                                "default" => info.default = true,
+                                // `transparent`, `rename`, … are accepted
+                                // and ignored; newtype serialization is
+                                // already transparent in this shim.
+                                _ => {}
                             }
-                            // `transparent`, `rename`, … are accepted and
-                            // ignored; newtype serialization is already
-                            // transparent in this shim.
                         }
                     }
                 }
@@ -297,6 +307,7 @@ fn parse_input(ts: TokenStream) -> Input {
                     NamedField {
                         name: expect_ident(&field, &mut j),
                         skip: info.skip,
+                        default: info.default,
                     }
                 })
                 .collect();
@@ -320,9 +331,13 @@ fn parse_input(ts: TokenStream) -> Input {
                                 .into_iter()
                                 .map(|field| {
                                     let mut k = 0;
-                                    take_attrs(&field, &mut k);
+                                    let info = take_attrs(&field, &mut k);
                                     take_vis(&field, &mut k);
-                                    expect_ident(&field, &mut k)
+                                    NamedField {
+                                        name: expect_ident(&field, &mut k),
+                                        skip: info.skip,
+                                        default: info.default,
+                                    }
                                 })
                                 .collect();
                             VariantKind::Named(names)
@@ -445,13 +460,28 @@ fn gen_serialize(inp: &Input) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let pats = fields.join(", ");
-                            let entries = fields
+                            let pats = fields
                                 .iter()
                                 .map(|f| {
+                                    // Skipped fields bind to `_` so the
+                                    // pattern stays exhaustive without an
+                                    // unused-variable warning.
+                                    if f.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let entries = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
                                     format!(
-                                        "(\"{f}\".to_string(), \
-                                         ::serde::Serialize::to_value({f}))"
+                                        "(\"{0}\".to_string(), \
+                                         ::serde::Serialize::to_value({0}))",
+                                        f.name
                                     )
                                 })
                                 .collect::<Vec<_>>()
@@ -485,6 +515,14 @@ fn named_fields_ctor(type_name: &str, fields: &[NamedField], source: &str) -> St
         .map(|f| {
             if f.skip {
                 format!("{}: ::core::default::Default::default()", f.name)
+            } else if f.default {
+                format!(
+                    "{0}: match {source}.get(\"{0}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                         None => ::core::default::Default::default(),\n\
+                     }}",
+                    f.name
+                )
             } else {
                 format!(
                     "{0}: match {source}.get(\"{0}\") {{\n\
@@ -600,14 +638,7 @@ fn gen_deserialize(inp: &Input) -> String {
                             ))
                         }
                         VariantKind::Named(fields) => {
-                            let named: Vec<NamedField> = fields
-                                .iter()
-                                .map(|f| NamedField {
-                                    name: f.clone(),
-                                    skip: false,
-                                })
-                                .collect();
-                            let ctor = named_fields_ctor(name, &named, "__inner");
+                            let ctor = named_fields_ctor(name, fields, "__inner");
                             Some(format!(
                                 "\"{vname}\" => match __inner {{\n\
                                      ::serde::json::Value::Object(_) => \

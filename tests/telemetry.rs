@@ -47,9 +47,13 @@ struct PromSample {
     name: String,
     labels: Vec<(String, String)>,
     value: f64,
+    /// OpenMetrics exemplar suffix, if the bucket carried one:
+    /// `(trace_id, observed_value)`.
+    exemplar: Option<(String, f64)>,
 }
 
-/// Parses `# TYPE` headers and samples; panics on any malformed line.
+/// Parses `# TYPE` headers and samples (including OpenMetrics exemplar
+/// suffixes on bucket lines); panics on any malformed line.
 fn parse_prom(text: &str) -> (HashMap<String, String>, Vec<PromSample>) {
     let mut types = HashMap::new();
     let mut samples = Vec::new();
@@ -66,6 +70,26 @@ fn parse_prom(text: &str) -> (HashMap<String, String>, Vec<PromSample>) {
             continue;
         }
         assert!(!line.starts_with('#'), "unexpected comment: {line:?}");
+        // `..._bucket{le="8"} 3 # {trace_id="00ab..."} 5.2` — split the
+        // exemplar suffix off before parsing the sample proper.
+        let (line, exemplar) = match line.split_once(" # ") {
+            None => (line, None),
+            Some((sample, ex)) => {
+                let (labels, value) = ex.rsplit_once(' ').expect("exemplar has a value");
+                let body = labels
+                    .strip_prefix('{')
+                    .and_then(|l| l.strip_suffix('}'))
+                    .expect("exemplar labels are braced");
+                let labels = parse_labels(body);
+                let trace_id = labels
+                    .iter()
+                    .find(|(k, _)| k == "trace_id")
+                    .map(|(_, v)| v.clone())
+                    .expect("exemplar carries a trace_id label");
+                let value: f64 = value.parse().expect("exemplar value parses");
+                (sample, Some((trace_id, value)))
+            }
+        };
         let (head, value) = line.rsplit_once(' ').expect("sample has a value");
         let value: f64 = value.parse().unwrap_or_else(|_| {
             assert_eq!(value, "+Inf", "unparsable sample value {value:?}");
@@ -78,10 +102,17 @@ fn parse_prom(text: &str) -> (HashMap<String, String>, Vec<PromSample>) {
                 (name.to_string(), parse_labels(body))
             }
         };
+        if exemplar.is_some() {
+            assert!(
+                name.ends_with("_bucket"),
+                "exemplars only belong on bucket lines: {name}"
+            );
+        }
         samples.push(PromSample {
             name,
             labels,
             value,
+            exemplar,
         });
     }
     (types, samples)
@@ -255,6 +286,7 @@ fn hist_stat(name: &str, values: &[f64]) -> HistogramStat {
             .into_iter()
             .map(|(i, c)| (2f64.powi(i - 31), c))
             .collect(),
+        exemplars: Vec::new(),
     }
 }
 
@@ -330,6 +362,9 @@ proptest! {
         let scores = latency_ms * split;
         let combine = (latency_ms - scores) * 0.5;
         let error = (err_idx < NASTY.len()).then(|| NASTY[err_idx].to_string());
+        // Half the requests carry a distributed-trace id; the line must
+        // render it as fixed-width hex (u64 ids don't survive JSON f64).
+        let trace_id = (mix % 2 == 0).then(|| 0x1000_0000_0000_0000u64 | mix as u64);
         let trace = RequestTrace {
             request_id,
             worker: mix % 8,
@@ -345,6 +380,7 @@ proptest! {
             budget: 20,
             paths: mix % 40,
             error: error.clone(),
+            trace_id,
         };
         let kind = if kind == 0 { SampleKind::Head } else { SampleKind::Tail };
         let line = trace_json(&trace, kind);
@@ -365,6 +401,14 @@ proptest! {
             Some(e) => {
                 prop_assert_eq!(doc["outcome"].as_str(), Some("error"));
                 prop_assert_eq!(doc["error"].as_str(), Some(e.as_str()));
+            }
+        }
+        match trace_id {
+            None => prop_assert!(doc.get("trace_id").is_none()),
+            Some(id) => {
+                let hex = doc["trace_id"].as_str().expect("trace_id is a string");
+                prop_assert_eq!(hex.len(), 16, "fixed-width hex");
+                prop_assert_eq!(u64::from_str_radix(hex, 16).unwrap(), id);
             }
         }
     }
@@ -484,6 +528,28 @@ fn exporter_final_prom_file_matches_the_final_registry_snapshot() {
         Some(latency.count as f64),
     );
     assert_eq!(latency.count, stream.len() as u64);
+
+    // With the recorder installed, serving mints a sampled root trace
+    // context per request, so the exported buckets must carry at least
+    // one exemplar pointing at a real (nonzero, 16-hex-digit) trace id.
+    let exemplars: Vec<&(String, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "ceps_serve_latency_ms_bucket")
+        .filter_map(|s| s.exemplar.as_ref())
+        .collect();
+    assert!(
+        !exemplars.is_empty(),
+        "traced serving must leave bucket exemplars in the .prom file"
+    );
+    for (trace_id, value) in &exemplars {
+        assert_eq!(trace_id.len(), 16, "exemplar ids are fixed-width hex");
+        assert_ne!(
+            u64::from_str_radix(trace_id, 16).expect("exemplar id parses as hex"),
+            0,
+            "exemplar must reference a real trace"
+        );
+        assert!(*value > 0.0, "exemplar records the observed latency");
+    }
 
     let events = std::fs::read_to_string(&events_path).unwrap();
     assert!(!events.is_empty(), "exporter must append events");
