@@ -16,8 +16,14 @@
 //! (`CEPS_LOG=warn` silences them); stdout carries only tables and result
 //! paths.
 //!
+//! `loadgen` (opt-in, like `scaling`) boots a wire server over the
+//! in-process transport and runs the `ceps-load` SLO capacity search
+//! against it, writing the throughput-latency curve and the knee into
+//! `BENCH_loadgen.json`.
+//!
 //! `check` runs the regression gates instead of any benchmark: first the
-//! perf gate, comparing `BENCH_rwr.json` / `BENCH_serve.json` under
+//! perf gate, comparing `BENCH_rwr.json` / `BENCH_serve.json` /
+//! `BENCH_loadgen.json` under
 //! `--current` (default: the `--out` directory) against the committed
 //! baselines under `--baseline` (default `results/`), then the `f32`
 //! precision quality gate (full pipeline at both coefficient precisions on
@@ -35,7 +41,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ceps_bench::figures::{
-    ablation, baselines, case_studies, fig4, fig5, fig6, injection, rwr_bench, scaling, serve,
+    ablation, baselines, case_studies, fig4, fig5, fig6, injection, loadgen, rwr_bench, scaling,
+    serve,
 };
 use ceps_bench::report::{write_json, Table};
 use ceps_bench::workload::Workload;
@@ -77,7 +84,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "fig4" | "fig5" | "fig6" | "cases" | "inject" | "ablation" | "baselines"
-            | "scaling" | "rwr" | "serve" | "check" | "all" => opts.figures.push(arg),
+            | "scaling" | "rwr" | "serve" | "loadgen" | "check" | "all" => opts.figures.push(arg),
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
@@ -156,7 +163,7 @@ fn main() -> ExitCode {
         Err(e) => {
             ceps_obs::error!("error: {e}");
             eprintln!(
-                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|check|all]... \
+                "usage: experiments [fig4|fig5|fig6|cases|inject|ablation|baselines|scaling|rwr|serve|loadgen|check|all]... \
                  [--scale tiny|small|medium|large|paper] \
                  [--sweep-scale tiny|small|medium|large|paper] \
                  [--trials N] [--seed S] \
@@ -482,6 +489,59 @@ fn main() -> ExitCode {
         }
         tables.push(table);
         tables.push(stage_table);
+    }
+
+    if opts.figures.iter().any(|x| x == "loadgen") {
+        // Loadgen is opt-in (not part of "all"): each capacity probe is a
+        // multi-second wall-clock run, which dwarfs the other runners.
+        let mut params = loadgen::LoadgenParams {
+            seed: opts.seed,
+            workers: opts.threads,
+            ..Default::default()
+        };
+        if let Some(r) = opts.repeat {
+            params.repeat = r;
+        }
+        if opts.quick {
+            params.duration_s = 1.5;
+            params.warmup_s = 0.5;
+            params.refine_steps = 1;
+            params.max_rps = 2_000.0;
+        }
+        let t = Instant::now();
+        let (headline, curve_table, curve) = loadgen::run(&workload, &params);
+        println!("{}", headline.render());
+        println!("{}", curve_table.render());
+        match curve.knee_rps {
+            Some(knee) => println!("knee: {knee:.1} rps (SLO p99 <= {} ms)", params.slo.p99_ms),
+            None => println!("knee: none — the starting rate already violated the SLO"),
+        }
+        ceps_obs::info!("loadgen took {:.2?}", t.elapsed());
+        // The headline table comes first on purpose: the regression gate
+        // resolves its columns from the first table that has them.
+        let meta = serde_json::json!({
+            "scale": opts.scale.to_string(),
+            "seed": opts.seed,
+            "workers": params.workers,
+            "duration_s": params.duration_s,
+            "connections": params.connections,
+            "slo_p99_ms": params.slo.p99_ms,
+            "slo_max_error_rate": params.slo.max_error_rate,
+            "knee_rps": curve.knee_rps,
+            "nodes": workload.node_count(),
+            "edges": workload.edge_count(),
+            "run": run_meta(&opts),
+        });
+        let loadgen_tables = [headline.clone(), curve_table.clone()];
+        match write_json(&opts.out, "BENCH_loadgen", &meta, &loadgen_tables) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => {
+                ceps_obs::error!("error writing JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        tables.push(headline);
+        tables.push(curve_table);
     }
 
     if opts.figures.iter().any(|x| x == "scaling") {

@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod injection;
+pub mod loadgen;
 pub mod rwr_bench;
 pub mod scaling;
 pub mod serve;

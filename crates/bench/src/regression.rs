@@ -1,7 +1,8 @@
 //! Performance-regression gate over committed benchmark baselines.
 //!
 //! CI (and developers, via `experiments -- check`) compare the headline
-//! numbers of a fresh `BENCH_rwr.json` / `BENCH_serve.json` run against
+//! numbers of a fresh `BENCH_rwr.json` / `BENCH_serve.json` /
+//! `BENCH_loadgen.json` run against
 //! the baselines committed under `results/`. The gate is **one-sided**:
 //! only a drop below `baseline - tolerance` fails; improvements always
 //! pass (and are the signal to reseed the baseline).
@@ -93,7 +94,8 @@ pub struct GateSpec {
     pub metrics: Vec<MetricSpec>,
 }
 
-/// The default gate set: RWR kernel and serving-throughput headlines.
+/// The default gate set: RWR kernel, serving-throughput and open-loop
+/// load-quality headlines.
 ///
 /// The RWR speedup bands are wider (60%) than the serving ones (40%):
 /// the baseline is measured at the large preset, where back-to-back runs
@@ -104,6 +106,12 @@ pub struct GateSpec {
 /// absolute `1.0` floor at `Q ≥ 5` — with the pool's sequential fallback,
 /// the parallel path must never lose to the batched kernel there, on any
 /// machine — plus CI's own absolute `≥ 1.5` assertion on the large preset.
+///
+/// The loadgen gate deliberately avoids the knee rate (absolute capacity
+/// is machine-dependent) and watches the base probe's quality ratios
+/// instead: a healthy server completes essentially every request at the
+/// search's lowest rate (`ok_rate`, hard-floored at 0.80) and keeps up
+/// with the offered schedule (`achieved_ratio`).
 pub fn default_gates() -> Vec<GateSpec> {
     vec![
         GateSpec {
@@ -120,6 +128,13 @@ pub fn default_gates() -> Vec<GateSpec> {
             metrics: vec![
                 MetricSpec::new("speedup", Tolerance::Rel(0.40)),
                 MetricSpec::new("hit_rate", Tolerance::Abs(0.10)),
+            ],
+        },
+        GateSpec {
+            artifact: "BENCH_loadgen.json".into(),
+            metrics: vec![
+                MetricSpec::new("ok_rate", Tolerance::Abs(0.10)).floor(0.80),
+                MetricSpec::new("achieved_ratio", Tolerance::Abs(0.25)),
             ],
         },
     ]
@@ -513,6 +528,13 @@ mod tests {
         assert!(names.contains(&"block_speedup"));
         assert!(names.contains(&"speedup"));
         assert!(names.contains(&"hit_rate"));
+        assert!(names.contains(&"ok_rate"));
+        assert!(names.contains(&"achieved_ratio"));
+        let ok = all
+            .iter()
+            .find(|m| m.column == "ok_rate")
+            .expect("ok_rate is gated");
+        assert_eq!(ok.floor, Some(0.80), "clean-run floor never relaxes");
         let par = all
             .iter()
             .find(|m| m.column == "par_speedup")

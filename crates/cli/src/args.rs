@@ -6,6 +6,7 @@ use std::path::PathBuf;
 
 use ceps_core::QueryType;
 use ceps_graph::Precision;
+use ceps_load::ArrivalKind;
 
 use crate::CliError;
 
@@ -134,6 +135,41 @@ pub enum Command {
         /// query reply); enables end-to-end trace propagation.
         trace_out: Option<PathBuf>,
     },
+    /// `ceps loadgen` — open-loop load generation against a running
+    /// `serve --listen`, with coordinated-omission-free latency and an
+    /// optional SLO capacity search.
+    Loadgen {
+        /// Server address (same grammar as `--listen`).
+        connect: String,
+        /// Offered request rate (requests/second across all connections).
+        rps: f64,
+        /// Run length in seconds, warmup included.
+        duration_s: f64,
+        /// Leading seconds excluded from the measurement phase.
+        warmup_s: f64,
+        /// Arrival process.
+        arrival: ArrivalKind,
+        /// Concurrent client connections.
+        connections: usize,
+        /// Query nodes per request.
+        queries_per: usize,
+        /// Node ids are drawn from `0..nodes`.
+        node_space: usize,
+        /// Probability a request repeats an earlier query verbatim.
+        repeat: f64,
+        /// Schedule/query-mix seed.
+        seed: u64,
+        /// SLO: measurement-phase p99 bound in milliseconds.
+        slo_p99_ms: f64,
+        /// SLO: max sheds+errors fraction.
+        max_error_rate: f64,
+        /// Run the capacity search instead of a single fixed-rate run.
+        search: bool,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// Also write the JSON report/curve to this path.
+        out: Option<PathBuf>,
+    },
     /// `ceps autok` — infer the softAND coefficient for a query set.
     AutoK {
         /// Edge-list input path.
@@ -203,6 +239,11 @@ USAGE:
                 --autok \"a,b,...\" | --ping | --stats | --dump-flight |
                 --shutdown)
                 [--json] [--timeout MS] [--trace-out FILE.jsonl]
+  ceps loadgen  --connect ADDR [--rps R] [--duration S] [--warmup S]
+                [--arrival poisson|constant] [--connections N]
+                [--queries-per Q] [--nodes N] [--repeat R] [--seed N]
+                [--slo-p99-ms X] [--max-error-rate F] [--search]
+                [--json] [--out FILE]
   ceps partition --graph FILE --parts K [--seed N] --out FILE
   ceps autok    --graph FILE [--labels FILE] --queries \"a,b,...\" [--alpha A]
                 [--threads N]
@@ -221,6 +262,13 @@ USAGE:
   (ADDR: tcp://host:port, unix:///path, host:port, or a socket path);
   client talks to it over the same address grammar. Wire replies are
   byte-identical to the in-process API's results.
+
+  loadgen drives a running serve --listen open-loop: arrivals fire on a
+  pre-built deterministic schedule and every latency is charged to the
+  intended send time, so a stalled server cannot hide its backlog
+  (coordinated-omission correction). --search steps/bisects the offered
+  rate to find the max load meeting the SLO and prints the
+  throughput-latency curve with the knee marked.
 
   client --trace-out attaches a trace context to every query; the server
   adopts it, so client and server ceps-trace/v1 lines share one trace_id
@@ -246,6 +294,7 @@ fn take_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
                 | "--stats"
                 | "--dump-flight"
                 | "--shutdown"
+                | "--search"
         ) {
             flags.insert(key[2..].to_string(), "true".to_string());
             i += 1;
@@ -445,6 +494,51 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 json: flags.contains_key("json"),
                 timeout_ms: num(&flags, "timeout", 30_000u64)?,
                 trace_out: flags.get("trace-out").map(PathBuf::from),
+            })
+        }
+        "loadgen" => {
+            let flags = take_flags(rest)?;
+            let arrival_str = flags
+                .get("arrival")
+                .map(String::as_str)
+                .unwrap_or("poisson");
+            let arrival = ArrivalKind::parse(arrival_str).ok_or_else(|| {
+                CliError(format!(
+                    "bad value for --arrival: {arrival_str:?} (poisson|constant)"
+                ))
+            })?;
+            let rps: f64 = num(&flags, "rps", 100.0f64)?;
+            if rps <= 0.0 {
+                return Err(CliError(format!("--rps {rps} must be positive")));
+            }
+            let duration_s: f64 = num(&flags, "duration", 10.0f64)?;
+            let warmup_s: f64 = num(&flags, "warmup", (duration_s / 5.0).min(2.0))?;
+            if !(0.0..duration_s).contains(&warmup_s) {
+                return Err(CliError(format!(
+                    "--warmup {warmup_s} must leave a measurement window inside \
+                     --duration {duration_s}"
+                )));
+            }
+            let repeat: f64 = num(&flags, "repeat", 0.3f64)?;
+            if !(0.0..=1.0).contains(&repeat) {
+                return Err(CliError(format!("--repeat {repeat} must lie in [0, 1]")));
+            }
+            Ok(Command::Loadgen {
+                connect: required(&flags, "connect")?,
+                rps,
+                duration_s,
+                warmup_s,
+                arrival,
+                connections: num(&flags, "connections", 4usize)?,
+                queries_per: num(&flags, "queries-per", 3usize)?,
+                node_space: num(&flags, "nodes", 1000usize)?,
+                repeat,
+                seed: num(&flags, "seed", 42u64)?,
+                slo_p99_ms: num(&flags, "slo-p99-ms", 100.0f64)?,
+                max_error_rate: num(&flags, "max-error-rate", 0.01f64)?,
+                search: flags.contains_key("search"),
+                json: flags.contains_key("json"),
+                out: flags.get("out").map(PathBuf::from),
             })
         }
         "autok" => {
@@ -924,6 +1018,105 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn loadgen_defaults_overrides_and_bounds() {
+        let c = parse(&v(&["loadgen", "--connect", "unix:///tmp/c.sock"])).unwrap();
+        match c {
+            Command::Loadgen {
+                connect,
+                rps,
+                duration_s,
+                warmup_s,
+                arrival,
+                connections,
+                search,
+                json,
+                out,
+                ..
+            } => {
+                assert_eq!(connect, "unix:///tmp/c.sock");
+                assert_eq!(rps, 100.0);
+                assert_eq!(duration_s, 10.0);
+                assert_eq!(warmup_s, 2.0);
+                assert_eq!(arrival, ArrivalKind::Poisson);
+                assert_eq!(connections, 4);
+                assert!(!search && !json);
+                assert!(out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&[
+            "loadgen",
+            "--connect",
+            "a",
+            "--rps",
+            "500",
+            "--duration",
+            "4",
+            "--warmup",
+            "1",
+            "--arrival",
+            "constant",
+            "--connections",
+            "8",
+            "--slo-p99-ms",
+            "25",
+            "--search",
+            "--json",
+            "--out",
+            "curve.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Loadgen {
+                rps,
+                duration_s,
+                warmup_s,
+                arrival,
+                connections,
+                slo_p99_ms,
+                search,
+                json,
+                out,
+                ..
+            } => {
+                assert_eq!(rps, 500.0);
+                assert_eq!(duration_s, 4.0);
+                assert_eq!(warmup_s, 1.0);
+                assert_eq!(arrival, ArrivalKind::Constant);
+                assert_eq!(connections, 8);
+                assert_eq!(slo_p99_ms, 25.0);
+                assert!(search && json);
+                assert_eq!(out, Some(PathBuf::from("curve.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        assert!(parse(&v(&["loadgen"])).unwrap_err().0.contains("--connect"));
+        assert!(
+            parse(&v(&["loadgen", "--connect", "a", "--arrival", "uniform"]))
+                .unwrap_err()
+                .0
+                .contains("--arrival")
+        );
+        assert!(parse(&v(&["loadgen", "--connect", "a", "--rps", "0"]))
+            .unwrap_err()
+            .0
+            .contains("--rps"));
+        assert!(parse(&v(&[
+            "loadgen",
+            "--connect",
+            "a",
+            "--duration",
+            "2",
+            "--warmup",
+            "2"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("--warmup"));
     }
 
     #[test]

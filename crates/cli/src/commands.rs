@@ -122,6 +122,45 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             timeout_ms,
             trace_out,
         } => client(&connect, action, json, timeout_ms, trace_out.as_deref()),
+        Command::Loadgen {
+            connect,
+            rps,
+            duration_s,
+            warmup_s,
+            arrival,
+            connections,
+            queries_per,
+            node_space,
+            repeat,
+            seed,
+            slo_p99_ms,
+            max_error_rate,
+            search,
+            json,
+            out,
+        } => loadgen(
+            &connect,
+            LoadgenOptions {
+                cfg: ceps_load::LoadConfig {
+                    rps,
+                    duration_s,
+                    warmup_s,
+                    arrival,
+                    connections,
+                    queries_per,
+                    node_space,
+                    repeat,
+                    seed,
+                },
+                slo: ceps_load::SloSpec {
+                    p99_ms: slo_p99_ms,
+                    max_error_rate,
+                },
+                search,
+                json,
+                out,
+            },
+        ),
         Command::Import {
             pairs,
             out,
@@ -774,26 +813,11 @@ fn serve_listen(
         ));
     }
     let mut out = format!(
-        "server drained after {:.1} s on {}\n\
-         {} connections, {} frames, {} queries, {} sheds, {} errors\n\
-         windowed latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms\n",
+        "server drained after {:.1} s on {}\n{}",
         stats.uptime_ms as f64 / 1e3,
         transport.addr(),
-        stats.connections,
-        stats.frames,
-        stats.queries,
-        stats.sheds,
-        stats.errors,
-        stats.p50_ms,
-        stats.p90_ms,
-        stats.p99_ms,
+        render_server_health(&stats),
     );
-    if let Some(c) = cache {
-        out.push_str(&format!(
-            "cache: {} hits / {} misses, {} evictions\n",
-            c.hits, c.misses, c.evictions
-        ));
-    }
     if let Some(prom) = &opts.metrics_out {
         out.push_str(&format!(
             "metrics written to {} (events: {})\n",
@@ -813,6 +837,35 @@ fn serve_listen(
         out.push_str(&format!("flight ring written to {}\n", path.display()));
     }
     Ok(out)
+}
+
+/// Renders the health core of a [`ceps_net::ServerStats`] — counters,
+/// windowed latency and queue-delay percentiles, cache — one helper for
+/// both the `serve --listen` drain summary and `client --stats`, so the
+/// two text surfaces cannot drift. (Server-side, both snapshots already
+/// come out of the single `CepsServer::stats` path; a test there pins
+/// the equality.)
+fn render_server_health(stats: &ceps_net::ServerStats) -> String {
+    format!(
+        "{} connections, {} frames, {} queries ({} in flight), {} sheds, {} errors\n\
+         windowed latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms \
+         (queue p50 {:.2} ms, p99 {:.2} ms)\n{}",
+        stats.connections,
+        stats.frames,
+        stats.queries,
+        stats.in_flight,
+        stats.sheds,
+        stats.errors,
+        stats.p50_ms,
+        stats.p90_ms,
+        stats.p99_ms,
+        stats.queue_p50_ms,
+        stats.queue_p99_ms,
+        stats.cache.as_ref().map_or(String::new(), |c| format!(
+            "cache: {} hits / {} misses, {} evictions\n",
+            c.hits, c.misses, c.evictions
+        )),
+    )
 }
 
 /// Parses the client's comma-separated node ids (names need labels,
@@ -895,24 +948,10 @@ fn client(
                 )
             } else {
                 format!(
-                    "{} up {:.1} s: {} connections, {} frames, {} queries \
-                     ({} in flight), {} sheds, {} errors\n\
-                     windowed latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms\n{}",
+                    "{} up {:.1} s\n{}",
                     stats.proto,
                     stats.uptime_ms as f64 / 1e3,
-                    stats.connections,
-                    stats.frames,
-                    stats.queries,
-                    stats.in_flight,
-                    stats.sheds,
-                    stats.errors,
-                    stats.p50_ms,
-                    stats.p90_ms,
-                    stats.p99_ms,
-                    stats.cache.map_or(String::new(), |c| format!(
-                        "cache: {} hits / {} misses, {} evictions\n",
-                        c.hits, c.misses, c.evictions
-                    )),
+                    render_server_health(&stats),
                 )
             })
         }
@@ -1109,6 +1148,131 @@ fn partition(graph_path: &Path, parts: usize, seed: u64, out: &Path) -> Result<S
         p.edge_cut(&graph),
         p.balance(),
     ))
+}
+
+/// Everything `ceps loadgen` needs beyond the server address.
+struct LoadgenOptions {
+    cfg: ceps_load::LoadConfig,
+    slo: ceps_load::SloSpec,
+    search: bool,
+    json: bool,
+    out: Option<std::path::PathBuf>,
+}
+
+/// Hand-rolled JSON for a capacity curve (`ceps-load-curve/v1`): the
+/// probes sorted by offered rate, each with its full `ceps-load/v1`
+/// report, plus the SLO and the detected knee.
+fn curve_json(curve: &ceps_load::CapacityCurve, slo: &ceps_load::SloSpec) -> String {
+    let points: Vec<String> = curve
+        .sorted_points()
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"offered_rps\": {}, \"slo_met\": {}, \"report\": {}}}",
+                p.offered_rps,
+                p.slo_met,
+                p.report.to_json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": \"ceps-load-curve/v1\", \
+         \"slo\": {{\"p99_ms\": {}, \"max_error_rate\": {}}}, \
+         \"knee_rps\": {}, \"points\": [{}]}}",
+        slo.p99_ms,
+        slo.max_error_rate,
+        curve.knee_rps.map_or("null".to_string(), |k| k.to_string()),
+        points.join(", "),
+    )
+}
+
+/// `ceps loadgen` — a single fixed-rate open-loop run, or (with
+/// `--search`) a capacity search for the highest offered rate meeting
+/// the SLO.
+fn loadgen(connect: &str, opts: LoadgenOptions) -> Result<String, CliError> {
+    let connect_err = |e: std::io::Error| CliError(format!("cannot connect to {connect}: {e}"));
+    if opts.search {
+        let factory = || ceps_net::CepsClient::connect(connect);
+        let curve = ceps_load::capacity_search(
+            &opts.cfg,
+            &opts.slo,
+            &ceps_load::SearchConfig {
+                start_rps: opts.cfg.rps,
+                ..ceps_load::SearchConfig::default()
+            },
+            &factory,
+            // Progress goes to stderr eagerly; stdout stays reserved for
+            // the final report (pure JSON under --json).
+            |p| {
+                eprintln!(
+                    "ceps loadgen: probed {:.1} rps -> p99 {:.2} ms, {} ({})",
+                    p.offered_rps,
+                    p.report.measure.p99_ms,
+                    if p.slo_met { "slo met" } else { "slo violated" },
+                    p.report.measure.count,
+                )
+            },
+        )
+        .map_err(connect_err)?;
+        let json = curve_json(&curve, &opts.slo);
+        if let Some(path) = &opts.out {
+            fs::write(path, format!("{json}\n"))
+                .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+        }
+        if opts.json {
+            return Ok(format!("{json}\n"));
+        }
+        let mut out = format!(
+            "capacity search: {} probes against {connect}, SLO p99 <= {} ms, \
+             shed/error rate <= {}\n",
+            curve.points.len(),
+            opts.slo.p99_ms,
+            opts.slo.max_error_rate,
+        );
+        out.push_str(&format!(
+            "  {:>10}  {:>10}  {:>9}  {:>7}  slo\n",
+            "offered", "achieved", "p99(ms)", "err%"
+        ));
+        for p in curve.sorted_points() {
+            out.push_str(&format!(
+                "  {:>10.1}  {:>10.1}  {:>9.2}  {:>7.2}  {}\n",
+                p.offered_rps,
+                p.report.achieved_rps,
+                p.report.measure.p99_ms,
+                100.0 * p.report.measure.error_rate(),
+                if p.slo_met { "met" } else { "VIOLATED" },
+            ));
+        }
+        out.push_str(&match curve.knee_rps {
+            Some(knee) => format!("knee: {knee:.1} rps (max sustainable load meeting the SLO)\n"),
+            None => "knee: none — even the starting rate violated the SLO\n".to_string(),
+        });
+        if let Some(path) = &opts.out {
+            out.push_str(&format!("curve written to {}\n", path.display()));
+        }
+        Ok(out)
+    } else {
+        let report = ceps_load::run(&opts.cfg, connect).map_err(connect_err)?;
+        let met = opts.slo.met_by(&report);
+        if let Some(path) = &opts.out {
+            fs::write(path, format!("{}\n", report.to_json()))
+                .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+        }
+        if opts.json {
+            return Ok(format!("{}\n", report.to_json()));
+        }
+        let mut out = report.render();
+        out.push_str(&format!(
+            "slo (p99 <= {} ms, shed/error rate <= {}): {}\n",
+            opts.slo.p99_ms,
+            opts.slo.max_error_rate,
+            if met { "met" } else { "VIOLATED" },
+        ));
+        if let Some(path) = &opts.out {
+            out.push_str(&format!("report written to {}\n", path.display()));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -1492,6 +1656,93 @@ mod tests {
         let summary = server.join().unwrap();
         assert!(summary.contains("server drained after"), "{summary}");
         assert!(summary.contains("1 queries"), "{summary}");
+    }
+
+    #[test]
+    fn loadgen_drives_a_unix_socket_server_and_checks_the_slo() {
+        let (g, _) = generated();
+        let sock = tmp(&format!("cli-load-{}.sock", std::process::id()));
+        let _ = fs::remove_file(&sock);
+        let addr = sock.display().to_string();
+
+        let server = std::thread::spawn({
+            let g = g.clone();
+            let addr = addr.clone();
+            move || {
+                execute(Command::Serve {
+                    graph: g,
+                    requests: 0,
+                    queries_per: 2,
+                    workers: 2,
+                    repeat: 0.5,
+                    budget: 4,
+                    alpha: 0.5,
+                    cache_mb: 16,
+                    seed: 1,
+                    threads: 1,
+                    precision: ceps_graph::Precision::F64,
+                    json: false,
+                    profile: false,
+                    profile_out: None,
+                    metrics_out: None,
+                    metrics_interval_ms: 500,
+                    trace_out: None,
+                    trace_sample: 1.0,
+                    listen: Some(addr),
+                    flight_out: None,
+                })
+                .unwrap()
+            }
+        });
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let out_path = tmp("loadgen-report.json");
+        let out = execute(Command::Loadgen {
+            connect: addr.clone(),
+            rps: 40.0,
+            duration_s: 1.0,
+            warmup_s: 0.2,
+            arrival: ceps_load::ArrivalKind::Constant,
+            connections: 2,
+            queries_per: 2,
+            node_space: 100,
+            repeat: 0.5,
+            seed: 7,
+            slo_p99_ms: 60_000.0,
+            max_error_rate: 0.0,
+            search: false,
+            json: false,
+            out: Some(out_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("achieved"), "{out}");
+        assert!(out.contains("slo (p99 <= 60000 ms"), "{out}");
+        assert!(out.contains("met"), "{out}");
+
+        // The JSON artifact parses and shows a clean run.
+        let json = fs::read_to_string(&out_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(json.trim()).unwrap();
+        assert_eq!(doc["schema"], "ceps-load/v1");
+        assert_eq!(doc["measure"]["errors"], 0);
+        assert_eq!(doc["measure"]["sheds"], 0);
+        assert!(doc["achieved_rps"].as_f64().unwrap() > 0.0);
+
+        let out = execute(Command::Client {
+            connect: addr,
+            action: ClientAction::Shutdown,
+            json: false,
+            timeout_ms: 5_000,
+            trace_out: None,
+        })
+        .unwrap();
+        assert!(out.contains("server drained"));
+        let summary = server.join().unwrap();
+        assert!(summary.contains("queue p50"), "{summary}");
     }
 
     #[test]

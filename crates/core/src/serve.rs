@@ -461,6 +461,7 @@ impl CepsService {
                                             worker: w,
                                             queries: queries.len(),
                                             latency_ms,
+                                            queue_ms: 0.0,
                                             stages: metrics.stages,
                                             cache_hits: metrics.cache_hits,
                                             cache_misses: metrics.cache_misses,
@@ -479,6 +480,7 @@ impl CepsService {
                                             worker: w,
                                             queries: queries.len(),
                                             latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                            queue_ms: 0.0,
                                             stages: StageTimes::default(),
                                             cache_hits: 0,
                                             cache_misses: 0,

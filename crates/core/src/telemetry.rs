@@ -46,6 +46,10 @@ pub struct RequestTrace {
     pub queries: usize,
     /// End-to-end request latency in milliseconds.
     pub latency_ms: f64,
+    /// Queue delay in milliseconds: time between frame decode and the
+    /// start of execution (admission wait etc.). 0 for in-process
+    /// serving, where requests never queue behind a wire.
+    pub queue_ms: f64,
     /// Per-stage wall times (zeroed when the request errored).
     pub stages: StageTimes,
     /// Distinct query rows served from the shared cache.
@@ -205,13 +209,14 @@ pub fn trace_json(trace: &RequestTrace, kind: SampleKind) -> String {
     let _ = write!(
         out,
         "{{\"schema\": \"ceps-trace/v1\", \"request_id\": {}, \"worker\": {}, \
-         \"queries\": {}, \"latency_ms\": {}, \"scores_ms\": {}, \"combine_ms\": {}, \
+         \"queries\": {}, \"latency_ms\": {}, \"queue_ms\": {}, \"scores_ms\": {}, \"combine_ms\": {}, \
          \"extract_ms\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"budget\": {}, \
          \"paths\": {}, \"sampled\": \"{}\", \"outcome\": \"{}\"",
         trace.request_id,
         trace.worker,
         trace.queries,
         num(trace.latency_ms),
+        num(trace.queue_ms),
         num(trace.stages.scores_ms),
         num(trace.stages.combine_ms),
         num(trace.stages.extract_ms),
@@ -288,6 +293,7 @@ pub(crate) mod tests {
             worker: 0,
             queries: 2,
             latency_ms: latency,
+            queue_ms: 0.0,
             stages: StageTimes {
                 scores_ms: latency * 0.7,
                 combine_ms: latency * 0.1,
@@ -354,6 +360,7 @@ pub(crate) mod tests {
         assert!(!line.contains('\n'));
         assert!(line.starts_with("{\"schema\": \"ceps-trace/v1\""));
         assert!(line.contains("\"request_id\": 7"));
+        assert!(line.contains("\"queue_ms\": 0"));
         assert!(line.contains("\"outcome\": \"ok\""));
         assert!(!line.contains("\"error\""));
 

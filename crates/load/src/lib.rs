@@ -1,0 +1,225 @@
+//! # ceps-load — open-loop load generation for the CePS service
+//!
+//! A zero-external-dependency load generator in the spirit of `ceps-obs`
+//! and `ceps-pool`: deterministic, self-contained, driven entirely by a
+//! seed. Three layers:
+//!
+//! * [`schedule`] — deterministic arrival schedules (constant and
+//!   Poisson inter-arrivals over seeded splitmix64) and a [`QueryMix`]
+//!   sampler over a preset's node space with a configurable repeat rate
+//!   to exercise the server's reply cache.
+//! * [`runner`] — the open-loop driver: N concurrent [`CepsClient`]
+//!   connections fire the schedule, and every latency is charged to the
+//!   request's **intended** send time, never the actual one. When the
+//!   server stalls and the driver falls behind, the backlog shows up in
+//!   the percentiles instead of being silently omitted (the
+//!   *coordinated omission* correction). Reports split warmup from the
+//!   measurement phase.
+//! * [`slo`] — an [`SloSpec`] (p99 bound + max shed/error rate) and
+//!   [`capacity_search`]: double the offered rate until the SLO breaks,
+//!   binary-refine the bracket, and emit the throughput-latency curve
+//!   with the knee marked.
+//!
+//! The `ceps loadgen` CLI subcommand and the `experiments -- loadgen`
+//! benchmark (which feeds the `BENCH_loadgen.json` regression gate) are
+//! thin wrappers over these three layers.
+//!
+//! [`CepsClient`]: ceps_net::CepsClient
+//! [`QueryMix`]: schedule::QueryMix
+//! [`SloSpec`]: slo::SloSpec
+//! [`capacity_search`]: slo::capacity_search
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod schedule;
+pub mod slo;
+
+pub use runner::{run, run_with, LoadConfig, LoadReport, PhaseReport};
+pub use schedule::{arrival_schedule, splitmix64, ArrivalKind, QueryMix};
+pub use slo::{capacity_search, CapacityCurve, CurvePoint, SearchConfig, SloSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use ceps_core::serve::ServeReply;
+    use ceps_net::{
+        in_proc, CepsClient, Framed, InProcConnector, Reply, Request, Transport,
+        DEFAULT_MAX_FRAME_BYTES,
+    };
+
+    /// A minimal wire-speaking mock server over the in-process transport:
+    /// answers every `Query` with an empty `Scores` reply after a fixed
+    /// service delay. The delay is the knob the coordinated-omission and
+    /// capacity tests turn.
+    fn mock_server(service: Duration) -> (InProcConnector, Arc<AtomicBool>) {
+        let (mut transport, connector) = in_proc();
+        let done = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let conn = match transport.accept_timeout(Duration::from_millis(20)) {
+                    Ok(Some(conn)) => conn,
+                    Ok(None) => continue,
+                    Err(_) => break,
+                };
+                std::thread::spawn(move || {
+                    let mut framed = Framed::new(conn, DEFAULT_MAX_FRAME_BYTES);
+                    loop {
+                        match framed.recv::<Request>() {
+                            Ok(Some(Request::Query { id, .. })) => {
+                                std::thread::sleep(service);
+                                let reply = Reply::Scores {
+                                    id,
+                                    reply: ServeReply {
+                                        k: 1,
+                                        members: Vec::new(),
+                                        paths: Vec::new(),
+                                    },
+                                };
+                                if framed.send(&reply).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(Some(_)) | Ok(None) | Err(_) => break,
+                        }
+                    }
+                });
+            }
+        });
+        (connector, done)
+    }
+
+    fn connect_via(connector: &InProcConnector) -> impl Fn() -> io::Result<CepsClient> + Sync + '_ {
+        move || Ok(CepsClient::from_conn(Box::new(connector.connect()?)))
+    }
+
+    #[test]
+    fn underloaded_run_reports_service_time_latency() {
+        let service = Duration::from_millis(2);
+        let (connector, done) = mock_server(service);
+        let cfg = LoadConfig {
+            rps: 50.0,
+            duration_s: 1.0,
+            warmup_s: 0.2,
+            arrival: ArrivalKind::Constant,
+            connections: 2,
+            ..LoadConfig::default()
+        };
+        let report = run_with(&cfg, &connect_via(&connector)).unwrap();
+        done.store(true, Ordering::Relaxed);
+
+        assert_eq!(report.scheduled, 50);
+        assert_eq!(report.measure.errors, 0);
+        assert_eq!(report.measure.sheds, 0);
+        assert!(report.measure.count > 0 && report.warmup.count > 0);
+        assert_eq!(
+            report.measure.count + report.warmup.count,
+            report.scheduled,
+            "every scheduled arrival lands in exactly one phase"
+        );
+        // At 25 rps per connection against 2ms service, the driver never
+        // queues: intended-time latency collapses to the service time.
+        assert!(
+            report.measure.p50_ms >= 1.0 && report.measure.p50_ms < 20.0,
+            "p50 {} should sit near the 2ms service time",
+            report.measure.p50_ms
+        );
+        // Achieved tracks offered when the server keeps up.
+        assert!(
+            (report.achieved_rps - 50.0).abs() < 15.0,
+            "achieved {} ≈ offered 50",
+            report.achieved_rps
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ceps-load/v1\""));
+        assert!(report.render().contains("achieved"));
+    }
+
+    #[test]
+    fn stalled_server_intended_time_p99_dwarfs_service_time() {
+        // One serial connection, 20ms service, arrivals every 5ms: the
+        // driver falls behind immediately and the backlog grows by ~15ms
+        // per request. A closed-loop (actual-send-time) measurement
+        // would report ~20ms p99 — the coordinated-omission lie. The
+        // intended-time p99 must instead expose the queueing delay.
+        let service_ms = 20.0;
+        let (connector, done) = mock_server(Duration::from_millis(service_ms as u64));
+        let cfg = LoadConfig {
+            rps: 200.0,
+            duration_s: 0.5,
+            warmup_s: 0.1,
+            arrival: ArrivalKind::Constant,
+            connections: 1,
+            ..LoadConfig::default()
+        };
+        let report = run_with(&cfg, &connect_via(&connector)).unwrap();
+        done.store(true, Ordering::Relaxed);
+
+        assert_eq!(report.measure.errors, 0);
+        assert!(
+            report.measure.p99_ms > 10.0 * service_ms,
+            "intended-time p99 {}ms must dwarf the {service_ms}ms service time",
+            report.measure.p99_ms
+        );
+        // And the early (warmup) requests saw far less backlog than the
+        // late ones — the signature of a growing queue.
+        assert!(report.measure.p99_ms > report.warmup.p50_ms);
+        // Achieved throughput is capped by the serial 20ms service.
+        assert!(
+            report.achieved_rps < 80.0,
+            "achieved {} must sit near 50 rps, not the offered 200",
+            report.achieved_rps
+        );
+    }
+
+    #[test]
+    fn capacity_search_brackets_the_knee() {
+        // 2ms deterministic service on one connection saturates near
+        // 500 rps; the bands below are wide enough for shared CI hosts.
+        let (connector, done) = mock_server(Duration::from_millis(2));
+        let cfg = LoadConfig {
+            rps: 0.0, // overridden per probe
+            duration_s: 0.4,
+            warmup_s: 0.1,
+            arrival: ArrivalKind::Constant,
+            connections: 1,
+            ..LoadConfig::default()
+        };
+        let slo = SloSpec {
+            p99_ms: 50.0,
+            max_error_rate: 0.01,
+        };
+        let search = SearchConfig {
+            start_rps: 50.0,
+            max_rps: 6400.0,
+            refine_steps: 2,
+        };
+        let mut seen = 0usize;
+        let curve =
+            capacity_search(&cfg, &slo, &search, &connect_via(&connector), |_| seen += 1).unwrap();
+        done.store(true, Ordering::Relaxed);
+
+        assert_eq!(seen, curve.points.len(), "progress sees every probe");
+        let knee = curve.knee_rps.expect("50 rps against 2ms service passes");
+        assert!(
+            (50.0..2000.0).contains(&knee),
+            "knee {knee} should bracket the ~500 rps serial capacity"
+        );
+        assert!(
+            curve.points.iter().any(|p| !p.slo_met),
+            "the search must have found the failing side of the bracket"
+        );
+        let sorted = curve.sorted_points();
+        assert!(sorted
+            .windows(2)
+            .all(|w| w[0].offered_rps <= w[1].offered_rps));
+        assert_eq!(curve.knee().unwrap().offered_rps, knee);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic arrival schedules and query-mix sampling.
+//!
+//! An **open-loop** load generator decides *when* every request fires
+//! before the run starts: the schedule is a pure function of (arrival
+//! process, offered rate, duration, seed), independent of how the server
+//! responds. That independence is the whole point — a closed-loop driver
+//! that waits for each reply before sending the next one throttles itself
+//! exactly when the server slows down, hiding the backlog the real world
+//! would have piled up (coordinated omission). Everything here is seeded
+//! splitmix64, so the same seed reproduces the same schedule and the same
+//! query stream bit-for-bit.
+
+/// splitmix64 step: advances `state` and returns the next u64.
+///
+/// Same generator the rest of the workspace uses for seeding (datagen,
+/// telemetry head-sampling); small, fast, and passes BigCrush when used
+/// as a stream.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a u64 to a uniform f64 in `[0, 1)` using the top 53 bits.
+#[inline]
+fn u01(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The arrival process generating intended send times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Evenly spaced arrivals: request `i` is intended at `i / rps`.
+    Constant,
+    /// Poisson process: exponential inter-arrival gaps with mean `1/rps`.
+    /// Bursty by construction — the realistic choice for capacity tests,
+    /// since real traffic does not politely space itself out.
+    Poisson,
+}
+
+impl ArrivalKind {
+    /// Parses the CLI spelling (`"constant"` / `"poisson"`).
+    pub fn parse(s: &str) -> Option<ArrivalKind> {
+        match s {
+            "constant" => Some(ArrivalKind::Constant),
+            "poisson" => Some(ArrivalKind::Poisson),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalKind::Constant => "constant",
+            ArrivalKind::Poisson => "poisson",
+        }
+    }
+}
+
+/// Builds the full schedule of intended send offsets (seconds from run
+/// start), strictly increasing, covering `[0, duration_s)`.
+///
+/// The schedule is materialised up front rather than generated on the
+/// fly so that latency can be charged against the *intended* time even
+/// when the sender falls behind — the correction that makes the reported
+/// percentiles coordinated-omission-free.
+pub fn arrival_schedule(kind: ArrivalKind, rps: f64, duration_s: f64, seed: u64) -> Vec<f64> {
+    assert!(rps > 0.0, "offered rate must be positive");
+    assert!(duration_s > 0.0, "duration must be positive");
+    let expect = (rps * duration_s).ceil() as usize + 16;
+    let mut out = Vec::with_capacity(expect.min(1 << 22));
+    match kind {
+        ArrivalKind::Constant => {
+            let gap = 1.0 / rps;
+            let mut i = 0u64;
+            loop {
+                let t = i as f64 * gap;
+                if t >= duration_s {
+                    break;
+                }
+                out.push(t);
+                i += 1;
+            }
+        }
+        ArrivalKind::Poisson => {
+            let mut state = seed ^ 0x6c07_9768_7c97_0de5;
+            let mut t = 0.0f64;
+            loop {
+                // Inverse-CDF exponential; (1 - u) keeps ln's argument in
+                // (0, 1] so the gap is finite and positive.
+                let u = u01(splitmix64(&mut state));
+                t += -(1.0 - u).ln() / rps;
+                if t >= duration_s {
+                    break;
+                }
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Seeded sampler producing the node list for each query, over a preset's
+/// node id space, with a configurable repeat rate to exercise the serving
+/// cache.
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    /// Node ids are drawn from `0..node_space`.
+    node_space: usize,
+    /// Team-member count per query (the paper's `Q`).
+    queries_per: usize,
+    /// Probability in `[0, 1]` that a query repeats an earlier one
+    /// verbatim (a cache hit on the server, once warm).
+    repeat: f64,
+    state: u64,
+    /// Recently issued query sets eligible for repetition.
+    pool: Vec<Vec<usize>>,
+}
+
+/// Cap on the repetition pool: repeats draw from the most recent 64
+/// distinct queries, mirroring the locality of a working set rather than
+/// the full history.
+const POOL_CAP: usize = 64;
+
+impl QueryMix {
+    /// Creates a sampler. `node_space` must exceed `queries_per` so a
+    /// query can always hold distinct nodes.
+    pub fn new(node_space: usize, queries_per: usize, repeat: f64, seed: u64) -> QueryMix {
+        assert!(queries_per >= 1, "queries_per must be at least 1");
+        assert!(
+            node_space > queries_per,
+            "node space must exceed the query size"
+        );
+        assert!((0.0..=1.0).contains(&repeat), "repeat must be in [0, 1]");
+        QueryMix {
+            node_space,
+            queries_per,
+            repeat,
+            state: seed ^ 0x51_7cc1_b727_220a_95,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Draws the next query: either a verbatim repeat of a pooled query
+    /// (probability `repeat`, once the pool is non-empty) or a fresh set
+    /// of distinct node ids.
+    pub fn next_query(&mut self) -> Vec<usize> {
+        if !self.pool.is_empty() && u01(splitmix64(&mut self.state)) < self.repeat {
+            let idx = (splitmix64(&mut self.state) % self.pool.len() as u64) as usize;
+            return self.pool[idx].clone();
+        }
+        let mut nodes = Vec::with_capacity(self.queries_per);
+        while nodes.len() < self.queries_per {
+            let n = (splitmix64(&mut self.state) % self.node_space as u64) as usize;
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        if self.pool.len() == POOL_CAP {
+            self.pool.remove(0);
+        }
+        self.pool.push(nodes.clone());
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_is_evenly_spaced_and_covers_duration() {
+        let s = arrival_schedule(ArrivalKind::Constant, 100.0, 1.0, 7);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0], 0.0);
+        for w in s.windows(2) {
+            assert!((w[1] - w[0] - 0.01).abs() < 1e-12);
+        }
+        assert!(*s.last().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_per_seed() {
+        let a = arrival_schedule(ArrivalKind::Poisson, 500.0, 2.0, 42);
+        let b = arrival_schedule(ArrivalKind::Poisson, 500.0, 2.0, 42);
+        assert_eq!(a, b, "same seed must reproduce the schedule exactly");
+        let c = arrival_schedule(ArrivalKind::Poisson, 500.0, 2.0, 43);
+        assert_ne!(a, c, "a different seed must change the schedule");
+    }
+
+    #[test]
+    fn poisson_schedule_hits_the_offered_rate_on_average() {
+        let s = arrival_schedule(ArrivalKind::Poisson, 1000.0, 4.0, 9);
+        // 4000 expected arrivals; 5 sigma is ~316.
+        let n = s.len() as f64;
+        assert!((n - 4000.0).abs() < 350.0, "got {n} arrivals");
+        // Strictly increasing, inside the window.
+        for w in s.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(s.iter().all(|&t| (0.0..4.0).contains(&t)));
+    }
+
+    #[test]
+    fn query_mix_is_deterministic_and_draws_distinct_nodes() {
+        let mut a = QueryMix::new(1000, 5, 0.3, 11);
+        let mut b = QueryMix::new(1000, 5, 0.3, 11);
+        for _ in 0..200 {
+            let qa = a.next_query();
+            let qb = b.next_query();
+            assert_eq!(qa, qb);
+            assert_eq!(qa.len(), 5);
+            let mut sorted = qa.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "nodes within a query are distinct");
+            assert!(qa.iter().all(|&n| n < 1000));
+        }
+    }
+
+    #[test]
+    fn repeat_rate_reuses_pooled_queries() {
+        let mut mix = QueryMix::new(10_000, 4, 0.5, 3);
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        let mut repeats = 0usize;
+        for _ in 0..400 {
+            let q = mix.next_query();
+            if seen.contains(&q) {
+                repeats += 1;
+            } else {
+                seen.push(q);
+            }
+        }
+        // With repeat=0.5 over a 10k node space, fresh collisions are
+        // essentially impossible; observed repeats ≈ 200 ± 5 sigma.
+        assert!((140..=260).contains(&repeats), "got {repeats} repeats");
+
+        let mut none = QueryMix::new(10_000, 4, 0.0, 3);
+        let mut seen = Vec::new();
+        for _ in 0..200 {
+            let q = none.next_query();
+            assert!(!seen.contains(&q), "repeat=0 must never reuse a query");
+            seen.push(q);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! SLO specification and the capacity search that finds the highest
+//! offered rate a server sustains while meeting it.
+//!
+//! The search is the classic two-stage bracket-and-refine: **double** the
+//! offered rate from `start_rps` until a run violates the SLO (or the
+//! rate cap is hit), then **binary-search** the interval between the last
+//! passing and first failing rate. Every probe run is recorded, so the
+//! search's byproduct is a throughput-latency curve with the knee — the
+//! highest passing probe — marked.
+
+use std::io;
+
+use crate::runner::{run_with, LoadConfig, LoadReport};
+use ceps_net::CepsClient;
+
+/// A service-level objective a load run either meets or violates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Measurement-phase intended-time p99 must not exceed this
+    /// (milliseconds).
+    pub p99_ms: f64,
+    /// Sheds + errors over requests fired must not exceed this fraction.
+    pub max_error_rate: f64,
+}
+
+impl SloSpec {
+    /// Whether `report`'s measurement phase meets the objective. An
+    /// empty measurement phase fails: a run that completed nothing is
+    /// not evidence of capacity.
+    pub fn met_by(&self, report: &LoadReport) -> bool {
+        report.measure.count > 0
+            && report.measure.p99_ms <= self.p99_ms
+            && report.measure.error_rate() <= self.max_error_rate
+    }
+}
+
+/// One probe of the capacity search.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Offered rate of the probe.
+    pub offered_rps: f64,
+    /// Whether the probe met the SLO.
+    pub slo_met: bool,
+    /// The full run report.
+    pub report: LoadReport,
+}
+
+/// The throughput-latency curve a capacity search produces.
+#[derive(Debug, Clone)]
+pub struct CapacityCurve {
+    /// Every probe run, in the order the search made them.
+    pub points: Vec<CurvePoint>,
+    /// Highest offered rate that met the SLO; `None` when even the
+    /// first probe failed.
+    pub knee_rps: Option<f64>,
+}
+
+impl CapacityCurve {
+    /// Probes sorted by offered rate — the rendering order for the
+    /// throughput-latency curve.
+    pub fn sorted_points(&self) -> Vec<&CurvePoint> {
+        let mut pts: Vec<&CurvePoint> = self.points.iter().collect();
+        pts.sort_by(|a, b| a.offered_rps.total_cmp(&b.offered_rps));
+        pts
+    }
+
+    /// The report of the knee probe, if one passed.
+    pub fn knee(&self) -> Option<&CurvePoint> {
+        let knee = self.knee_rps?;
+        self.points
+            .iter()
+            .find(|p| p.offered_rps == knee && p.slo_met)
+    }
+}
+
+/// Tunables of [`capacity_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// First probe rate.
+    pub start_rps: f64,
+    /// Stop doubling past this rate (safety rail for servers that never
+    /// saturate at feasible driver rates).
+    pub max_rps: f64,
+    /// Binary-refinement probes after the bracket is found.
+    pub refine_steps: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            start_rps: 50.0,
+            max_rps: 100_000.0,
+            refine_steps: 3,
+        }
+    }
+}
+
+/// Finds the maximum sustainable offered rate meeting `slo`, probing
+/// with runs shaped by `cfg` (its `rps` field is overridden per probe).
+///
+/// # Errors
+/// Connection-establishment failures from the underlying runs.
+pub fn capacity_search(
+    cfg: &LoadConfig,
+    slo: &SloSpec,
+    search: &SearchConfig,
+    connect: &(dyn Fn() -> io::Result<CepsClient> + Sync),
+    mut progress: impl FnMut(&CurvePoint),
+) -> io::Result<CapacityCurve> {
+    let mut points: Vec<CurvePoint> = Vec::new();
+    let mut probe = |rps: f64, points: &mut Vec<CurvePoint>| -> io::Result<bool> {
+        let mut run_cfg = cfg.clone();
+        run_cfg.rps = rps;
+        // Decorrelate probes so a lucky schedule cannot carry the knee.
+        run_cfg.seed = cfg.seed.wrapping_add(points.len() as u64 + 1);
+        let report = run_with(&run_cfg, connect)?;
+        let point = CurvePoint {
+            offered_rps: rps,
+            slo_met: slo.met_by(&report),
+            report,
+        };
+        progress(&point);
+        let met = point.slo_met;
+        points.push(point);
+        Ok(met)
+    };
+
+    // Bracket: double until the SLO breaks or the rail stops us.
+    let mut lo: Option<f64> = None; // highest passing rate
+    let mut hi: Option<f64> = None; // lowest failing rate
+    let mut rps = search.start_rps;
+    loop {
+        let met = probe(rps, &mut points)?;
+        if met {
+            lo = Some(rps);
+            if rps >= search.max_rps {
+                break;
+            }
+            rps = (rps * 2.0).min(search.max_rps);
+        } else {
+            hi = Some(rps);
+            break;
+        }
+    }
+
+    // Refine: bisect the (pass, fail) bracket when both ends exist.
+    if let (Some(mut pass), Some(mut fail)) = (lo, hi) {
+        for _ in 0..search.refine_steps {
+            let mid = (pass + fail) / 2.0;
+            if mid <= pass || mid >= fail {
+                break;
+            }
+            if probe(mid, &mut points)? {
+                pass = mid;
+            } else {
+                fail = mid;
+            }
+        }
+        lo = Some(pass);
+    }
+
+    Ok(CapacityCurve {
+        points,
+        knee_rps: lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PhaseReport;
+
+    fn phase(count: u64, ok: u64, sheds: u64, errors: u64, p99: f64) -> PhaseReport {
+        PhaseReport {
+            count,
+            ok,
+            sheds,
+            errors,
+            p50_ms: p99 / 4.0,
+            p90_ms: p99 / 2.0,
+            p99_ms: p99,
+            p999_ms: p99 * 1.5,
+            max_ms: p99 * 2.0,
+            mean_ms: p99 / 3.0,
+        }
+    }
+
+    fn report(p99: f64, sheds: u64) -> LoadReport {
+        let count = 100;
+        LoadReport {
+            arrival: "constant".into(),
+            offered_rps: 100.0,
+            achieved_rps: (count - sheds) as f64,
+            duration_s: 2.0,
+            warmup_s: 1.0,
+            connections: 2,
+            scheduled: 2 * count,
+            warmup: phase(count, count, 0, 0, p99),
+            measure: phase(count, count - sheds, sheds, 0, p99),
+        }
+    }
+
+    #[test]
+    fn slo_checks_p99_and_error_rate() {
+        let slo = SloSpec {
+            p99_ms: 10.0,
+            max_error_rate: 0.01,
+        };
+        assert!(slo.met_by(&report(9.0, 0)));
+        assert!(!slo.met_by(&report(11.0, 0)), "p99 bound violated");
+        assert!(!slo.met_by(&report(9.0, 5)), "5% sheds over the 1% cap");
+        assert!(slo.met_by(&report(9.0, 1)), "1% sheds at the cap passes");
+
+        let mut empty = report(0.0, 0);
+        empty.measure.count = 0;
+        assert!(!slo.met_by(&empty), "an empty measurement phase fails");
+    }
+
+    #[test]
+    fn report_json_round_trips_the_headline_fields() {
+        let json = report(9.0, 2).to_json();
+        assert!(json.contains("\"schema\": \"ceps-load/v1\""));
+        assert!(json.contains("\"offered_rps\": 100"));
+        assert!(json.contains("\"p99_ms\": 9"));
+        assert!(json.contains("\"sheds\": 2"));
+        assert!(json.contains("\"measure\": {"));
+    }
+}

@@ -126,7 +126,10 @@ impl Admission {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return Some(AdmissionPermit(Arc::clone(self))),
+                Ok(_) => {
+                    ceps_obs::gauge_set("net.in_flight", (cur + 1) as i64);
+                    return Some(AdmissionPermit(Arc::clone(self)));
+                }
                 Err(now) => cur = now,
             }
         }
@@ -139,7 +142,8 @@ pub struct AdmissionPermit(Arc<Admission>);
 
 impl Drop for AdmissionPermit {
     fn drop(&mut self) {
-        self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let prev = self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+        ceps_obs::gauge_set("net.in_flight", prev.saturating_sub(1) as i64);
     }
 }
 
@@ -190,6 +194,13 @@ pub struct ServerStats {
     /// 99th-percentile windowed query latency.
     #[serde(default)]
     pub p99_ms: f64,
+    /// Median queue delay (frame decode → execution start) over the same
+    /// window — the share of latency charged to waiting, not serving.
+    #[serde(default)]
+    pub queue_p50_ms: f64,
+    /// 99th-percentile windowed queue delay.
+    #[serde(default)]
+    pub queue_p99_ms: f64,
     /// Row-cache counters (`None` when the service runs uncached).
     #[serde(default)]
     pub cache: Option<WireCacheStats>,
@@ -227,6 +238,7 @@ impl ConnQueue {
             q = self.ready.wait(q).expect("queue poisoned");
         }
         q.push_back(conn);
+        ceps_obs::gauge_set("net.conn_queue_depth", q.len() as i64);
         self.ready.notify_all();
     }
 
@@ -235,6 +247,7 @@ impl ConnQueue {
         let mut q = self.queue.lock().expect("queue poisoned");
         loop {
             if let Some(conn) = q.pop_front() {
+                ceps_obs::gauge_set("net.conn_queue_depth", q.len() as i64);
                 self.ready.notify_all();
                 return Some(conn);
             }
@@ -260,6 +273,7 @@ pub struct CepsServer {
     started: Instant,
     tracer: Option<RequestTracer>,
     latencies: Mutex<VecDeque<f64>>,
+    queue_delays: Mutex<VecDeque<f64>>,
 }
 
 impl CepsServer {
@@ -284,6 +298,7 @@ impl CepsServer {
             started: Instant::now(),
             tracer: None,
             latencies: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+            queue_delays: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
         }
     }
 
@@ -336,6 +351,27 @@ impl CepsServer {
         )
     }
 
+    /// Feeds one request's queue delay (frame decode → execution start)
+    /// into its bounded window and the `net.queue_ms` histogram.
+    fn note_queue_delay(&self, queue_ms: f64) {
+        record("net.queue_ms", queue_ms);
+        let mut ring = self.queue_delays.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == LATENCY_WINDOW {
+            ring.pop_front();
+        }
+        ring.push_back(queue_ms);
+    }
+
+    /// Windowed queue-delay percentiles over the retained ring.
+    fn queue_percentiles(&self) -> (f64, f64) {
+        let ring = self.queue_delays.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sorted: Vec<f64> = ring.iter().copied().collect();
+        (
+            percentile_sorted(&mut sorted, 50.0),
+            percentile_sorted(&mut sorted, 99.0),
+        )
+    }
+
     /// The admission gate (tests hold permits to force `Overloaded`).
     pub fn admission(&self) -> &Arc<Admission> {
         &self.admission
@@ -353,9 +389,14 @@ impl CepsServer {
     }
 
     /// A point-in-time health snapshot: counters, in-flight, windowed
-    /// latency percentiles, and row-cache counters.
+    /// latency and queue-delay percentiles, and row-cache counters.
+    ///
+    /// This is the **single** snapshot assembly path: the `Stats` wire
+    /// reply, the drain summary [`serve`](Self::serve) returns, and any
+    /// CLI rendering all go through here, so the surfaces cannot drift.
     pub fn stats(&self) -> ServerStats {
         let (p50_ms, p90_ms, p99_ms) = self.latency_percentiles();
+        let (queue_p50_ms, queue_p99_ms) = self.queue_percentiles();
         ServerStats {
             proto: WIRE_VERSION.to_string(),
             connections: self.counters.connections.load(Ordering::Relaxed),
@@ -368,6 +409,8 @@ impl CepsServer {
             p50_ms,
             p90_ms,
             p99_ms,
+            queue_p50_ms,
+            queue_p99_ms,
             cache: self.service.cache_stats().map(|c| WireCacheStats {
                 hits: c.hits,
                 misses: c.misses,
@@ -484,11 +527,15 @@ impl CepsServer {
                     return;
                 }
             };
-            last_activity = Instant::now();
+            // Decode completion stamp: everything between here and the
+            // moment the query actually starts executing is queue delay,
+            // attributed separately from service time.
+            let decoded = Instant::now();
+            last_activity = decoded;
             self.counters.frames.fetch_add(1, Ordering::Relaxed);
             counter("net.frames_total", 1);
 
-            let (reply, done) = self.dispatch(request, worker);
+            let (reply, done) = self.dispatch(request, worker, decoded);
             if matches!(reply, Reply::Error { .. }) {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
                 counter("net.errors_total", 1);
@@ -502,8 +549,10 @@ impl CepsServer {
     }
 
     /// Answers one decoded request; the bool asks the caller to close
-    /// the connection after sending the reply.
-    fn dispatch(&self, request: Request, worker: usize) -> (Reply, bool) {
+    /// the connection after sending the reply. `decoded` is the instant
+    /// the request's frame finished decoding — the anchor for queue-delay
+    /// attribution on query execution.
+    fn dispatch(&self, request: Request, worker: usize, decoded: Instant) -> (Reply, bool) {
         match request {
             Request::Ping { id } => (
                 Reply::Pong {
@@ -540,6 +589,8 @@ impl CepsServer {
                     .unwrap_or_else(TraceContext::new_root);
                 let _trace_guard = ceps_obs::with_trace(ctx);
                 let start = Instant::now();
+                let queue_ms = start.duration_since(decoded).as_secs_f64() * 1e3;
+                self.note_queue_delay(queue_ms);
                 let outcome = self.service.run_instrumented(&req.queries);
                 let latency_ms = start.elapsed().as_secs_f64() * 1e3;
                 record("net.query_ms", latency_ms);
@@ -569,6 +620,7 @@ impl CepsServer {
                                 worker,
                                 queries: req.queries.len(),
                                 latency_ms,
+                                queue_ms,
                                 stages: metrics.stages,
                                 cache_hits: metrics.cache_hits,
                                 cache_misses: metrics.cache_misses,
@@ -590,6 +642,7 @@ impl CepsServer {
                                 worker,
                                 queries: req.queries.len(),
                                 latency_ms,
+                                queue_ms,
                                 stages: StageTimes::default(),
                                 cache_hits: 0,
                                 cache_misses: 0,
@@ -615,6 +668,7 @@ impl CepsServer {
                 counter("net.queries_total", 1);
                 let _trace_guard = ceps_obs::with_trace(TraceContext::new_root());
                 let start = Instant::now();
+                self.note_queue_delay(start.duration_since(decoded).as_secs_f64() * 1e3);
                 let reply = match infer_soft_and_k(self.service.engine(), &queries) {
                     Ok(inf) => Reply::AutoK {
                         id,
@@ -836,6 +890,75 @@ mod tests {
             assert!(cache.misses >= 2, "first request solves cold");
             client.shutdown().unwrap();
         });
+    }
+
+    #[test]
+    fn queue_delay_is_attributed_in_stats_and_trace_lines() {
+        let sink = SharedBuf::default();
+        let server = CepsServer::new(test_service(), ServerConfig::default())
+            .with_tracer(RequestTracer::new(Box::new(sink.clone()), 1.0));
+        let (mut transport, connector) = in_proc();
+        std::thread::scope(|s| {
+            let server = &server;
+            s.spawn(move || server.serve(&mut transport).unwrap());
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            for _ in 0..3 {
+                client
+                    .request(&ServeRequest::new(vec![NodeId(0), NodeId(5)]))
+                    .unwrap();
+            }
+            let stats = client.stats().unwrap();
+            // Queue delay on an idle in-proc pipe is tiny but non-negative
+            // and strictly below the service time.
+            assert!(stats.queue_p50_ms >= 0.0);
+            assert!(stats.queue_p99_ms >= stats.queue_p50_ms);
+            assert!(stats.queue_p99_ms < stats.p99_ms.max(1.0));
+            client.shutdown().unwrap();
+        });
+        for line in sink.text().lines() {
+            assert!(
+                line.contains("\"queue_ms\": "),
+                "trace line lacks queue_ms: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_summary_and_stats_reply_share_one_snapshot_path() {
+        // Satellite fix: the `Stats` wire reply and the final stats that
+        // `serve` returns on drain must be assembled by the same helper.
+        // Pin that: a Stats fetched right before shutdown equals the
+        // drain-returned snapshot on every field that cannot legitimately
+        // advance between the two calls (uptime ticks on, and the
+        // shutdown itself adds frames).
+        let server = CepsServer::new(test_service(), ServerConfig::default());
+        let (mut transport, connector) = in_proc();
+        let (wire_stats, drained) = std::thread::scope(|s| {
+            let server = &server;
+            let handle = s.spawn(move || server.serve(&mut transport).unwrap());
+            let mut client = CepsClient::from_conn(Box::new(connector.connect().unwrap()));
+            for _ in 0..2 {
+                client
+                    .request(&ServeRequest::new(vec![NodeId(0), NodeId(5)]))
+                    .unwrap();
+            }
+            let wire_stats = client.stats().unwrap();
+            client.shutdown().unwrap();
+            (wire_stats, handle.join().unwrap())
+        });
+        assert_eq!(wire_stats.proto, drained.proto);
+        assert_eq!(wire_stats.connections, drained.connections);
+        assert_eq!(wire_stats.queries, drained.queries);
+        assert_eq!(wire_stats.sheds, drained.sheds);
+        assert_eq!(wire_stats.errors, drained.errors);
+        assert_eq!(wire_stats.p50_ms, drained.p50_ms);
+        assert_eq!(wire_stats.p90_ms, drained.p90_ms);
+        assert_eq!(wire_stats.p99_ms, drained.p99_ms);
+        assert_eq!(wire_stats.queue_p50_ms, drained.queue_p50_ms);
+        assert_eq!(wire_stats.queue_p99_ms, drained.queue_p99_ms);
+        assert_eq!(wire_stats.cache, drained.cache);
+        // The shutdown round-trip adds exactly its own frame.
+        assert_eq!(wire_stats.frames + 1, drained.frames);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # ceps-obs — observability core for the CePS workspace
 //!
 //! A zero-dependency instrumentation layer shared by every crate in the
-//! workspace. It provides three primitives plus a leveled logger:
+//! workspace. It provides four primitives plus a leveled logger:
 //!
 //! * **Spans** — hierarchical timed regions. [`span`] returns an RAII guard
 //!   that pushes a frame onto a thread-local stack; on drop the elapsed time
@@ -10,11 +10,14 @@
 //!   count, total time, and *self* time (total minus time spent in child
 //!   spans).
 //! * **Counters** — monotonic `u64` accumulators ([`counter`]).
+//! * **Gauges** — point-in-time `i64` levels ([`gauge_set`]/[`gauge_add`]),
+//!   e.g. queue depth or in-flight requests; exported to Prometheus as
+//!   `# TYPE gauge`.
 //! * **Histograms** — fixed-bucket log₂-scale distributions over `f64`
 //!   values ([`record`]); 64 buckets spanning `[2⁻³², 2³²)` with under- and
 //!   overflow clamped to the edge buckets.
 //!
-//! All three are **compiled-in no-ops until a recorder is installed**: the
+//! All four are **compiled-in no-ops until a recorder is installed**: the
 //! hot path pays exactly one relaxed atomic load and a branch when
 //! observability is off (see `benches/obs_overhead.rs` in `ceps-bench` for
 //! the pinned cost). Call [`install_recorder`] to start collecting,
@@ -63,8 +66,8 @@ pub use flight::{
 pub use logger::{init_log_default, log, log_enabled, set_log_level, set_log_off, Level};
 pub use meta::{git_sha, now_iso8601, RunMeta};
 pub use registry::{
-    counter, enabled, install_recorder, record, reset, snapshot, span, timed, uninstall_recorder,
-    Span,
+    counter, enabled, gauge_add, gauge_set, install_recorder, record, reset, snapshot, span, timed,
+    uninstall_recorder, Span,
 };
 pub use snapshot::{BucketExemplar, HistogramStat, MetricsSnapshot, SpanStat};
 pub use window::{

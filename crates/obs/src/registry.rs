@@ -124,6 +124,7 @@ pub(crate) fn bucket_upper(i: usize) -> f64 {
 struct Shard {
     spans: HashMap<String, SpanAgg>,
     counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, i64>,
     histograms: HashMap<&'static str, Histogram>,
 }
 
@@ -160,6 +161,16 @@ impl Registry {
         *shard.counters.entry(name).or_insert(0) += delta;
     }
 
+    fn set_gauge(&self, name: &'static str, value: i64) {
+        let mut shard = self.shard(name.as_bytes());
+        shard.gauges.insert(name, value);
+    }
+
+    fn add_gauge(&self, name: &'static str, delta: i64) {
+        let mut shard = self.shard(name.as_bytes());
+        *shard.gauges.entry(name).or_insert(0) += delta;
+    }
+
     fn record_value(&self, name: &'static str, value: f64) {
         // The trace context is thread-local: read it before taking the
         // shard lock.
@@ -186,6 +197,7 @@ impl Registry {
             let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             shard.spans.clear();
             shard.counters.clear();
+            shard.gauges.clear();
             shard.histograms.clear();
         }
     }
@@ -193,6 +205,7 @@ impl Registry {
     fn snapshot(&self) -> MetricsSnapshot {
         let mut spans = Vec::new();
         let mut counters = Vec::new();
+        let mut gauges = Vec::new();
         let mut histograms = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
@@ -208,6 +221,9 @@ impl Registry {
             }
             for (&name, &value) in &shard.counters {
                 counters.push((name.to_string(), value));
+            }
+            for (&name, &value) in &shard.gauges {
+                gauges.push((name.to_string(), value));
             }
             for (&name, hist) in &shard.histograms {
                 let buckets = hist
@@ -241,10 +257,12 @@ impl Registry {
         }
         spans.sort_by(|a, b| a.path.cmp(&b.path));
         counters.sort();
+        gauges.sort();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
         MetricsSnapshot {
             spans,
             counters,
+            gauges,
             histograms,
         }
     }
@@ -341,6 +359,27 @@ pub fn record(name: &'static str, value: f64) {
     registry().record_value(name, value);
 }
 
+/// Sets the gauge `name` to `value` (last write wins). Gauges are
+/// point-in-time levels — queue depth, in-flight requests — unlike the
+/// monotonic [`counter`]. No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    registry().set_gauge(name, value);
+}
+
+/// Adds `delta` (possibly negative) to the gauge `name`, creating it at 0
+/// first. No-op when disabled.
+#[inline]
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    registry().add_gauge(name, delta);
+}
+
 /// Runs `f` under a span named `name` and returns its result together with
 /// the measured wall time. The duration is measured even when the recorder
 /// is off, so callers can use it for always-on reporting (e.g. stage
@@ -380,7 +419,35 @@ mod tests {
         let snap = snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn gauges_set_add_and_snapshot_sorted() {
+        let _guard = test_lock();
+        install_recorder();
+        reset();
+        gauge_set("g.depth", 4);
+        gauge_set("g.depth", 7);
+        gauge_add("g.in_flight", 3);
+        gauge_add("g.in_flight", -1);
+        gauge_add("g.a", -2);
+        uninstall_recorder();
+        let snap = snapshot();
+        assert_eq!(
+            snap.gauges,
+            vec![
+                ("g.a".to_string(), -2),
+                ("g.depth".to_string(), 7),
+                ("g.in_flight".to_string(), 2),
+            ]
+        );
+        assert_eq!(snap.gauge("g.depth"), Some(7));
+        assert_eq!(snap.gauge("missing"), None);
+        // Disabled gauges record nothing.
+        gauge_set("g.off", 1);
+        assert_eq!(snapshot().gauge("g.off"), None);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!      "self_ms": 1.5, "min_ms": 1.5, "max_ms": 1.5}
 //!   ],
 //!   "counters": {"rwr.solves": 1},
+//!   "gauges": {"net.in_flight": 2},
 //!   "histograms": [
 //!     {"name": "rwr.iterations", "count": 3, "sum": 150.0, "min": 50.0,
 //!      "max": 50.0, "buckets": [{"le": 64.0, "count": 3}],
@@ -26,7 +27,9 @@
 //! }
 //! ```
 //!
-//! `spans` is sorted by path, `counters` by name; `buckets` lists only
+//! `spans` is sorted by path, `counters` and `gauges` by name (`gauges`
+//! are point-in-time levels such as queue depth, not monotonic totals);
+//! `buckets` lists only
 //! non-empty log₂ buckets with their exclusive upper bound `le`. The file
 //! is written next to `BENCH_*.json` under `results/` so per-stage cost
 //! trajectories stay diffable across PRs. `exemplars` lists, per bucket
@@ -44,6 +47,7 @@
 //! {"schema": "ceps-metrics/v1", "seq": 3, "unix_ms": 1767225600000,
 //!  "interval_ms": 250, "window_s": 2.0,
 //!  "counters": {"serve.requests": 128},
+//!  "gauges": {"net.in_flight": 2},
 //!  "rates": {"serve.requests": 64.0},
 //!  "histograms": [
 //!    {"name": "serve.latency_ms", "total_count": 128, "count": 16,
@@ -66,7 +70,8 @@
 //!
 //! ```json
 //! {"schema": "ceps-trace/v1", "request_id": 42, "worker": 1,
-//!  "queries": 3, "latency_ms": 2.4, "scores_ms": 1.5, "combine_ms": 0.2,
+//!  "queries": 3, "latency_ms": 2.4, "queue_ms": 0.1,
+//!  "scores_ms": 1.5, "combine_ms": 0.2,
 //!  "extract_ms": 0.6, "cache_hits": 2, "cache_misses": 1, "budget": 20,
 //!  "paths": 17, "sampled": "head", "outcome": "ok"}
 //! ```
@@ -74,6 +79,9 @@
 //! `sampled` is `"head"` (request id hashed under the `--trace-sample`
 //! rate) or `"tail"` (latency above the tracer's windowed p99 estimate —
 //! slow requests are always kept). `outcome` is `"ok"` or `"error"`.
+//! `queue_ms` is the gap between frame decode and execution start
+//! (admission/queue wait, charged to the server), `latency_ms` the
+//! service time proper; 0 for in-process serving with no wire.
 //! When a [`TraceContext`](crate::TraceContext) is active for the request
 //! the line additionally carries `"trace_id": "<16-char hex>"`, letting
 //! client- and server-side trace streams be joined on one id.
@@ -188,6 +196,8 @@ pub struct MetricsSnapshot {
     pub spans: Vec<SpanStat>,
     /// `(name, value)` counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges (point-in-time levels), sorted by name.
+    pub gauges: Vec<(String, i64)>,
     /// Histogram statistics, sorted by name.
     pub histograms: Vec<HistogramStat>,
 }
@@ -204,6 +214,11 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// Renders the human-readable profile: an indented span tree with
@@ -268,6 +283,12 @@ impl MetricsSnapshot {
                 let _ = writeln!(out, "  {:<42} {:>20}", name, value);
             }
         }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {:<42} {:>20}", name, value);
+            }
+        }
         if !self.histograms.is_empty() {
             let _ = writeln!(
                 out,
@@ -322,6 +343,13 @@ impl MetricsSnapshot {
         }
         out.push_str("  ],\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(name), value);
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
@@ -425,6 +453,7 @@ mod tests {
                 },
             ],
             counters: vec![("rwr.solves".into(), 2)],
+            gauges: vec![("net.in_flight".into(), 3)],
             histograms: vec![HistogramStat {
                 name: "rwr.iterations".into(),
                 count: 2,
@@ -450,6 +479,7 @@ mod tests {
             "child indented by two spaces:\n{text}"
         );
         assert!(text.contains("rwr.solves"));
+        assert!(text.contains("net.in_flight"));
         assert!(text.contains("rwr.iterations"));
     }
 
@@ -465,6 +495,7 @@ mod tests {
         let json = sample().to_json(&meta);
         assert!(json.contains("\"schema\": \"ceps-obs/v1\""));
         assert!(json.contains("\"git_sha\": \"deadbeef\""));
+        assert!(json.contains("\"gauges\": {\"net.in_flight\": 3}"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(
             json.contains("\"trace_id\": \"00000000deadbeef\""),

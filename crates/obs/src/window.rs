@@ -412,7 +412,7 @@ fn prom_f64(v: f64) -> String {
 
 /// Renders a snapshot in Prometheus text-exposition format.
 ///
-/// Counters export as `counter`, histograms as cumulative-bucket
+/// Counters export as `counter`, gauges as `gauge`, histograms as cumulative-bucket
 /// `histogram` (`_bucket{le=...}` / `_sum` / `_count`), and span
 /// aggregates as two labelled counters, `ceps_span_calls{path=...}` and
 /// `ceps_span_seconds{path=...}`. All metric names carry the `ceps_`
@@ -424,6 +424,11 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     for (name, value) in &snap.counters {
         let n = prom_name(name);
         let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {value}");
     }
     for h in &snap.histograms {
@@ -492,6 +497,13 @@ pub fn metrics_event_json(
         json_f64(delta.map_or(0.0, |d| d.span_s)),
     );
     for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(name), value);
+    }
+    out.push_str("}, \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
@@ -845,6 +857,7 @@ mod tests {
                 max_ns: 1_000_000,
             }],
             counters: vec![("serve.requests".into(), counter)],
+            gauges: Vec::new(),
             histograms: vec![HistogramStat {
                 name: "serve.latency_ms".into(),
                 count: h.count,
@@ -915,6 +928,24 @@ mod tests {
             .collect();
         assert_eq!(cum.len(), 2);
         assert!(cum[0].ends_with(" 2") && cum[1].ends_with(" 3"), "{cum:?}");
+    }
+
+    #[test]
+    fn prometheus_and_event_json_render_gauges() {
+        let mut s = snap(1, &[]);
+        s.gauges = vec![("net.in_flight".into(), 2), ("net.queue_depth".into(), 0)];
+        let text = to_prometheus(&s);
+        assert!(text.contains("# TYPE ceps_net_in_flight gauge"));
+        assert!(text.contains("ceps_net_in_flight 2"));
+        assert!(text.contains("ceps_net_queue_depth 0"));
+        let line = metrics_event_json(&s, None, 0, 0, 250);
+        assert!(
+            line.contains("\"gauges\": {\"net.in_flight\": 2, \"net.queue_depth\": 0}"),
+            "gauges in the metrics event:\n{line}"
+        );
+        let opens = line.matches(['{', '[']).count();
+        let closes = line.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "balanced:\n{line}");
     }
 
     #[test]

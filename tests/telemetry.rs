@@ -304,6 +304,10 @@ fn snapshot_from(counters: &[(usize, u64)], hist: &[f64], span_idx: usize) -> Me
             .iter()
             .map(|&(i, v)| (format!("ctr.{}", NASTY[i % NASTY.len()]), v))
             .collect(),
+        gauges: counters
+            .iter()
+            .map(|&(i, v)| (format!("lvl.{}", NASTY[i % NASTY.len()]), v as i64))
+            .collect(),
         histograms: vec![hist_stat("serve.latency_ms", hist)],
     }
 }
@@ -375,6 +379,7 @@ proptest! {
                 combine_ms: combine,
                 extract_ms: (latency_ms - scores - combine).max(0.0),
             },
+            queue_ms: latency_ms * (1.0 - split) * 0.25,
             cache_hits: mix as u64 % 10,
             cache_misses: (mix as u64 / 10) % 10,
             budget: 20,
@@ -389,6 +394,7 @@ proptest! {
             serde_json::from_str(&line).expect("trace line must parse standalone");
         prop_assert!(doc["schema"] == "ceps-trace/v1");
         prop_assert_eq!(doc["request_id"].as_u64(), Some(request_id));
+        prop_assert!(doc["queue_ms"].as_f64().is_some_and(|q| q >= 0.0));
         prop_assert_eq!(
             doc["sampled"].as_str(),
             Some(if kind == SampleKind::Head { "head" } else { "tail" })
